@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Asn1 Bechamel Benchmark Ctlog Format Hashtbl Idna Instance Lint List Measure Staged String Test Time Toolkit Ucrypto Unicode X509

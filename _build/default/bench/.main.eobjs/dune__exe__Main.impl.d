@@ -1,0 +1,1 @@
+bench/main.ml: Bench_micro Ctlog Format Middlebox Monitors String Sys Tlsparsers Unicert

@@ -1,0 +1,72 @@
+(* Bechamel micro-benchmarks over the hot code paths: one Test.make per
+   experiment-critical primitive. *)
+
+open Bechamel
+open Toolkit
+
+let sample_cert =
+  let kp = X509.Certificate.mock_keypair ~seed:"bench-ca" in
+  let tbs =
+    X509.Certificate.make_tbs
+      ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "Bench CA") ])
+      ~subject:
+        (X509.Dn.of_list
+           [ (X509.Attr.Country_name, "DE");
+             (X509.Attr.Organization_name, "St\xC3\xB6ri AG");
+             (X509.Attr.Common_name, "xn--bcher-kva.example.com") ])
+      ~not_before:(Asn1.Time.make 2024 1 1) ~not_after:(Asn1.Time.make 2025 1 1)
+      ~spki:(X509.Certificate.keypair_spki kp)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:
+        [ X509.Extension.subject_alt_name
+            [ X509.General_name.Dns_name "xn--bcher-kva.example.com" ] ]
+      ()
+  in
+  X509.Certificate.sign kp tbs
+
+let issued = Asn1.Time.make 2024 6 1
+
+let gen_state = Ucrypto.Prng.create 99
+
+let tests =
+  Test.make_grouped ~name:"unicert" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"sha256-1k"
+        (Staged.stage (fun () -> Ucrypto.Sha256.digest (String.make 1024 'x')));
+      Test.make ~name:"punycode-encode"
+        (Staged.stage (fun () ->
+             Idna.Punycode.encode_utf8 "b\xC3\xBCcher-m\xC3\xBCnchen"));
+      Test.make ~name:"punycode-decode"
+        (Staged.stage (fun () -> Idna.Punycode.decode "bcher-mnchen-9db1e"));
+      Test.make ~name:"nfc-normalize"
+        (Staged.stage (fun () ->
+             Unicode.Normalize.utf8_to_nfc "Socie\xCC\x81te\xCC\x81 Ge\xCC\x81ne\xCC\x81rale"));
+      Test.make ~name:"cert-parse"
+        (Staged.stage (fun () -> X509.Certificate.parse sample_cert.X509.Certificate.der));
+      Test.make ~name:"cert-generate"
+        (Staged.stage (fun () ->
+             Ctlog.Dataset.generate_entry gen_state (List.hd Ctlog.Dataset.issuers)));
+      Test.make ~name:"lint-run-95"
+        (Staged.stage (fun () -> Lint.Registry.run ~issued sample_cert));
+      Test.make ~name:"dn-to-string"
+        (Staged.stage (fun () ->
+             X509.Dn.to_string sample_cert.X509.Certificate.tbs.X509.Certificate.subject));
+      Test.make ~name:"idna-domain-issues"
+        (Staged.stage (fun () -> Idna.domain_issues "xn--bcher-kva.example.com"));
+    ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "%-32s | %14s@." "benchmark" "ns/run";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "%-32s | %14.1f@." name est
+      | _ -> Format.printf "%-32s | %14s@." name "-")
+    results

@@ -1,0 +1,62 @@
+(* unicert-gen: emit test Unicerts as PEM — either corpus samples from
+   the calibrated generator, or single-field mutants in the style of the
+   paper's §3.2 test certificates. *)
+
+open Cmdliner
+
+let emit_pem cert = print_string (X509.Certificate.to_pem cert)
+
+let run_corpus count seed flawed_only =
+  let emitted = ref 0 in
+  (* Over-generate: keep only flawed entries when asked. *)
+  let scale = if flawed_only then count * 400 else count in
+  (try
+     Ctlog.Dataset.iter ~scale ~seed (fun e ->
+         if !emitted < count && ((not flawed_only) || e.Ctlog.Dataset.flaws <> []) then begin
+           incr emitted;
+           emit_pem e.Ctlog.Dataset.cert
+         end;
+         if !emitted >= count then raise Exit)
+   with Exit -> ());
+  if !emitted < count then
+    Printf.eprintf "warning: only %d of %d requested certificates emitted\n" !emitted
+      count
+
+let run_mutant field payload st_name =
+  let st =
+    match Asn1.Str_type.of_name st_name with
+    | Some st -> st
+    | None -> Asn1.Str_type.Utf8_string
+  in
+  let mutation =
+    match field with
+    | "cn" -> Tlsparsers.Testgen.Subject_attr (X509.Attr.Common_name, st, payload)
+    | "o" -> Tlsparsers.Testgen.Subject_attr (X509.Attr.Organization_name, st, payload)
+    | "san" -> Tlsparsers.Testgen.San_dns payload
+    | "email" -> Tlsparsers.Testgen.San_rfc822 payload
+    | "uri" -> Tlsparsers.Testgen.San_uri payload
+    | "crldp" -> Tlsparsers.Testgen.Crldp_uri payload
+    | other -> failwith (Printf.sprintf "unknown field %S (cn|o|san|email|uri|crldp)" other)
+  in
+  emit_pem (Tlsparsers.Testgen.make mutation)
+
+let run mode count seed flawed_only field payload st =
+  match mode with
+  | "corpus" -> run_corpus count seed flawed_only
+  | "mutant" -> run_mutant field payload st
+  | other -> failwith (Printf.sprintf "unknown mode %S (corpus|mutant)" other)
+
+let mode = Arg.(value & pos 0 string "corpus" & info [] ~docv:"MODE" ~doc:"corpus or mutant")
+let count = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of corpus certificates")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed")
+let flawed_only = Arg.(value & flag & info [ "flawed" ] ~doc:"Emit only noncompliant certificates")
+let field = Arg.(value & opt string "san" & info [ "field" ] ~doc:"Mutated field (cn|o|san|email|uri|crldp)")
+let payload = Arg.(value & opt string "test\x01.com" & info [ "payload" ] ~doc:"Raw payload bytes")
+let st = Arg.(value & opt string "UTF8String" & info [ "string-type" ] ~doc:"Declared ASN.1 string type for DN mutants")
+
+let cmd =
+  let doc = "generate test Unicerts (calibrated corpus samples or field mutants)" in
+  Cmd.v (Cmd.info "unicert-gen" ~doc)
+    Term.(const run $ mode $ count $ seed $ flawed_only $ field $ payload $ st)
+
+let () = exit (Cmd.eval cmd)

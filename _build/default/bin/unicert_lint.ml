@@ -1,0 +1,117 @@
+(* unicert-lint: run the 95-rule Unicert linter over PEM/DER certificate
+   files, zlint-style.  With no files, lints a freshly generated corpus
+   sample and prints the per-lint histogram. *)
+
+open Cmdliner
+
+let load_cert path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let bytes = really_input_string ic n in
+  close_in ic;
+  if String.length bytes > 10 && String.sub bytes 0 10 = "-----BEGIN" then
+    X509.Certificate.of_pem bytes
+  else X509.Certificate.parse bytes
+
+let lint_file ~issued ~ignore_dates path =
+  match load_cert path with
+  | Error m -> Printf.printf "%s: PARSE ERROR: %s\n" path m
+  | Ok cert ->
+      let findings =
+        Lint.Registry.noncompliant ~respect_effective_dates:(not ignore_dates)
+          ~issued cert
+      in
+      if findings = [] then Printf.printf "%s: compliant (0 findings)\n" path
+      else begin
+        Printf.printf "%s: %d findings\n" path (List.length findings);
+        List.iter
+          (fun (f : Lint.finding) ->
+            let details =
+              match f.Lint.status with
+              | Lint.Fail d | Lint.Warn d -> d
+              | Lint.Na | Lint.Pass -> []
+            in
+            Printf.printf "  [%s] %s\n"
+              (match Lint.severity f.Lint.lint with
+              | Lint.Error -> "ERROR"
+              | Lint.Warning -> "WARN ")
+              f.Lint.lint.Lint.name;
+            List.iter (fun d -> Printf.printf "      %s\n" d) details)
+          findings
+      end
+
+let lint_corpus ~scale ~seed ~ignore_dates =
+  let counts = Hashtbl.create 64 in
+  let nc = ref 0 and total = ref 0 in
+  Ctlog.Dataset.iter ~scale ~seed (fun e ->
+      incr total;
+      let findings =
+        Lint.Registry.noncompliant ~respect_effective_dates:(not ignore_dates)
+          ~issued:e.Ctlog.Dataset.issued e.Ctlog.Dataset.cert
+      in
+      if findings <> [] then begin
+        incr nc;
+        List.iter
+          (fun (f : Lint.finding) ->
+            Hashtbl.replace counts f.Lint.lint.Lint.name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts f.Lint.lint.Lint.name)))
+          findings
+      end);
+  Printf.printf "linted %d generated Unicerts: %d noncompliant (%.2f%%)\n" !total !nc
+    (100.0 *. float_of_int !nc /. float_of_int !total);
+  Hashtbl.fold (fun k v acc -> (v, k) :: acc) counts []
+  |> List.sort compare |> List.rev
+  |> List.iter (fun (v, k) -> Printf.printf "  %-55s %d\n" k v)
+
+let list_rules () =
+  Lint.Rulebook.render_catalogue Format.std_formatter
+
+let json_findings path findings =
+  Printf.printf "{\"file\": \"%s\", \"findings\": [" path;
+  List.iteri
+    (fun i (f : Lint.finding) ->
+      (match Lint.Rulebook.covering_lint f.Lint.lint.Lint.name with
+      | Some rule ->
+          if i > 0 then print_string ", ";
+          Format.printf "%a" Lint.Rulebook.render_json rule
+      | None -> ()))
+    findings;
+  print_string "]}\n"
+
+let run files scale seed ignore_dates issued_str list_lints json =
+  let issued =
+    match Asn1.Time.of_generalized (issued_str ^ "000000Z") with
+    | Ok t -> t
+    | Error _ -> Asn1.Time.make 2024 6 1
+  in
+  if list_lints then list_rules ()
+  else if json && files <> [] then
+    List.iter
+      (fun path ->
+        match load_cert path with
+        | Error m -> Printf.printf "{\"file\": \"%s\", \"error\": \"%s\"}\n" path m
+        | Ok cert ->
+            json_findings path
+              (Lint.Registry.noncompliant ~respect_effective_dates:(not ignore_dates)
+                 ~issued cert))
+      files
+  else if files = [] then lint_corpus ~scale ~seed ~ignore_dates
+  else List.iter (lint_file ~issued ~ignore_dates) files
+
+let files = Arg.(value & pos_all file [] & info [] ~docv:"CERT" ~doc:"PEM or DER certificate files")
+let scale = Arg.(value & opt int 2000 & info [ "scale" ] ~doc:"Generated corpus size when no files are given")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Corpus seed")
+let ignore_dates =
+  Arg.(value & flag & info [ "ignore-effective-dates" ] ~doc:"Apply every lint regardless of its effective date")
+let issued =
+  Arg.(value & opt string "20240601" & info [ "issued" ] ~doc:"Assumed issuance date (YYYYMMDD) for file linting")
+let list_lints =
+  Arg.(value & flag & info [ "list" ] ~doc:"Print the 95-rule catalogue as JSON and exit")
+let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON")
+
+let cmd =
+  let doc = "lint X.509 certificates against the 95 Unicert constraint rules" in
+  Cmd.v (Cmd.info "unicert-lint" ~doc)
+    Term.(const run $ files $ scale $ seed $ ignore_dates $ issued $ list_lints $ json)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,41 @@
+(* unicert-report: run one experiment by its DESIGN.md id. *)
+
+open Cmdliner
+
+let run id scale seed =
+  let ppf = Format.std_formatter in
+  let pipeline () = Unicert.Pipeline.run ~scale ~seed () in
+  (match String.lowercase_ascii id with
+  | "fig2" -> Unicert.Report.figure2 ppf (pipeline ())
+  | "tab1" -> Unicert.Report.table1 ppf (pipeline ())
+  | "tab2" -> Unicert.Report.table2 ppf (pipeline ())
+  | "fig3" -> Unicert.Report.figure3 ppf (pipeline ())
+  | "fig4" -> Unicert.Report.figure4 ppf (pipeline ())
+  | "tab11" -> Unicert.Report.table11 ppf (pipeline ())
+  | "sec51" -> Unicert.Report.section51 ppf (pipeline ())
+  | "ablations" -> Unicert.Report.ablations ppf (pipeline ())
+  | "summary" -> Unicert.Report.summary ppf (pipeline ())
+  | "tab4" | "tab5" -> Tlsparsers.Harness.render ppf
+  | "apis" -> Tlsparsers.Apis.render ppf
+  | "rules" -> Lint.Rulebook.render_catalogue ppf
+  | "tab6" -> Monitors.Audit.render ppf
+  | "tab3" -> Middlebox.Obfuscation.render ppf
+  | "sec62" -> Middlebox.Evasion.render ppf
+  | "tab14" | "fig7" -> Unicert.Browsers.render ppf
+  | "all" -> Unicert.Report.all ppf (pipeline ())
+  | other ->
+      Format.fprintf ppf
+        "unknown experiment %S; ids: fig2 tab1 tab2 fig3 fig4 tab11 sec51 ablations \
+         summary tab3 tab4 tab5 tab6 sec62 tab14 apis rules all@."
+        other);
+  Format.pp_print_flush ppf ()
+
+let id = Arg.(value & pos 0 string "summary" & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id from DESIGN.md")
+let scale = Arg.(value & opt int Ctlog.Dataset.default_scale & info [ "scale" ] ~doc:"Corpus size")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Corpus seed")
+
+let cmd =
+  let doc = "regenerate one of the paper's tables or figures" in
+  Cmd.v (Cmd.info "unicert-report" ~doc) Term.(const run $ id $ scale $ seed)
+
+let () = exit (Cmd.eval cmd)

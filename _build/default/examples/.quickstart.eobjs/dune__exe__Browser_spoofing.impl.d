@@ -1,0 +1,1 @@
+examples/browser_spoofing.ml: Format List Printf String Unicert

@@ -1,0 +1,1 @@
+examples/ct_monitor_audit.ml: Asn1 Char Ctlog Format List Monitors Printf Seq String X509

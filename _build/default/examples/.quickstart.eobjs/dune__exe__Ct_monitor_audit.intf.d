@@ -1,0 +1,1 @@
+examples/ct_monitor_audit.mli:

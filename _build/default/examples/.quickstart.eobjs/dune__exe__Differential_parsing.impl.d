@@ -1,0 +1,1 @@
+examples/differential_parsing.ml: Asn1 Format List Printf String Tlsparsers X509

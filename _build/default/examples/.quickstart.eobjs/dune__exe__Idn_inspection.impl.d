@@ -1,0 +1,1 @@
+examples/idn_inspection.ml: Format Idna List Printf String Unicode

@@ -1,0 +1,1 @@
+examples/idn_inspection.mli:

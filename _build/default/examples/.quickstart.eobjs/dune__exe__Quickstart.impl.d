@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asn1 Idna Lint List Printf String X509

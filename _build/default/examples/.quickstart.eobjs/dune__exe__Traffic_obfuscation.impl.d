@@ -1,0 +1,1 @@
+examples/traffic_obfuscation.ml: Asn1 Format List Middlebox Printf Ucrypto X509

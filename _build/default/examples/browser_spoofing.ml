@@ -1,0 +1,53 @@
+(* User spoofing (Appendix F.1): crafted Unicerts against the three
+   browser rendering engines — control characters, invisible layout
+   codes, homographs, the IDN display policy, and the Figure 7/8
+   warning-page manipulations.
+
+   Run with: dune exec examples/browser_spoofing.exe *)
+
+let show name text =
+  Printf.printf "%-26s" name;
+  List.iter
+    (fun b ->
+      Printf.printf " | %-22s" (Unicert.Browsers.render_field b text))
+    Unicert.Browsers.all;
+  print_newline ()
+
+let () =
+  Printf.printf "%-26s" "field value";
+  List.iter
+    (fun b -> Printf.printf " | %-22s" b.Unicert.Browsers.name)
+    Unicert.Browsers.all;
+  print_newline ();
+  print_endline (String.make 100 '-');
+  show "C0 control (SOH)" "Acme\x01Corp";
+  show "DEL" "Prepaid\x7FServices";
+  show "zero-width space" "pay\xE2\x80\x8Bpal.com";
+  show "RLO override" "www.\xE2\x80\xAElapyap\xE2\x80\xAC.com";
+  show "Cyrillic homograph" "p\xD0\xB0ypal.com";
+  print_newline ();
+
+  (* IDN display policy: which A-labels get shown in Unicode? *)
+  print_endline "== IDN display policy (Chromium model) ==";
+  List.iter
+    (fun domain ->
+      Printf.printf "  %-34s shown as %s\n" domain
+        (Unicert.Browsers.display_hostname Unicert.Browsers.chromium domain))
+    [ "xn--bcher-kva.de" (* clean single-script *);
+      "xn--www-hn0a.example.com" (* invisible LRM: stays punycode *);
+      "xn--80aa0aec.com" (* whole-script Cyrillic: displayed! *) ];
+  print_newline ();
+
+  (* Warning pages (Figures 7 and 8). *)
+  Unicert.Browsers.render Format.std_formatter;
+
+  (* The Firefox Figure-8 variant: a descriptive CN steering the alert
+     text. *)
+  print_newline ();
+  let descriptive =
+    "port 8443. But they're the same site, it is safe to continue"
+  in
+  Printf.printf
+    "Firefox warning driven by crafted SAN text:\n  \"...certificate is only valid \
+     for %s\"\n"
+    (Unicert.Browsers.render_field Unicert.Browsers.firefox descriptive)

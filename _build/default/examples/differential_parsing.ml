@@ -1,0 +1,83 @@
+(* Differential parsing: craft the paper's "githube.cn" BMPString
+   certificate (§5.1) and a subfield-forgery SAN (§5.2), then show how
+   the nine TLS library models each interpret them.
+
+   Run with: dune exec examples/differential_parsing.exe *)
+
+let show_opt = function Some s -> Printf.sprintf "%S" s | None -> "<parse error>"
+
+let () =
+  (* 1. The hostname-bypass certificate: a CN declared BMPString whose
+     UCS-2 code units spell out a different hostname when read
+     byte-wise. *)
+  (* The raw bytes "githube.cn" read as UCS-2 are the CJK units 0x6769
+     0x7468 0x7562 0x792E 0x636E ("杩瑨..."), exactly the
+     paper's example — compliant decoders see CJK text, byte-wise
+     decoders see the ASCII hostname. *)
+  let bmp_payload = "githube.cn" in
+  let cert =
+    Tlsparsers.Testgen.make
+      (Tlsparsers.Testgen.Subject_attr
+         (X509.Attr.Common_name, Asn1.Str_type.Bmp_string, bmp_payload))
+  in
+  Printf.printf "== BMPString CN: standard decoding is %S ==\n"
+    (match X509.Certificate.subject_cn cert with Some s -> s | None -> "?");
+  (match Tlsparsers.Testgen.raw_subject_attr cert X509.Attr.Common_name with
+  | Some (st, raw) ->
+      List.iter
+        (fun (m : Tlsparsers.Model.t) ->
+          Printf.printf "  %-20s -> %s\n" m.Tlsparsers.Model.name
+            (show_opt (m.Tlsparsers.Model.decode_name_attr st raw)))
+        Tlsparsers.Models.all
+  | None -> assert false);
+  print_endline
+    "  (byte-wise readers recover the ASCII low bytes — the paper's\n\
+    \   hostname-validation-bypass vector)";
+
+  (* 2. Subfield forgery: a dNSName payload that *renders* as two SAN
+     entries in string-based representations. *)
+  let forged = "a.com, DNS:b.com" in
+  let cert = Tlsparsers.Testgen.make (Tlsparsers.Testgen.San_dns forged) in
+  Printf.printf "\n== SAN dNSName = %S ==\n" forged;
+  (match
+     X509.Extension.find cert.X509.Certificate.tbs.X509.Certificate.extensions
+       X509.Extension.Oids.subject_alt_name
+   with
+  | Some e -> (
+      match X509.Extension.parse_general_names e.X509.Extension.value with
+      | Ok gns ->
+          List.iter
+            (fun (m : Tlsparsers.Model.t) ->
+              match m.Tlsparsers.Model.gns_to_string gns with
+              | Some rendered ->
+                  let components = String.split_on_char ',' rendered in
+                  Printf.printf "  %-20s renders %S (%d apparent entries)\n"
+                    m.Tlsparsers.Model.name rendered (List.length components)
+              | None ->
+                  Printf.printf "  %-20s structured output (not forgeable)\n"
+                    m.Tlsparsers.Model.name)
+            Tlsparsers.Models.all
+      | Error m -> print_endline m)
+  | None -> assert false);
+
+  (* 3. CRL spoofing: PyOpenSSL's control-character replacement turns a
+     CRLDP location into a different address. *)
+  let crl = "http://ssl\x01test.com/ca.crl" in
+  let cert = Tlsparsers.Testgen.make (Tlsparsers.Testgen.Crldp_uri crl) in
+  Printf.printf "\n== CRLDP URI = %S ==\n" crl;
+  (match Tlsparsers.Testgen.raw_crldp_payloads cert with
+  | raw :: _ ->
+      List.iter
+        (fun (m : Tlsparsers.Model.t) ->
+          if m.Tlsparsers.Model.supports Tlsparsers.Model.Crldp then
+            Printf.printf "  %-20s -> %s\n" m.Tlsparsers.Model.name
+              (show_opt (m.Tlsparsers.Model.decode_gn Tlsparsers.Model.Crldp raw)))
+        Tlsparsers.Models.all
+  | [] -> assert false);
+  print_endline
+    "  (a client that fetches the rewritten address never sees the real CRL —\n\
+    \   revocation is silently disabled)";
+
+  (* 4. The full inferred matrices. *)
+  print_newline ();
+  Tlsparsers.Harness.render Format.std_formatter

@@ -1,0 +1,63 @@
+(* IDN inspection: the IDNA toolkit on legitimate, deceptive and broken
+   internationalized domain names — the raw material behind the paper's
+   F1/T2 findings.
+
+   Run with: dune exec examples/idn_inspection.exe *)
+
+let inspect domain =
+  Printf.printf "%s\n" domain;
+  Printf.printf "  is IDN:     %b\n" (Idna.is_idn domain);
+  Printf.printf "  to_unicode: %s\n" (Idna.to_unicode domain);
+  (match Idna.domain_issues domain with
+  | [] -> Printf.printf "  issues:     none\n"
+  | issues ->
+      List.iter
+        (fun (label, issues) ->
+          List.iter
+            (fun i ->
+              Printf.printf "  issue:      label %S: %s\n" label
+                (Format.asprintf "%a" Idna.pp_issue i))
+            issues)
+        issues);
+  print_newline ()
+
+let () =
+  print_endline "== Legitimate IDNs ==";
+  List.iter inspect
+    [ "xn--bcher-kva.example.com" (* bücher *);
+      "xn--mnchen-3ya.de" (* münchen *);
+      "xn--fiqs8s.cn" (* 中国 *) ];
+
+  print_endline "== Deceptive / broken IDNs from the paper's findings ==";
+  List.iter inspect
+    [ "xn--www-hn0a.example.com" (* LRM + www: invisible prefix *);
+      "xn--ab_c.example.com" (* malformed punycode *);
+      "xn--.example.com" (* empty A-label body *);
+      "xn--ecole-6ed.example.fr" (* decodes to non-NFC text *) ];
+
+  print_endline "== U-label to A-label conversion with validation ==";
+  List.iter
+    (fun u ->
+      match Idna.to_ascii u with
+      | Ok a -> Printf.printf "%-24s -> %s\n" u a
+      | Error errs ->
+          Printf.printf "%-24s -> REJECTED (%s)\n" u
+            (String.concat "; "
+               (List.concat_map
+                  (fun (l, issues) ->
+                    List.map
+                      (fun i -> Printf.sprintf "%s: %s" l (Format.asprintf "%a" Idna.pp_issue i))
+                      issues)
+                  errs)))
+    [ "b\xC3\xBCcher.de"; "caf\xC3\xA9.fr";
+      "pay\xE2\x80\x8Bpal.com" (* zero-width space: must be rejected *);
+      "ex\xC2\xADample.org" (* soft hyphen: must be rejected *) ];
+
+  print_newline ();
+  print_endline "== Homograph skeletons ==";
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "%-12s vs %-12s confusable: %b\n" a b (Unicode.Confusables.confusable a b))
+    [ ("paypal.com", "p\xD0\xB0ypal.com") (* Cyrillic а *);
+      ("google.com", "g\xCE\xBF\xCE\xBFgle.com") (* Greek omicron *);
+      ("example.com", "example.com") ]

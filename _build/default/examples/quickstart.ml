@@ -1,0 +1,72 @@
+(* Quickstart: issue a Unicert, round-trip it through DER/PEM, and lint
+   it against the 95 Unicert constraint rules.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Create an issuing CA key and a leaf key. *)
+  let ca_key = X509.Certificate.mock_keypair ~seed:"quickstart-ca" in
+  let leaf_key = X509.Certificate.mock_keypair ~seed:"quickstart-leaf" in
+
+  (* 2. Describe the subject: a German bookshop with an IDN. *)
+  let domain_utf8 = "b\xC3\xBCcher-m\xC3\xBCller.de" in
+  let domain =
+    match Idna.to_ascii domain_utf8 with
+    | Ok a -> a
+    | Error _ -> failwith "IDN conversion failed"
+  in
+  Printf.printf "IDN %s -> A-label form %s\n" domain_utf8 domain;
+
+  let subject =
+    X509.Dn.of_list
+      [ (X509.Attr.Country_name, "DE");
+        (X509.Attr.Organization_name, "B\xC3\xBCcher M\xC3\xBCller GmbH");
+        (X509.Attr.Common_name, domain) ]
+  in
+  let issuer =
+    X509.Dn.of_list
+      [ (X509.Attr.Country_name, "US"); (X509.Attr.Organization_name, "Quickstart CA") ]
+  in
+
+  (* 3. Assemble and sign the certificate. *)
+  let tbs =
+    X509.Certificate.make_tbs ~issuer ~subject
+      ~not_before:(Asn1.Time.make 2025 1 1)
+      ~not_after:(Asn1.Time.make 2025 4 1)
+      ~spki:(X509.Certificate.keypair_spki leaf_key)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:
+        [ X509.Extension.subject_alt_name [ X509.General_name.Dns_name domain ];
+          X509.Extension.key_usage 0x05 ]
+      ()
+  in
+  let cert = X509.Certificate.sign ca_key tbs in
+  Printf.printf "issued %d-byte certificate; subject: %s\n"
+    (String.length cert.X509.Certificate.der)
+    (X509.Dn.to_string cert.X509.Certificate.tbs.X509.Certificate.subject);
+
+  (* 4. PEM round trip. *)
+  let pem = X509.Certificate.to_pem cert in
+  (match X509.Certificate.of_pem pem with
+  | Ok reparsed ->
+      assert (X509.Certificate.verify
+                ~issuer_spki:(X509.Certificate.keypair_spki ca_key) reparsed);
+      Printf.printf "PEM round trip and signature verification: OK\n"
+  | Error m -> failwith m);
+
+  (* 5. Lint it. *)
+  let findings = Lint.Registry.noncompliant ~issued:(Asn1.Time.make 2025 1 1) cert in
+  Printf.printf "lint findings: %d\n" (List.length findings);
+
+  (* 6. Now a noncompliant variant: a NUL inside the CN. *)
+  let bad_subject =
+    X509.Dn.single
+      [ X509.Dn.atv_raw ~st:Asn1.Str_type.Printable_string X509.Attr.Common_name
+          ("evil\x00" ^ domain) ]
+  in
+  let bad = X509.Certificate.sign ca_key { tbs with X509.Certificate.subject = bad_subject } in
+  let findings = Lint.Registry.noncompliant ~issued:(Asn1.Time.make 2025 1 1) bad in
+  Printf.printf "NUL-in-CN variant fails %d lints:\n" (List.length findings);
+  List.iter
+    (fun (f : Lint.finding) -> Printf.printf "  - %s\n" f.Lint.lint.Lint.name)
+    findings

@@ -1,0 +1,1 @@
+lib/asn1/oid.ml: Buffer Char List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/asn1/str_type.ml: Array Format List Unicode

@@ -1,0 +1,1 @@
+lib/asn1/str_type.mli: Unicode

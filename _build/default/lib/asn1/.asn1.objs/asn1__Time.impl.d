@@ -1,0 +1,1 @@
+lib/asn1/time.ml: Char Format Printf Stdlib String

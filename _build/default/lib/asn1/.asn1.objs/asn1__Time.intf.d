@@ -1,0 +1,1 @@
+lib/asn1/time.mli: Format

@@ -1,0 +1,1 @@
+lib/asn1/value.ml: Char Format List Oid Printf Str_type String Unicode Writer

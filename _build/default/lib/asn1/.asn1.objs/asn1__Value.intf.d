@@ -1,0 +1,1 @@
+lib/asn1/value.mli: Format Oid Str_type

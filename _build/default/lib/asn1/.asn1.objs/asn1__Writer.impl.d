@@ -1,0 +1,1 @@
+lib/asn1/writer.ml: Buffer Char List Oid Stdlib Str_type String Time

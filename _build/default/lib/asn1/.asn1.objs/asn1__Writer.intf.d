@@ -1,0 +1,1 @@
+lib/asn1/writer.mli: Oid Str_type Time

@@ -1,0 +1,75 @@
+type t = int list
+
+let to_string oid = String.concat "." (List.map string_of_int oid)
+
+let of_string s =
+  if s = "" then None
+  else
+    let parts = String.split_on_char '.' s in
+    let parse acc p =
+      match acc with
+      | None -> None
+      | Some arcs -> (
+          match int_of_string_opt p with
+          | Some n when n >= 0 -> Some (n :: arcs)
+          | Some _ | None -> None)
+    in
+    match List.fold_left parse (Some []) parts with
+    | Some arcs when List.length arcs >= 2 -> Some (List.rev arcs)
+    | Some _ | None -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some oid -> oid
+  | None -> invalid_arg (Printf.sprintf "Oid.of_string_exn: %S" s)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+(* Base-128 with high bit as continuation. *)
+let encode_arc buf n =
+  if n < 0x80 then Buffer.add_char buf (Char.chr n)
+  else begin
+    let rec bytes n acc = if n = 0 then acc else bytes (n lsr 7) ((n land 0x7F) :: acc) in
+    let parts = bytes n [] in
+    let rec emit = function
+      | [] -> ()
+      | [ last ] -> Buffer.add_char buf (Char.chr last)
+      | b :: rest ->
+          Buffer.add_char buf (Char.chr (b lor 0x80));
+          emit rest
+    in
+    emit parts
+  end
+
+let encode oid =
+  match oid with
+  | a :: b :: rest ->
+      let buf = Buffer.create 8 in
+      encode_arc buf ((a * 40) + b);
+      List.iter (encode_arc buf) rest;
+      Buffer.contents buf
+  | [ _ ] | [] -> invalid_arg "Oid.encode: at least two arcs required"
+
+let decode content =
+  let n = String.length content in
+  if n = 0 then Error "empty OID content"
+  else
+    let rec arcs i acc cur =
+      if i >= n then
+        if cur = 0 && acc <> [] then Ok (List.rev acc)
+        else if i = n && cur = 0 then Ok (List.rev acc)
+        else Error "truncated OID arc"
+      else
+        let b = Char.code content.[i] in
+        let cur = (cur lsl 7) lor (b land 0x7F) in
+        if b land 0x80 = 0 then arcs (i + 1) (cur :: acc) 0
+        else arcs (i + 1) acc cur
+    in
+    match arcs 0 [] 0 with
+    | Error _ as e -> e
+    | Ok [] -> Error "empty OID"
+    | Ok (first :: rest) ->
+        let a = if first < 40 then 0 else if first < 80 then 1 else 2 in
+        let b = first - (a * 40) in
+        Ok (a :: b :: rest)

@@ -1,0 +1,203 @@
+type t =
+  | Boolean of bool
+  | Integer of string
+  | Bit_string of int * string
+  | Octet_string of string
+  | Null
+  | Oid of Oid.t
+  | Str of Str_type.t * string
+  | Utc_time of string
+  | Generalized_time of string
+  | Sequence of t list
+  | Set of t list
+  | Implicit of int * string
+  | Explicit of int * t list
+
+type error = { offset : int; reason : string }
+
+let pp_error ppf e = Format.fprintf ppf "offset %d: %s" e.offset e.reason
+
+type config = { forbid_nonminimal_length : bool; max_depth : int }
+
+let strict = { forbid_nonminimal_length = true; max_depth = 64 }
+let lenient = { forbid_nonminimal_length = false; max_depth = 64 }
+
+let rec encode v =
+  match v with
+  | Boolean b -> Writer.boolean b
+  (* Integer content octets are authoritative (two's complement); they
+     are emitted verbatim rather than re-normalized as unsigned, which
+     would corrupt negative values. *)
+  | Integer bytes -> Writer.universal 2 (if bytes = "" then "\x00" else bytes)
+  | Bit_string (unused, s) -> Writer.bit_string ~unused s
+  | Octet_string s -> Writer.octet_string s
+  | Null -> Writer.null
+  | Oid o -> Writer.oid o
+  | Str (st, raw) -> Writer.str st raw
+  | Utc_time s -> Writer.universal 23 s
+  | Generalized_time s -> Writer.universal 24 s
+  | Sequence vs -> Writer.sequence (List.map encode vs)
+  | Set vs -> Writer.set_unsorted (List.map encode vs)
+  | Implicit (n, raw) -> Writer.context n raw
+  | Explicit (n, vs) ->
+      Writer.context ~constructed:true n (String.concat "" (List.map encode vs))
+
+exception Fail of error
+
+let fail offset reason = raise (Fail { offset; reason })
+
+(* Parse identifier + length octets; returns
+   (class, constructed, tag_number, content_offset, content_length). *)
+let header config bytes offset =
+  let n = String.length bytes in
+  if offset >= n then fail offset "truncated: no identifier octet";
+  let id = Char.code bytes.[offset] in
+  let cls = id lsr 6 in
+  let constructed = id land 0x20 <> 0 in
+  let tag = id land 0x1F in
+  if tag = 0x1F then fail offset "multi-byte tags unsupported";
+  let lpos = offset + 1 in
+  if lpos >= n then fail lpos "truncated: no length octet";
+  let l0 = Char.code bytes.[lpos] in
+  if l0 < 0x80 then (cls, constructed, tag, lpos + 1, l0)
+  else if l0 = 0x80 then fail lpos "indefinite length not allowed in DER"
+  else begin
+    let count = l0 land 0x7F in
+    if count > 4 then fail lpos "length too large";
+    if lpos + count >= n then fail lpos "truncated length octets";
+    let len = ref 0 in
+    for i = 1 to count do
+      len := (!len lsl 8) lor Char.code bytes.[lpos + i]
+    done;
+    if config.forbid_nonminimal_length then begin
+      if !len < 0x80 then fail lpos "non-minimal length encoding";
+      if count > 1 && Char.code bytes.[lpos + 1] = 0 then
+        fail lpos "non-minimal length encoding"
+    end;
+    (cls, constructed, tag, lpos + 1 + count, !len)
+  end
+
+let rec value config depth bytes offset =
+  if depth > config.max_depth then fail offset "maximum nesting depth exceeded";
+  let cls, constructed, tag, coff, clen = header config bytes offset in
+  if coff + clen > String.length bytes then fail coff "content overruns input";
+  let content = String.sub bytes coff clen in
+  let next = coff + clen in
+  let parsed =
+    match cls with
+    | 0 -> universal config depth constructed tag content coff
+    | 2 ->
+        if constructed then Explicit (tag, children config depth bytes coff next)
+        else Implicit (tag, content)
+    | 1 | 3 -> fail offset "application/private class unsupported in X.509"
+    | _ -> assert false
+  in
+  (parsed, next)
+
+and universal config depth constructed tag content coff =
+  match tag with
+  | 1 ->
+      if String.length content <> 1 then fail coff "BOOLEAN must be one octet"
+      else Boolean (content <> "\x00")
+  | 2 ->
+      if content = "" then fail coff "empty INTEGER" else Integer content
+  | 3 ->
+      if content = "" then fail coff "BIT STRING missing unused-bits octet"
+      else Bit_string (Char.code content.[0], String.sub content 1 (String.length content - 1))
+  | 4 -> Octet_string content
+  | 5 -> if content = "" then Null else fail coff "NULL with content"
+  | 6 -> (
+      match Oid.decode content with
+      | Ok o -> Oid o
+      | Error m -> fail coff ("bad OID: " ^ m))
+  | 16 ->
+      if not constructed then fail coff "SEQUENCE must be constructed"
+      else Sequence (children config depth content 0 (String.length content))
+  | 17 ->
+      if not constructed then fail coff "SET must be constructed"
+      else Set (children config depth content 0 (String.length content))
+  | 23 -> Utc_time content
+  | 24 -> Generalized_time content
+  | n -> (
+      match Str_type.of_tag n with
+      | Some st -> Str (st, content)
+      | None -> fail coff (Printf.sprintf "unsupported universal tag %d" n))
+
+and children config depth bytes offset stop =
+  let rec go offset acc =
+    if offset = stop then List.rev acc
+    else if offset > stop then fail offset "child overruns parent"
+    else
+      let v, next = value config (depth + 1) bytes offset in
+      go next (v :: acc)
+  in
+  go offset []
+
+let decode_prefix ?(config = strict) bytes offset =
+  try Ok (value config 0 bytes offset) with Fail e -> Error e
+
+let decode ?(config = strict) bytes =
+  match decode_prefix ~config bytes 0 with
+  | Error _ as e -> e
+  | Ok (v, next) ->
+      if next = String.length bytes then Ok v
+      else Error { offset = next; reason = "trailing bytes after value" }
+
+let int_of_integer = function
+  | Integer bytes when String.length bytes <= 8 ->
+      let v = ref (if Char.code bytes.[0] >= 0x80 then -1 else 0) in
+      String.iter (fun c -> v := (!v lsl 8) lor Char.code c) bytes;
+      Some !v
+  | Integer _ -> None
+  | Boolean _ | Bit_string _ | Octet_string _ | Null | Oid _ | Str _ | Utc_time _
+  | Generalized_time _ | Sequence _ | Set _ | Implicit _ | Explicit _ ->
+      None
+
+let integer_of_int n =
+  if n = 0 then Integer "\x00"
+  else begin
+    let rec bytes n acc =
+      if n = 0 || n = -1 then acc else bytes (n asr 8) (Char.chr (n land 0xFF) :: acc)
+    in
+    let b = bytes n [] in
+    let b = if b = [] then [ (if n < 0 then '\xFF' else '\x00') ] else b in
+    let s = String.init (List.length b) (List.nth b) in
+    let s =
+      if n < 0 then if Char.code s.[0] < 0x80 then "\xFF" ^ s else s
+      else if Char.code s.[0] >= 0x80 then "\x00" ^ s
+      else s
+    in
+    Integer s
+  end
+
+let str_utf8 st text =
+  let cps = Unicode.Codec.cps_of_utf8 text in
+  match Str_type.encode_value st cps with
+  | Ok raw -> Str (st, raw)
+  | Error m -> invalid_arg (Printf.sprintf "Value.str_utf8 (%s): %s" (Str_type.name st) m)
+
+let str_raw st bytes = Str (st, bytes)
+
+let hex s =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s))))
+
+let rec pp ppf v =
+  match v with
+  | Boolean b -> Format.fprintf ppf "BOOLEAN %b" b
+  | Integer bytes -> Format.fprintf ppf "INTEGER 0x%s" (hex bytes)
+  | Bit_string (u, s) -> Format.fprintf ppf "BIT STRING (%d unused) 0x%s" u (hex s)
+  | Octet_string s -> Format.fprintf ppf "OCTET STRING 0x%s" (hex s)
+  | Null -> Format.fprintf ppf "NULL"
+  | Oid o -> Format.fprintf ppf "OID %s" (Oid.to_string o)
+  | Str (st, raw) -> Format.fprintf ppf "%s %S" (Str_type.name st) raw
+  | Utc_time s -> Format.fprintf ppf "UTCTime %S" s
+  | Generalized_time s -> Format.fprintf ppf "GeneralizedTime %S" s
+  | Sequence vs -> pp_group ppf "SEQUENCE" vs
+  | Set vs -> pp_group ppf "SET" vs
+  | Implicit (n, raw) -> Format.fprintf ppf "[%d] 0x%s" n (hex raw)
+  | Explicit (n, vs) -> pp_group ppf (Printf.sprintf "[%d]" n) vs
+
+and pp_group ppf label vs =
+  Format.fprintf ppf "@[<v 2>%s {" label;
+  List.iter (fun v -> Format.fprintf ppf "@,%a" pp v) vs;
+  Format.fprintf ppf "@]@,}"

@@ -1,0 +1,1 @@
+lib/core/unicert.ml: Browsers Classify Pipeline Report

@@ -1,0 +1,1 @@
+lib/core/unicert.mli: Browsers Classify Pipeline Report

@@ -1,0 +1,1 @@
+lib/core/browsers.ml: Array Asn1 Char Format Idna List Printf Stdlib String Unicode X509

@@ -1,0 +1,1 @@
+lib/core/browsers.mli: Format X509

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Asn1 Char Idna List String X509

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Asn1 Char Classify Ctlog Hashtbl Lint List Option Result String Unicode X509

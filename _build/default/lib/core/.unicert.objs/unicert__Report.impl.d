@@ -1,0 +1,1 @@
+lib/core/report.ml: Ctlog Format Hashtbl Lint List Option Pipeline Printf

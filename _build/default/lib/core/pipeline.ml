@@ -1,0 +1,322 @@
+type year_stats = {
+  mutable issued : int;
+  mutable issued_trusted : int;
+  mutable alive_in_year : int;
+  mutable nc : int;
+  mutable nc_trusted : int;
+}
+
+type type_stats = {
+  mutable certs : int;
+  mutable by_new_lints : int;
+  mutable errors : int;
+  mutable warnings : int;
+  mutable trusted : int;
+  mutable recent : int;
+  mutable alive : int;
+}
+
+type issuer_stats = {
+  mutable total : int;
+  mutable nc_count : int;
+  mutable nc_recent : int;
+  trust_now : Ctlog.Dataset.trust;
+  trust_at_issuance : Ctlog.Dataset.trust;
+  region : string;
+  aggregate : bool;
+}
+
+type validity_class = V_idn | V_other | V_noncompliant | V_normal
+
+type t = {
+  scale : int;
+  seed : int;
+  mutable total : int;
+  mutable idncerts : int;
+  mutable trusted : int;
+  mutable nc_total : int;
+  mutable nc_ignoring_dates : int;
+  mutable nc_old_lints_only : int;
+  mutable nc_trusted : int;
+  mutable nc_limited : int;
+  mutable nc_untrusted : int;
+  mutable nc_recent : int;
+  mutable nc_alive : int;
+  years : (int, year_stats) Hashtbl.t;
+  types : (Lint.nc_type, type_stats) Hashtbl.t;
+  lints : (string, int) Hashtbl.t;
+  issuers : (string, issuer_stats) Hashtbl.t;
+  validity : (validity_class, int list ref) Hashtbl.t;
+  fields : (string * string, int * int) Hashtbl.t;
+  mutable encoding_error_certs : int;
+  mutable encoding_error_verified : int;
+  mutable encoding_error_subject : int;
+  mutable encoding_error_san : int;
+  mutable encoding_error_policies : int;
+}
+
+let fresh_year () =
+  { issued = 0; issued_trusted = 0; alive_in_year = 0; nc = 0; nc_trusted = 0 }
+
+let fresh_type () =
+  { certs = 0; by_new_lints = 0; errors = 0; warnings = 0; trusted = 0; recent = 0;
+    alive = 0 }
+
+let year_tbl t y =
+  match Hashtbl.find_opt t.years y with
+  | Some s -> s
+  | None ->
+      let s = fresh_year () in
+      Hashtbl.replace t.years y s;
+      s
+
+let type_tbl t ty =
+  match Hashtbl.find_opt t.types ty with
+  | Some s -> s
+  | None ->
+      let s = fresh_type () in
+      Hashtbl.replace t.types ty s;
+      s
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* Physical encoding errors: declared type whose payload violates the
+   standard byte encoding (§5.1's "ASN.1 encoding errors"). *)
+let atv_encoding_error (atv : X509.Dn.atv) =
+  match atv.X509.Dn.value with
+  | Asn1.Value.Str (st, raw) -> Result.is_error (Asn1.Str_type.decode_value st raw)
+  | _ -> false
+
+let encoding_error_fields cert =
+  let tbs = cert.X509.Certificate.tbs in
+  let subject =
+    List.exists atv_encoding_error (X509.Dn.all_atvs tbs.X509.Certificate.subject)
+  in
+  let san =
+    List.exists
+      (fun s -> not (Unicode.Codec.well_formed_utf8 s) && String.exists (fun c -> Char.code c > 0x7F) s)
+      (X509.Certificate.san_dns_names cert)
+  in
+  let policies =
+    match
+      X509.Extension.find tbs.X509.Certificate.extensions
+        X509.Extension.Oids.certificate_policies
+    with
+    | None -> false
+    | Some e -> (
+        match X509.Extension.parse_certificate_policies e.X509.Extension.value with
+        | Error _ -> true
+        | Ok ps ->
+            List.exists
+              (fun (p : X509.Extension.policy) ->
+                match p.X509.Extension.notice with
+                | Some { X509.Extension.explicit_text = Some (Asn1.Value.Str (st, raw)) }
+                  ->
+                    Result.is_error (Asn1.Str_type.decode_value st raw)
+                | _ -> false)
+              ps)
+  in
+  (subject, san, policies)
+
+let recent_start = Asn1.Time.make 2024 1 1
+
+let process t (entry : Ctlog.Dataset.entry) =
+  let cert = entry.Ctlog.Dataset.cert in
+  let issuer = entry.Ctlog.Dataset.issuer in
+  let issued = entry.Ctlog.Dataset.issued in
+  let year = issued.Asn1.Time.year in
+  let trusted = issuer.Ctlog.Dataset.trust_at_issuance = Ctlog.Dataset.Public in
+  let recent = Asn1.Time.(recent_start <= issued) in
+  let alive =
+    Asn1.Time.(recent_start <= fst cert.X509.Certificate.tbs.X509.Certificate.not_after)
+    && Asn1.Time.(fst cert.X509.Certificate.tbs.X509.Certificate.not_before
+                  <= Ctlog.Dataset.analysis_date)
+  in
+  t.total <- t.total + 1;
+  if entry.Ctlog.Dataset.is_idn then t.idncerts <- t.idncerts + 1;
+  if trusted then t.trusted <- t.trusted + 1;
+  let ys = year_tbl t year in
+  ys.issued <- ys.issued + 1;
+  if trusted then ys.issued_trusted <- ys.issued_trusted + 1;
+  (* Alive lines of Figure 2: certs still valid at the end of their
+     issue year (cheap proxy computed per issue year). *)
+  let year_end = Asn1.Time.make year 12 31 in
+  if X509.Certificate.is_valid_at cert year_end then
+    ys.alive_in_year <- ys.alive_in_year + 1;
+  (* Issuer table *)
+  let istats =
+    match Hashtbl.find_opt t.issuers issuer.Ctlog.Dataset.org with
+    | Some s -> s
+    | None ->
+        let s =
+          { total = 0; nc_count = 0; nc_recent = 0;
+            trust_now = issuer.Ctlog.Dataset.trust_now;
+            trust_at_issuance = issuer.Ctlog.Dataset.trust_at_issuance;
+            region = issuer.Ctlog.Dataset.region;
+            aggregate = issuer.Ctlog.Dataset.aggregate }
+        in
+        Hashtbl.replace t.issuers issuer.Ctlog.Dataset.org s;
+        s
+  in
+  istats.total <- istats.total + 1;
+  (* Lint the certificate once, without date gating; derive all views. *)
+  let findings =
+    Lint.Registry.run ~respect_effective_dates:false ~issued cert
+    |> List.filter Lint.is_noncompliant
+  in
+  let dated =
+    List.filter
+      (fun (f : Lint.finding) -> Asn1.Time.(f.Lint.lint.Lint.effective_date <= issued))
+      findings
+  in
+  if findings <> [] then t.nc_ignoring_dates <- t.nc_ignoring_dates + 1;
+  if List.exists (fun (f : Lint.finding) -> not f.Lint.lint.Lint.is_new) dated then
+    t.nc_old_lints_only <- t.nc_old_lints_only + 1;
+  let noncompliant = dated <> [] in
+  (* Figure 4 heat map: per (issuer, field) unicode usage and deviance. *)
+  List.iter
+    (fun (field, beyond) ->
+      if beyond then begin
+        let u, d = Option.value ~default:(0, 0) (Hashtbl.find_opt t.fields (issuer.Ctlog.Dataset.org, field)) in
+        Hashtbl.replace t.fields (issuer.Ctlog.Dataset.org, field)
+          (u + 1, if noncompliant then d + 1 else d)
+      end)
+    (Classify.unicode_fields cert);
+  (* Validity distributions (Figure 3). *)
+  let days = X509.Certificate.validity_days cert in
+  let push cls =
+    let l =
+      match Hashtbl.find_opt t.validity cls with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.replace t.validity cls l;
+          l
+    in
+    l := days :: !l
+  in
+  if entry.Ctlog.Dataset.is_idn then push V_idn else push V_other;
+  if noncompliant then push V_noncompliant else push V_normal;
+  (* §5.1 encoding-error scan with chain verification. *)
+  let enc_subject, enc_san, enc_policies = encoding_error_fields cert in
+  if enc_subject || enc_san || enc_policies then begin
+    t.encoding_error_certs <- t.encoding_error_certs + 1;
+    if enc_subject then t.encoding_error_subject <- t.encoding_error_subject + 1;
+    if enc_san then t.encoding_error_san <- t.encoding_error_san + 1;
+    if enc_policies then t.encoding_error_policies <- t.encoding_error_policies + 1;
+    let issuer_spki = X509.Certificate.keypair_spki issuer.Ctlog.Dataset.keypair in
+    if trusted && X509.Certificate.verify ~issuer_spki cert then
+      t.encoding_error_verified <- t.encoding_error_verified + 1
+  end;
+  if noncompliant then begin
+    t.nc_total <- t.nc_total + 1;
+    (match issuer.Ctlog.Dataset.trust_at_issuance with
+    | Ctlog.Dataset.Public -> t.nc_trusted <- t.nc_trusted + 1
+    | Ctlog.Dataset.Limited -> t.nc_limited <- t.nc_limited + 1
+    | Ctlog.Dataset.Untrusted -> t.nc_untrusted <- t.nc_untrusted + 1);
+    if recent then t.nc_recent <- t.nc_recent + 1;
+    if alive then t.nc_alive <- t.nc_alive + 1;
+    ys.nc <- ys.nc + 1;
+    if trusted then ys.nc_trusted <- ys.nc_trusted + 1;
+    istats.nc_count <- istats.nc_count + 1;
+    if recent then istats.nc_recent <- istats.nc_recent + 1;
+    (* Per-lint histogram (one count per cert per lint). *)
+    List.iter (fun (f : Lint.finding) -> bump t.lints f.Lint.lint.Lint.name) dated;
+    (* Taxonomy rows of Table 1. *)
+    List.iter
+      (fun ty ->
+        let of_type =
+          List.filter (fun (f : Lint.finding) -> f.Lint.lint.Lint.nc_type = ty) dated
+        in
+        if of_type <> [] then begin
+          let s = type_tbl t ty in
+          s.certs <- s.certs + 1;
+          if List.for_all (fun (f : Lint.finding) -> f.Lint.lint.Lint.is_new) of_type
+          then s.by_new_lints <- s.by_new_lints + 1;
+          if
+            List.exists
+              (fun (f : Lint.finding) -> Lint.severity f.Lint.lint = Lint.Error)
+              of_type
+          then s.errors <- s.errors + 1;
+          if
+            List.exists
+              (fun (f : Lint.finding) -> Lint.severity f.Lint.lint = Lint.Warning)
+              of_type
+          then s.warnings <- s.warnings + 1;
+          if trusted then s.trusted <- s.trusted + 1;
+          if recent then s.recent <- s.recent + 1;
+          if alive then s.alive <- s.alive + 1
+        end)
+      Lint.all_nc_types
+  end
+
+let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1) () =
+  let t =
+    {
+      scale;
+      seed;
+      total = 0;
+      idncerts = 0;
+      trusted = 0;
+      nc_total = 0;
+      nc_ignoring_dates = 0;
+      nc_old_lints_only = 0;
+      nc_trusted = 0;
+      nc_limited = 0;
+      nc_untrusted = 0;
+      nc_recent = 0;
+      nc_alive = 0;
+      years = Hashtbl.create 16;
+      types = Hashtbl.create 8;
+      lints = Hashtbl.create 128;
+      issuers = Hashtbl.create 64;
+      validity = Hashtbl.create 4;
+      fields = Hashtbl.create 256;
+      encoding_error_certs = 0;
+      encoding_error_verified = 0;
+      encoding_error_subject = 0;
+      encoding_error_san = 0;
+      encoding_error_policies = 0;
+    }
+  in
+  Ctlog.Dataset.iter ~scale ~seed (process t);
+  t
+
+let year_range t =
+  Hashtbl.fold (fun y _ (lo, hi) -> (min lo y, max hi y)) t.years (9999, 0)
+
+let get_year t y = year_tbl t y
+
+let validity_cdf t cls =
+  match Hashtbl.find_opt t.validity cls with
+  | None -> []
+  | Some l ->
+      let sorted = List.sort compare !l in
+      let n = List.length sorted in
+      if n = 0 then []
+      else begin
+        let points = ref [] and seen = ref 0 in
+        List.iter
+          (fun d ->
+            incr seen;
+            points := (d, float_of_int !seen /. float_of_int n) :: !points)
+          sorted;
+        (* Deduplicate by keeping the last fraction per day value. *)
+        let dedup =
+          List.fold_left
+            (fun acc (d, f) ->
+              match acc with
+              | (d', _) :: rest when d' = d -> (d, f) :: rest
+              | _ -> (d, f) :: acc)
+            [] (List.rev !points)
+        in
+        List.rev dedup
+      end
+
+let top_lints t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.lints []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let top_issuers_by_nc t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.issuers []
+  |> List.sort (fun (_, a) (_, b) -> compare b.nc_count a.nc_count)

@@ -1,0 +1,79 @@
+(** The corpus analysis pipeline: one streaming pass over the generated
+    CT dataset, linting every certificate and accumulating the
+    aggregates behind every table and figure of the evaluation. *)
+
+type year_stats = {
+  mutable issued : int;
+  mutable issued_trusted : int;
+  mutable alive_in_year : int;      (** valid at Dec 31 of that year *)
+  mutable nc : int;
+  mutable nc_trusted : int;
+}
+
+type type_stats = {
+  mutable certs : int;              (** unique NC certs failing this type *)
+  mutable by_new_lints : int;       (** detected only via new lints *)
+  mutable errors : int;             (** certs with an error-level finding *)
+  mutable warnings : int;
+  mutable trusted : int;
+  mutable recent : int;             (** issued 2024–2025 *)
+  mutable alive : int;              (** still valid 2024–2025 *)
+}
+
+type issuer_stats = {
+  mutable total : int;
+  mutable nc_count : int;
+  mutable nc_recent : int;
+  trust_now : Ctlog.Dataset.trust;
+  trust_at_issuance : Ctlog.Dataset.trust;
+  region : string;
+  aggregate : bool;
+}
+
+type validity_class = V_idn | V_other | V_noncompliant | V_normal
+
+type t = {
+  scale : int;
+  seed : int;
+  mutable total : int;
+  mutable idncerts : int;
+  mutable trusted : int;
+  mutable nc_total : int;            (** with effective dates *)
+  mutable nc_ignoring_dates : int;   (** the footnote-4 ablation *)
+  mutable nc_old_lints_only : int;   (** without the 50 new lints *)
+  mutable nc_trusted : int;
+  mutable nc_limited : int;
+  mutable nc_untrusted : int;
+  mutable nc_recent : int;
+  mutable nc_alive : int;
+  years : (int, year_stats) Hashtbl.t;
+  types : (Lint.nc_type, type_stats) Hashtbl.t;
+  lints : (string, int) Hashtbl.t;   (** NC certs per lint *)
+  issuers : (string, issuer_stats) Hashtbl.t;
+  validity : (validity_class, int list ref) Hashtbl.t;
+      (** validity periods in days, per class *)
+  fields : (string * string, int * int) Hashtbl.t;
+      (** (issuer org, field) -> (unicode count, deviant count) *)
+  mutable encoding_error_certs : int;      (** §5.1 impact scan *)
+  mutable encoding_error_verified : int;   (** chain-verifiable subset *)
+  mutable encoding_error_subject : int;
+  mutable encoding_error_san : int;
+  mutable encoding_error_policies : int;
+}
+
+val run : ?scale:int -> ?seed:int -> unit -> t
+(** [run ()] generates the corpus (default scale
+    {!Ctlog.Dataset.default_scale}, seed 1) and computes every
+    aggregate. *)
+
+val year_range : t -> int * int
+val get_year : t -> int -> year_stats
+val validity_cdf : t -> validity_class -> (int * float) list
+(** [(days, cumulative fraction)] points for Figure 3. *)
+
+val top_lints : t -> (string * int) list
+(** Lints ordered by NC certificate count (Table 11). *)
+
+val top_issuers_by_nc : t -> (string * issuer_stats) list
+(** Issuer organizations ordered by noncompliant certificates
+    (Table 2). *)

@@ -1,0 +1,247 @@
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let figure2 ppf (t : Pipeline.t) =
+  Format.fprintf ppf "== Figure 2: issuance trend of Unicerts and noncompliant Unicerts ==@.";
+  Format.fprintf ppf "%-6s | %10s | %10s | %10s | %8s | %10s@." "Year" "All" "Trusted"
+    "Alive" "NC" "NC-trusted";
+  let lo, hi = Pipeline.year_range t in
+  for y = lo to hi do
+    let s = Pipeline.get_year t y in
+    Format.fprintf ppf "%-6d | %10d | %10d | %10d | %8d | %10d@." y
+      s.Pipeline.issued s.Pipeline.issued_trusted s.Pipeline.alive_in_year
+      s.Pipeline.nc s.Pipeline.nc_trusted
+  done
+
+let type_rows =
+  [ ("T1", Lint.Invalid_character); ("T2", Lint.Bad_normalization);
+    ("T3", Lint.Illegal_format); ("T3", Lint.Invalid_encoding);
+    ("T3", Lint.Invalid_structure); ("T3", Lint.Discouraged_field) ]
+
+let table1 ppf (t : Pipeline.t) =
+  Format.fprintf ppf "== Table 1: overview of noncompliance types ==@.";
+  Format.fprintf ppf "%-4s %-18s | %-10s | %-10s | %8s %8s | %8s %8s | %8s | %8s | %8s@."
+    "" "Type" "#Lints(new)" "NC lints" "Certs" "ByNew" "Error" "Warning" "Trusted%"
+    "Recent" "Alive";
+  List.iter
+    (fun (tier, ty) ->
+      let all_lints, new_lints = Lint.Registry.counts_by_type ty in
+      let nc_lints =
+        List.length
+          (List.filter
+             (fun (l : Lint.t) ->
+               Option.value ~default:0 (Hashtbl.find_opt t.Pipeline.lints l.Lint.name) > 0)
+             (Lint.Registry.by_type ty))
+      in
+      let s =
+        Option.value
+          ~default:
+            { Pipeline.certs = 0; by_new_lints = 0; errors = 0; warnings = 0;
+              trusted = 0; recent = 0; alive = 0 }
+          (Hashtbl.find_opt t.Pipeline.types ty)
+      in
+      Format.fprintf ppf "%-4s %-18s | %4d (%2d)  | %-10d | %8d %8d | %8d %8d | %7.1f%% | %8d | %8d@."
+        tier (Lint.nc_type_name ty) all_lints new_lints nc_lints s.Pipeline.certs
+        s.Pipeline.by_new_lints s.Pipeline.errors s.Pipeline.warnings
+        (pct s.Pipeline.trusted s.Pipeline.certs)
+        s.Pipeline.recent s.Pipeline.alive)
+    type_rows;
+  Format.fprintf ppf "%-23s | %4d (%2d)  | %-10s | %8d %8s | %8s %8s | %7.1f%% | %8d | %8d@."
+    "All" (List.length Lint.Registry.all)
+    (List.length (List.filter (fun (l : Lint.t) -> l.Lint.is_new) Lint.Registry.all))
+    "-" t.Pipeline.nc_total "-" "-" "-"
+    (pct t.Pipeline.nc_trusted t.Pipeline.nc_total)
+    t.Pipeline.nc_recent t.Pipeline.nc_alive
+
+let trust_symbol = function
+  | Ctlog.Dataset.Public -> "public"
+  | Ctlog.Dataset.Limited -> "limited"
+  | Ctlog.Dataset.Untrusted -> "untrusted"
+
+let table2 ppf (t : Pipeline.t) =
+  Format.fprintf ppf "== Table 2: top 10 issuer organizations by noncompliant Unicerts ==@.";
+  Format.fprintf ppf "%-32s | %-9s | %-7s | %12s | %8s | %8s@." "IssuerOrganizationName"
+    "TrustNow" "Region" "Noncompliant" "NC-rate" "Recent";
+  let named, aggregates =
+    List.partition (fun (_, (s : Pipeline.issuer_stats)) -> not s.Pipeline.aggregate)
+      (Pipeline.top_issuers_by_nc t)
+  in
+  let top = named in
+  List.iteri
+    (fun i (org, (s : Pipeline.issuer_stats)) ->
+      if i < 10 then
+        Format.fprintf ppf "%-32s | %-9s | %-7s | %12d | %6.2f%% | %8d@." org
+          (trust_symbol s.Pipeline.trust_now)
+          s.Pipeline.region s.Pipeline.nc_count
+          (pct s.Pipeline.nc_count s.Pipeline.total)
+          s.Pipeline.nc_recent)
+    top;
+  let rest = List.filteri (fun i _ -> i >= 10) top @ aggregates in
+  let rest_nc =
+    List.fold_left (fun a (_, (s : Pipeline.issuer_stats)) -> a + s.Pipeline.nc_count) 0 rest
+  in
+  let rest_total =
+    List.fold_left (fun a (_, (s : Pipeline.issuer_stats)) -> a + s.Pipeline.total) 0 rest
+  in
+  Format.fprintf ppf "%-32s | %-9s | %-7s | %12d | %6.2f%% | %8s@." "Other" "-" "-"
+    rest_nc (pct rest_nc rest_total) "-";
+  Format.fprintf ppf "%-32s | %-9s | %-7s | %12d | %6.2f%% | %8d@." "Total" "-" "-"
+    t.Pipeline.nc_total
+    (pct t.Pipeline.nc_total t.Pipeline.total)
+    t.Pipeline.nc_recent
+
+let quantile points q =
+  (* [points] is an ascending (days, cdf) list. *)
+  let rec go = function
+    | [] -> None
+    | (d, f) :: _ when f >= q -> Some d
+    | _ :: rest -> go rest
+  in
+  go points
+
+let fraction_at points days =
+  let rec go best = function
+    | [] -> best
+    | (d, f) :: rest -> if d <= days then go f rest else best
+  in
+  go 0.0 points
+
+let figure3 ppf (t : Pipeline.t) =
+  Format.fprintf ppf "== Figure 3: CDF of Unicert validity period ==@.";
+  Format.fprintf ppf "%-14s | %8s | %8s | %8s | %10s | %10s | %10s@." "Class" "p25"
+    "p50" "p90" "<=90d" "<=398d" ">700d";
+  List.iter
+    (fun (name, cls) ->
+      let points = Pipeline.validity_cdf t cls in
+      let q p = match quantile points p with Some d -> string_of_int d | None -> "-" in
+      Format.fprintf ppf "%-14s | %8s | %8s | %8s | %9.1f%% | %9.1f%% | %9.1f%%@." name
+        (q 0.25) (q 0.50) (q 0.90)
+        (100.0 *. fraction_at points 90)
+        (100.0 *. fraction_at points 398)
+        (100.0 *. (1.0 -. fraction_at points 700)))
+    [ ("IDNCerts", Pipeline.V_idn); ("Other Unicerts", Pipeline.V_other);
+      ("Noncompliant", Pipeline.V_noncompliant); ("Normal", Pipeline.V_normal) ]
+
+let figure4 ppf (t : Pipeline.t) =
+  Format.fprintf ppf "== Figure 4: fields containing internationalized contents ==@.";
+  (* Issuers above a volume threshold, fields with any Unicode usage. *)
+  let threshold = max 1 (t.Pipeline.total / 1000) in
+  let orgs =
+    Hashtbl.fold
+      (fun org (s : Pipeline.issuer_stats) acc ->
+        if s.Pipeline.total >= threshold then (org, s.Pipeline.total) :: acc else acc)
+      t.Pipeline.issuers []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  List.iter
+    (fun (org, total) ->
+      let fields =
+        Hashtbl.fold
+          (fun (o, field) (u, d) acc -> if o = org then (field, u, d) :: acc else acc)
+          t.Pipeline.fields []
+        |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+      in
+      if fields <> [] then begin
+        Format.fprintf ppf "%-32s (n=%d):@." org total;
+        List.iter
+          (fun (field, u, d) ->
+            Format.fprintf ppf "    %-28s unicode=%-7d deviant=%d@." field u d)
+          fields
+      end)
+    orgs
+
+let table11 ppf (t : Pipeline.t) =
+  Format.fprintf ppf "== Table 11: top 25 lints identifying noncompliant cases ==@.";
+  Format.fprintf ppf "%-55s | %-18s | %-4s | %-6s | %8s@." "Lint" "Type" "New" "Level"
+    "NC certs";
+  List.iteri
+    (fun i (name, count) ->
+      if i < 25 then
+        match Lint.Registry.find name with
+        | Some l ->
+            Format.fprintf ppf "%-55s | %-18s | %-4s | %-6s | %8d@." name
+              (Lint.nc_type_name l.Lint.nc_type)
+              (if l.Lint.is_new then "yes" else "no")
+              (Lint.level_name l.Lint.level)
+              count
+        | None -> ())
+    (Pipeline.top_lints t)
+
+let section51 ppf (t : Pipeline.t) =
+  Format.fprintf ppf "== Section 5.1 impact: Unicerts with ASN.1 encoding errors ==@.";
+  Format.fprintf ppf "encoding-error certs:        %d@." t.Pipeline.encoding_error_certs;
+  Format.fprintf ppf "  chain-verified (trusted):  %d@."
+    t.Pipeline.encoding_error_verified;
+  Format.fprintf ppf "  errors in Subject:         %d@."
+    t.Pipeline.encoding_error_subject;
+  Format.fprintf ppf "  errors in SAN:             %d@." t.Pipeline.encoding_error_san;
+  Format.fprintf ppf "  errors in CertificatePolicies: %d@."
+    t.Pipeline.encoding_error_policies
+
+let ablations ppf (t : Pipeline.t) =
+  Format.fprintf ppf "== Ablations ==@.";
+  Format.fprintf ppf
+    "noncompliant (effective dates respected):  %d (%.2f%% of corpus)@."
+    t.Pipeline.nc_total
+    (pct t.Pipeline.nc_total t.Pipeline.total);
+  Format.fprintf ppf
+    "noncompliant (dates ignored, footnote 4):  %d (%.1fx the dated count)@."
+    t.Pipeline.nc_ignoring_dates
+    (if t.Pipeline.nc_total = 0 then 0.0
+     else float_of_int t.Pipeline.nc_ignoring_dates /. float_of_int t.Pipeline.nc_total);
+  Format.fprintf ppf
+    "noncompliant via pre-existing lints only:  %d (new lints add %d certs)@."
+    t.Pipeline.nc_old_lints_only
+    (t.Pipeline.nc_total - t.Pipeline.nc_old_lints_only)
+
+let summary ppf (t : Pipeline.t) =
+  Format.fprintf ppf "== Headline numbers (measured vs paper) ==@.";
+  let row name measured paper =
+    Format.fprintf ppf "%-46s | measured %10s | paper %10s@." name measured paper
+  in
+  row "Unicerts analyzed" (string_of_int t.Pipeline.total) "34.8M";
+  row "trusted share"
+    (Printf.sprintf "%.1f%%" (pct t.Pipeline.trusted t.Pipeline.total))
+    "90.1%";
+  row "IDNCert share"
+    (Printf.sprintf "%.1f%%" (pct t.Pipeline.idncerts t.Pipeline.total))
+    "(majority)";
+  row "noncompliant rate"
+    (Printf.sprintf "%.2f%%" (pct t.Pipeline.nc_total t.Pipeline.total))
+    "0.72%";
+  row "NC from publicly trusted CAs"
+    (Printf.sprintf "%.1f%%" (pct t.Pipeline.nc_trusted t.Pipeline.nc_total))
+    "65.3%";
+  row "NC from limited-trust CAs"
+    (Printf.sprintf "%.1f%%" (pct t.Pipeline.nc_limited t.Pipeline.nc_total))
+    "21.1%";
+  row "NC recent (2024-25)"
+    (Printf.sprintf "%.1f%%" (pct t.Pipeline.nc_recent t.Pipeline.nc_total))
+    "5.2%";
+  row "NC alive (2024-25)"
+    (Printf.sprintf "%.1f%%" (pct t.Pipeline.nc_alive t.Pipeline.nc_total))
+    "7.3%";
+  row "dates-ignored multiplier"
+    (Printf.sprintf "%.1fx"
+       (if t.Pipeline.nc_total = 0 then 0.0
+        else
+          float_of_int t.Pipeline.nc_ignoring_dates /. float_of_int t.Pipeline.nc_total))
+    "7.2x"
+
+let all ppf t =
+  summary ppf t;
+  Format.fprintf ppf "@.";
+  figure2 ppf t;
+  Format.fprintf ppf "@.";
+  table1 ppf t;
+  Format.fprintf ppf "@.";
+  table2 ppf t;
+  Format.fprintf ppf "@.";
+  figure3 ppf t;
+  Format.fprintf ppf "@.";
+  figure4 ppf t;
+  Format.fprintf ppf "@.";
+  table11 ppf t;
+  Format.fprintf ppf "@.";
+  section51 ppf t;
+  Format.fprintf ppf "@.";
+  ablations ppf t

@@ -1,0 +1,4 @@
+module Classify = Classify
+module Browsers = Browsers
+module Pipeline = Pipeline
+module Report = Report

@@ -1,0 +1,13 @@
+(** Unicert — the paper's primary contribution as a library.
+
+    {!Classify} identifies Unicerts/IDNCerts; {!Pipeline} runs the
+    corpus compliance measurement; {!Report} regenerates every table
+    and figure; {!Browsers} models the Appendix F.1 rendering study.
+    The substrates live in their own libraries: [asn1], [unicode],
+    [idna], [x509], [lint], [ctlog], [tlsparsers], [monitors],
+    [middlebox]. *)
+
+module Classify : module type of Classify
+module Browsers : module type of Browsers
+module Pipeline : module type of Pipeline
+module Report : module type of Report

@@ -1,0 +1,1 @@
+lib/ctlog/dataset.ml: Asn1 Char Flaws List Log String Subjects Submission Ucrypto X509

@@ -1,0 +1,1 @@
+lib/ctlog/dataset.mli: Asn1 Flaws Log Ucrypto X509

@@ -1,0 +1,1 @@
+lib/ctlog/flaws.ml: Array Asn1 Buffer Char Idna List String Ucrypto Unicode X509

@@ -1,0 +1,1 @@
+lib/ctlog/flaws.mli: Ucrypto X509

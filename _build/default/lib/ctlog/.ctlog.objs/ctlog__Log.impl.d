@@ -1,0 +1,1 @@
+lib/ctlog/log.ml: List Merkle String Ucrypto

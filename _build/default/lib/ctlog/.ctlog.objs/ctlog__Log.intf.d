@@ -1,0 +1,1 @@
+lib/ctlog/log.mli:

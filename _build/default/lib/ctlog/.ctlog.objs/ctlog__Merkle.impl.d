@@ -1,0 +1,1 @@
+lib/ctlog/merkle.ml: Array List String Ucrypto

@@ -1,0 +1,1 @@
+lib/ctlog/subjects.ml: Idna Ucrypto

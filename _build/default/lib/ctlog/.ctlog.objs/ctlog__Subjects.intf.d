@@ -1,0 +1,1 @@
+lib/ctlog/subjects.mli: Ucrypto

@@ -1,0 +1,1 @@
+lib/ctlog/submission.ml: Asn1 Char List Log String X509

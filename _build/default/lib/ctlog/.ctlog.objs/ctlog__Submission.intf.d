@@ -1,0 +1,1 @@
+lib/ctlog/submission.mli: Log X509

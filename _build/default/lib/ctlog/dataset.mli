@@ -1,0 +1,69 @@
+(** The synthetic Unicert corpus, calibrated to the paper's published
+    marginals (DESIGN.md §4): issuer population and volumes (§4.2,
+    Table 2), per-issuer noncompliance rates and flaw mixes (§4.3,
+    Table 11), trust status at and after issuance, yearly volume curves
+    (Figure 2), and validity-period distributions (Figure 3).
+
+    Every generated certificate is a real, signed DER object; the
+    linter rediscovers the injected defects from the bytes. *)
+
+type trust = Public | Limited | Untrusted
+
+val trust_name : trust -> string
+
+type issuer = {
+  org : string;          (** IssuerOrganizationName *)
+  region : string;
+  trust_now : trust;     (** Table 2 marker (current status) *)
+  trust_at_issuance : trust;
+      (** status when issuing (the paper's footnote-3 convention) *)
+  volume : float;        (** paper-scale Unicert volume (thousands) *)
+  nc_rate : float;       (** noncompliance probability in the first year *)
+  nc_decay : float;      (** yearly multiplicative decline of [nc_rate] *)
+  idn_share : float;     (** fraction of IDNCerts vs multilingual-text *)
+  years : int * int * float;  (** first year, last year, yearly growth *)
+  flaw_mix : (Flaws.t * float) list;
+  aggregate : bool;
+      (** a long-tail bucket rather than a single organization (kept out
+          of Table 2's named rows) *)
+  keypair : X509.Certificate.keypair;
+}
+
+val issuers : issuer list
+(** The calibrated population (weights normalized internally). *)
+
+type entry = {
+  cert : X509.Certificate.t;
+  issued : Asn1.Time.t;
+  issuer : issuer;
+  flaws : Flaws.t list;  (** injected defects; [] for compliant certs *)
+  is_idn : bool;
+}
+
+val default_scale : int
+(** 60_000 — overridable via the [UNICERT_SCALE] environment variable
+    read by the binaries (not here). *)
+
+val generate_entry : Ucrypto.Prng.t -> issuer -> entry
+(** [generate_entry g issuer] draws one certificate from the issuer's
+    distribution. *)
+
+val iter : ?scale:int -> seed:int -> (entry -> unit) -> unit
+(** [iter ~seed f] streams [scale] corpus entries through [f] without
+    materializing the corpus (constant memory). *)
+
+val generate : ?scale:int -> seed:int -> unit -> entry list
+(** Materialized variant for small scales. *)
+
+val analysis_date : Asn1.Time.t
+(** April 2025 — the paper's final analysis month, used for the "alive"
+    classification. *)
+
+val populate_log :
+  ?scale:int -> ?precert_rate:float -> seed:int -> Log.t -> int * int
+(** [populate_log ~seed log] submits corpus certificates to a CT log,
+    running the precertificate flow (poison → SCT → final) for
+    [precert_rate] of them (default 0.547, the paper's §4.1 precert
+    share by entries) and plain submission otherwise.  Returns
+    [(precert entries, certificate entries)] — the dataset-filtering
+    step then discards the former by their poison extension. *)

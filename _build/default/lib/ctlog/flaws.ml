@@ -1,0 +1,356 @@
+type spec = {
+  mutable subject : X509.Dn.atv list;
+  mutable san : X509.General_name.t list;
+  mutable policies : X509.Extension.policy list;
+  mutable crldp : X509.General_name.t list;
+  mutable not_before_form : X509.Certificate.time_form option;
+}
+
+type t =
+  | Control_char_in_dn
+  | Interval_nul_subject
+  | Del_in_dn
+  | Bidi_in_cn
+  | Invisible_space
+  | Leading_whitespace
+  | Trailing_whitespace
+  | Replacement_char
+  | Malformed_alabel
+  | Unpermitted_alabel
+  | Nonnfc_alabel
+  | Bad_dns_char
+  | Unicode_dnsname
+  | Deprecated_encoding
+  | Explicit_text_printable
+  | Explicit_text_ia5
+  | Explicit_text_bmp
+  | Explicit_text_too_long
+  | Explicit_text_bad_bytes
+  | Cn_not_in_san
+  | Duplicate_cn
+  | Country_lowercase
+  | Country_fullname
+  | Long_cn
+  | Utf8_bad_bytes
+  | Bmp_odd_bytes
+  | Email_unicode
+  | Uri_in_san
+  | Crldp_ctrl
+  | Wrong_time_form
+
+let all =
+  [
+    Control_char_in_dn; Interval_nul_subject; Del_in_dn; Bidi_in_cn; Invisible_space;
+    Leading_whitespace; Trailing_whitespace; Replacement_char; Malformed_alabel;
+    Unpermitted_alabel; Nonnfc_alabel; Bad_dns_char; Unicode_dnsname;
+    Deprecated_encoding; Explicit_text_printable; Explicit_text_ia5; Explicit_text_bmp;
+    Explicit_text_too_long; Explicit_text_bad_bytes; Cn_not_in_san; Duplicate_cn;
+    Country_lowercase;
+    Country_fullname; Long_cn; Utf8_bad_bytes; Bmp_odd_bytes; Email_unicode;
+    Uri_in_san; Crldp_ctrl; Wrong_time_form;
+  ]
+
+let name = function
+  | Control_char_in_dn -> "control-char-in-dn"
+  | Interval_nul_subject -> "interval-nul-subject"
+  | Del_in_dn -> "del-in-dn"
+  | Bidi_in_cn -> "bidi-in-cn"
+  | Invisible_space -> "invisible-space"
+  | Leading_whitespace -> "leading-whitespace"
+  | Trailing_whitespace -> "trailing-whitespace"
+  | Replacement_char -> "replacement-char"
+  | Malformed_alabel -> "malformed-alabel"
+  | Unpermitted_alabel -> "unpermitted-alabel"
+  | Nonnfc_alabel -> "nonnfc-alabel"
+  | Bad_dns_char -> "bad-dns-char"
+  | Unicode_dnsname -> "unicode-dnsname"
+  | Deprecated_encoding -> "deprecated-encoding"
+  | Explicit_text_printable -> "explicit-text-printable"
+  | Explicit_text_ia5 -> "explicit-text-ia5"
+  | Explicit_text_bmp -> "explicit-text-bmp"
+  | Explicit_text_too_long -> "explicit-text-too-long"
+  | Explicit_text_bad_bytes -> "explicit-text-bad-bytes"
+  | Cn_not_in_san -> "cn-not-in-san"
+  | Duplicate_cn -> "duplicate-cn"
+  | Country_lowercase -> "country-lowercase"
+  | Country_fullname -> "country-fullname"
+  | Long_cn -> "long-cn"
+  | Utf8_bad_bytes -> "utf8-bad-bytes"
+  | Bmp_odd_bytes -> "bmp-odd-bytes"
+  | Email_unicode -> "email-unicode"
+  | Uri_in_san -> "uri-in-san"
+  | Crldp_ctrl -> "crldp-ctrl"
+  | Wrong_time_form -> "wrong-time-form"
+
+let expected_lints = function
+  | Control_char_in_dn -> [ "e_rfc_subject_dn_not_printable_characters" ]
+  | Interval_nul_subject -> [ "e_rfc_subject_dn_not_printable_characters" ]
+  | Del_in_dn -> [ "w_subject_dn_del_character" ]
+  | Bidi_in_cn -> [ "w_subject_dn_bidi_controls" ]
+  | Invisible_space -> [ "w_subject_dn_invisible_characters" ]
+  | Leading_whitespace -> [ "w_community_subject_dn_leading_whitespace" ]
+  | Trailing_whitespace -> [ "w_community_subject_dn_trailing_whitespace" ]
+  | Replacement_char -> [ "w_subject_dn_replacement_character" ]
+  | Malformed_alabel -> [ "e_rfc_dns_idn_malformed_unicode" ]
+  | Unpermitted_alabel -> [ "e_rfc_dns_idn_a2u_unpermitted_unichar" ]
+  | Nonnfc_alabel -> [ "e_rfc_dns_idn_not_nfc" ]
+  | Bad_dns_char -> [ "e_cab_dns_bad_character_in_label" ]
+  | Unicode_dnsname ->
+      [ "e_ext_san_dns_unicode_not_punycode"; "e_ext_san_dns_contain_unpermitted_unichar" ]
+  | Deprecated_encoding -> [] (* attribute-dependent; see generator *)
+  | Explicit_text_printable -> [ "w_rfc_ext_cp_explicit_text_not_utf8" ]
+  | Explicit_text_ia5 ->
+      [ "e_rfc_ext_cp_explicit_text_ia5"; "w_rfc_ext_cp_explicit_text_not_utf8" ]
+  | Explicit_text_bmp ->
+      [ "w_ext_cp_explicit_text_bmp"; "w_rfc_ext_cp_explicit_text_not_utf8" ]
+  | Explicit_text_too_long -> [ "e_rfc_ext_cp_explicit_text_too_long" ]
+  | Explicit_text_bad_bytes -> [ "e_utf8string_invalid_byte_sequence" ]
+  | Cn_not_in_san -> [ "w_cab_subject_common_name_not_in_san" ]
+  | Duplicate_cn ->
+      [ "e_subject_duplicate_attribute"; "w_cab_subject_contain_extra_common_name" ]
+  | Country_lowercase -> [ "e_subject_country_not_uppercase" ]
+  | Country_fullname -> [ "e_subject_country_not_two_letters" ]
+  | Long_cn -> [ "e_subject_common_name_max_length" ]
+  | Utf8_bad_bytes -> [ "e_utf8string_invalid_byte_sequence" ]
+  | Bmp_odd_bytes -> [ "e_bmpstring_odd_number_of_bytes" ]
+  | Email_unicode -> [ "e_san_rfc822_name_invalid_ascii" ]
+  | Uri_in_san -> [ "w_ext_san_uri_discouraged" ]
+  | Crldp_ctrl -> [ "e_crldp_uri_control_characters" ]
+  | Wrong_time_form -> [ "e_validity_time_wrong_form" ]
+
+(* --- spec surgery helpers ------------------------------------------- *)
+
+let find_attr spec attr =
+  List.find_opt (fun (a : X509.Dn.atv) -> a.X509.Dn.typ = attr) spec.subject
+
+let replace_attr spec attr f =
+  spec.subject <-
+    List.map
+      (fun (a : X509.Dn.atv) -> if a.X509.Dn.typ = attr then f a else a)
+      spec.subject
+
+let attr_text atv = X509.Dn.atv_text atv
+
+(* Pick a DirectoryString attribute present in the spec, weighted
+   roughly like the paper's per-field counts (Table 11). *)
+let pick_present_attr ?(include_cn = true) g spec =
+  let weighted =
+    [
+      (X509.Attr.Organization_name, 26.0);
+      (X509.Attr.Common_name, if include_cn then 25.0 else 0.0);
+      (X509.Attr.Locality_name, 18.0); (X509.Attr.Organizational_unit_name, 12.0);
+      (X509.Attr.Jurisdiction_locality, 4.2); (X509.Attr.Jurisdiction_state, 2.8);
+      (X509.Attr.State_or_province_name, 1.7); (X509.Attr.Postal_code, 1.3);
+      (X509.Attr.Street_address, 1.0);
+    ]
+  in
+  let present =
+    List.filter (fun (a, w) -> w > 0.0 && find_attr spec a <> None) weighted
+  in
+  match present with
+  | [] -> if include_cn then X509.Attr.Common_name else X509.Attr.Organization_name
+  | _ -> Ucrypto.Prng.weighted g present
+
+let set_raw spec attr st bytes =
+  if find_attr spec attr = None then
+    (* Attribute absent (e.g. IDN certs carry only a CN): add it, so the
+       flaw always lands. *)
+    spec.subject <- spec.subject @ [ X509.Dn.atv_raw ~st attr bytes ]
+  else replace_attr spec attr (fun _ -> X509.Dn.atv_raw ~st attr bytes)
+
+let mutate_text g spec attr f =
+  (* Fall back to the CN when the requested attribute is absent. *)
+  let attr = if find_attr spec attr = None then X509.Attr.Common_name else attr in
+  match find_attr spec attr with
+  | None -> ()
+  | Some atv ->
+      let text = attr_text atv in
+      let text' = f text in
+      ignore g;
+      replace_attr spec attr (fun _ ->
+          X509.Dn.atv ~st:Asn1.Str_type.Utf8_string attr text')
+
+let insert_at g text fragment =
+  let n = String.length text in
+  let pos = if n = 0 then 0 else Ucrypto.Prng.int g (n + 1) in
+  String.sub text 0 pos ^ fragment ^ String.sub text pos (n - pos)
+
+(* Replace the first dNSName in the SAN (and keep the CN aligned when it
+   mirrors the SAN) with [name]. *)
+let set_primary_dns ?(update_cn = true) spec name =
+  let old = ref None in
+  let replaced = ref false in
+  spec.san <-
+    List.map
+      (fun gn ->
+        match gn with
+        | X509.General_name.Dns_name s when not !replaced ->
+            replaced := true;
+            old := Some s;
+            X509.General_name.Dns_name name
+        | gn -> gn)
+      spec.san;
+  if not !replaced then spec.san <- X509.General_name.Dns_name name :: spec.san;
+  if update_cn then
+    match (!old, find_attr spec X509.Attr.Common_name) with
+    | Some old_name, Some atv when attr_text atv = old_name ->
+        replace_attr spec X509.Attr.Common_name (fun _ ->
+            X509.Dn.atv X509.Attr.Common_name name)
+    | _ -> ()
+
+let explicit_text_policy st text =
+  {
+    X509.Extension.policy_oid = Asn1.Oid.of_string_exn "2.23.140.1.2.2";
+    notice = Some { X509.Extension.explicit_text = Some (Asn1.Value.str_raw st text) };
+  }
+
+(* A-label whose body decodes to the given UTF-8 text. *)
+let alabel_of text =
+  match Idna.Punycode.encode_utf8 text with
+  | Ok body -> "xn--" ^ body
+  | Error m -> invalid_arg ("Flaws.alabel_of: " ^ m)
+
+let apply g spec flaw =
+  match flaw with
+  | Control_char_in_dn ->
+      let attr = pick_present_attr g spec in
+      let ctrl = Ucrypto.Prng.pick g [| "\x00"; "\x1B"; "\x01"; "\x0A" |] in
+      mutate_text g spec attr (fun t -> insert_at g t ctrl)
+  | Interval_nul_subject ->
+      mutate_text g spec X509.Attr.Organization_name (fun t ->
+          let buf = Buffer.create (String.length t * 2) in
+          String.iter
+            (fun c ->
+              Buffer.add_char buf '\x00';
+              Buffer.add_char buf c)
+            t;
+          Buffer.contents buf)
+  | Del_in_dn ->
+      let attr = pick_present_attr ~include_cn:false g spec in
+      mutate_text g spec attr (fun t -> insert_at g t "\x7F\x7F")
+  | Bidi_in_cn ->
+      mutate_text g spec X509.Attr.Common_name (fun t ->
+          insert_at g t "\xE2\x80\xAE" (* U+202E RLO *));
+      (* Keep the SAN aligned so the structural lint stays quiet. *)
+      (match find_attr spec X509.Attr.Common_name with
+      | Some atv -> set_primary_dns ~update_cn:false spec (attr_text atv)
+      | None -> ())
+  | Invisible_space ->
+      let space = Ucrypto.Prng.pick g [| "\xC2\xA0"; "\xE3\x80\x80"; "\xE2\x80\x8B" |] in
+      mutate_text g spec X509.Attr.Organization_name (fun t ->
+          match String.index_opt t ' ' with
+          | Some i ->
+              String.sub t 0 i ^ space ^ String.sub t (i + 1) (String.length t - i - 1)
+          | None -> t ^ space)
+  | Leading_whitespace ->
+      let attr = pick_present_attr ~include_cn:false g spec in
+      mutate_text g spec attr (fun t -> " " ^ t)
+  | Trailing_whitespace ->
+      let attr = pick_present_attr ~include_cn:false g spec in
+      mutate_text g spec attr (fun t -> t ^ " ")
+  | Replacement_char ->
+      mutate_text g spec X509.Attr.Organization_name (fun t ->
+          insert_at g t "\xEF\xBF\xBD")
+  | Malformed_alabel ->
+      let bad = Ucrypto.Prng.pick g [| "xn--"; "xn--ab_c"; "xn--a!b" |] in
+      set_primary_dns spec (bad ^ ".example.com")
+  | Unpermitted_alabel ->
+      let text =
+        Ucrypto.Prng.pick g
+          [| "\xE2\x80\x8Ewww" (* LRM + www *);
+             "shop\xE2\x80\x8B" (* zero-width space *);
+             "pay\xC2\xADpal" (* soft hyphen *) |]
+      in
+      set_primary_dns spec (alabel_of text ^ ".example.com")
+  | Nonnfc_alabel ->
+      (* e + combining acute: decodes fine but is not NFC. *)
+      set_primary_dns spec (alabel_of "e\xCC\x81cole" ^ ".example.fr")
+  | Bad_dns_char ->
+      let bad = Ucrypto.Prng.pick g [| "foo_bar"; "bad char"; "semi;colon" |] in
+      set_primary_dns spec (bad ^ ".example.com")
+  | Unicode_dnsname ->
+      let ulabel = Ucrypto.Prng.pick g [| "b\xC3\xBCcher"; "caf\xC3\xA9"; "\xE4\xB8\xAD\xE6\x96\x87" |] in
+      set_primary_dns spec (ulabel ^ ".example.com")
+  | Deprecated_encoding ->
+      let attr = pick_present_attr g spec in
+      (match find_attr spec attr with
+      | None -> ()
+      | Some atv ->
+          let text = attr_text atv in
+          let cps = Unicode.Codec.cps_of_utf8 text in
+          let st =
+            Ucrypto.Prng.weighted g
+              [ (Asn1.Str_type.Teletex_string, 0.5); (Asn1.Str_type.Bmp_string, 0.4);
+                (Asn1.Str_type.Universal_string, 0.1) ]
+          in
+          let raw =
+            match Unicode.Codec.encode (Asn1.Str_type.standard_encoding st) cps with
+            | Ok raw -> raw
+            | Error _ ->
+                (* Characters outside the target encoding: keep Latin-1
+                   projection, which is itself a defect. *)
+                String.concat ""
+                  (List.map
+                     (fun cp -> String.make 1 (Char.chr (cp land 0xFF)))
+                     (Array.to_list cps))
+          in
+          set_raw spec attr st raw)
+  | Explicit_text_printable ->
+      spec.policies <-
+        spec.policies
+        @ [ explicit_text_policy Asn1.Str_type.Printable_string "Issued per CPS" ]
+  | Explicit_text_ia5 ->
+      spec.policies <-
+        spec.policies @ [ explicit_text_policy Asn1.Str_type.Ia5_string "See CPS" ]
+  | Explicit_text_bmp ->
+      let raw = Unicode.Codec.encode_exn Unicode.Codec.Ucs2 (Unicode.Codec.cps_of_utf8 "Notice") in
+      spec.policies <- spec.policies @ [ explicit_text_policy Asn1.Str_type.Bmp_string raw ]
+  | Explicit_text_too_long ->
+      let text = String.concat "" (List.init 30 (fun _ -> "liability ")) in
+      spec.policies <-
+        spec.policies @ [ explicit_text_policy Asn1.Str_type.Utf8_string text ]
+  | Explicit_text_bad_bytes ->
+      (* Latin-1 bytes in a declared UTF8String — the physical encoding
+         error dominating the paper's §5.1 scan. *)
+      spec.policies <-
+        spec.policies
+        @ [ explicit_text_policy Asn1.Str_type.Utf8_string "Einschr\xE4nkung siehe CPS" ]
+  | Cn_not_in_san ->
+      spec.san <-
+        List.map
+          (fun gn ->
+            match gn with
+            | X509.General_name.Dns_name s -> X509.General_name.Dns_name ("alt-" ^ s)
+            | gn -> gn)
+          spec.san
+  | Duplicate_cn -> (
+      match find_attr spec X509.Attr.Common_name with
+      | Some atv -> spec.subject <- spec.subject @ [ atv ]
+      | None -> ())
+  | Country_lowercase ->
+      set_raw spec X509.Attr.Country_name Asn1.Str_type.Printable_string "de"
+  | Country_fullname ->
+      let v = Ucrypto.Prng.pick g [| "Germany"; "GERMANY"; "DE,de"; "Poland " |] in
+      set_raw spec X509.Attr.Country_name Asn1.Str_type.Printable_string v
+  | Long_cn ->
+      let long = "very-long-label-" ^ String.make 60 'x' ^ ".example.com" in
+      set_primary_dns spec long
+  | Utf8_bad_bytes ->
+      (* Latin-1 bytes declared as UTF8String, e.g. "St\xF6ri AG". *)
+      set_raw spec X509.Attr.Organization_name Asn1.Str_type.Utf8_string "St\xF6ri AG"
+  | Bmp_odd_bytes ->
+      let text =
+        match find_attr spec X509.Attr.Organization_name with
+        | Some atv -> attr_text atv
+        | None -> "Example Org"
+      in
+      let raw = Unicode.Codec.encode_exn Unicode.Codec.Ucs2 (Unicode.Codec.cps_of_utf8 text) in
+      set_raw spec X509.Attr.Organization_name Asn1.Str_type.Bmp_string (raw ^ "\x00")
+  | Email_unicode ->
+      spec.san <-
+        spec.san @ [ X509.General_name.Rfc822_name "info@b\xC3\xBCcher.de" ]
+  | Uri_in_san ->
+      spec.san <- spec.san @ [ X509.General_name.Uri "https://example.com/service" ]
+  | Crldp_ctrl ->
+      spec.crldp <- [ X509.General_name.Uri "http://ssl\x01test.com/ca.crl" ]
+  | Wrong_time_form -> spec.not_before_form <- Some X509.Certificate.Generalized

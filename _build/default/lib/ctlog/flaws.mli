@@ -1,0 +1,61 @@
+(** Noncompliance flaw injection.
+
+    Each flaw mutates a certificate spec so that the resulting DER
+    carries a *real* defect of the kind the paper catalogues (§4.3,
+    §4.4) — the linter must then rediscover it from the bytes.  The
+    [expected_lints] mapping doubles as generation ground truth for the
+    calibration tests. *)
+
+type spec = {
+  mutable subject : X509.Dn.atv list;  (** one single-ATV RDN each *)
+  mutable san : X509.General_name.t list;
+  mutable policies : X509.Extension.policy list;
+  mutable crldp : X509.General_name.t list;
+  mutable not_before_form : X509.Certificate.time_form option;
+}
+
+type t =
+  | Control_char_in_dn      (** NUL/ESC in a subject attribute (T1) *)
+  | Interval_nul_subject    (** "[NUL]C[NUL]&[NUL]I[NUL]S" pattern (F4) *)
+  | Del_in_dn               (** stray DEL characters (F4) *)
+  | Bidi_in_cn              (** U+202E spoofing in CN (F3) *)
+  | Invisible_space         (** lookalike whitespace in O (Table 3) *)
+  | Leading_whitespace
+  | Trailing_whitespace
+  | Replacement_char        (** U+FFFD from broken transcoding *)
+  | Malformed_alabel        (** undecodable xn-- label (F1) *)
+  | Unpermitted_alabel      (** A-label decoding to disallowed cps (F1) *)
+  | Nonnfc_alabel           (** A-label decoding to non-NFC text (T2) *)
+  | Bad_dns_char            (** underscore/space in DNSName *)
+  | Unicode_dnsname         (** raw U-label in SAN *)
+  | Deprecated_encoding     (** Teletex/BMP/Universal DirectoryString (T3b) *)
+  | Explicit_text_printable (** explicitText not UTF8String (warning) *)
+  | Explicit_text_ia5       (** explicitText IA5String (error) *)
+  | Explicit_text_bmp
+  | Explicit_text_too_long
+  | Explicit_text_bad_bytes (** Latin-1 bytes declared UTF8String (§5.1) *)
+  | Cn_not_in_san           (** structural violation (T3c) *)
+  | Duplicate_cn
+  | Country_lowercase
+  | Country_fullname        (** "Germany" instead of "DE" *)
+  | Long_cn                 (** over the 64-character upper bound *)
+  | Utf8_bad_bytes          (** Latin-1 bytes declared UTF8String *)
+  | Bmp_odd_bytes
+  | Email_unicode           (** raw non-ASCII rfc822Name *)
+  | Uri_in_san
+  | Crldp_ctrl              (** control byte inside a CRLDP URI *)
+  | Wrong_time_form         (** GeneralizedTime for a pre-2050 date *)
+
+val name : t -> string
+
+val all : t list
+
+val expected_lints : t -> string list
+(** Lints this flaw is guaranteed to trigger (there may be more). *)
+
+val apply : Ucrypto.Prng.t -> spec -> t -> unit
+(** [apply g spec flaw] mutates [spec] in place. *)
+
+val set_primary_dns : ?update_cn:bool -> spec -> string -> unit
+(** Replace the primary SAN dNSName (keeping a mirroring CN aligned) —
+    exposed for the generator's era-practice injection. *)

@@ -1,0 +1,49 @@
+type sct = { log_id : string; timestamp : int; signature : string }
+type entry = { index : int; der : string; precert : bool }
+
+type t = {
+  id : string;
+  secret : string;
+  tree : Merkle.t;
+  mutable stored : entry list;  (* newest first *)
+}
+
+let create ~name =
+  {
+    id = Ucrypto.Sha256.digest ("ct-log:" ^ name);
+    secret = Ucrypto.Sha256.digest ("ct-log-secret:" ^ name);
+    tree = Merkle.create ();
+    stored = [];
+  }
+
+let log_id t = t.id
+
+let leaf_bytes ~precert der = (if precert then "\x01" else "\x00") ^ der
+
+let add_chain t ?(precert = false) der =
+  let leaf = leaf_bytes ~precert der in
+  let index = Merkle.append t.tree leaf in
+  t.stored <- { index; der; precert } :: t.stored;
+  {
+    log_id = t.id;
+    timestamp = index;
+    signature = Ucrypto.Sha256.hmac ~key:t.secret (string_of_int index ^ leaf);
+  }
+
+let verify_sct t ~der sct =
+  String.equal sct.log_id t.id
+  &&
+  let precert_leaf = leaf_bytes ~precert:true der in
+  let cert_leaf = leaf_bytes ~precert:false der in
+  let check leaf =
+    String.equal sct.signature
+      (Ucrypto.Sha256.hmac ~key:t.secret (string_of_int sct.timestamp ^ leaf))
+  in
+  check precert_leaf || check cert_leaf
+
+let entries t = List.rev t.stored
+let size t = Merkle.size t.tree
+let tree_head t = Merkle.root t.tree
+let prove_inclusion t i = Merkle.inclusion_proof t.tree i
+let prove_consistency t m = Merkle.consistency_proof t.tree m
+let get t i = List.find_opt (fun e -> e.index = i) (entries t)

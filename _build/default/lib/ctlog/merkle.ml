@@ -1,0 +1,154 @@
+type t = { mutable hashes : string array; mutable len : int }
+
+let create () = { hashes = Array.make 16 ""; len = 0 }
+
+let leaf_hash data = Ucrypto.Sha256.digest ("\x00" ^ data)
+let node_hash l r = Ucrypto.Sha256.digest ("\x01" ^ l ^ r)
+
+let append t leaf =
+  if t.len = Array.length t.hashes then begin
+    let bigger = Array.make (2 * t.len) "" in
+    Array.blit t.hashes 0 bigger 0 t.len;
+    t.hashes <- bigger
+  end;
+  t.hashes.(t.len) <- leaf_hash leaf;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let size t = t.len
+
+(* Largest power of two strictly less than n (n >= 2). *)
+let split_point n =
+  let k = ref 1 in
+  while !k * 2 < n do
+    k := !k * 2
+  done;
+  !k
+
+(* MTH over hashes[lo, hi). *)
+let rec mth hashes lo hi =
+  let n = hi - lo in
+  if n = 0 then Ucrypto.Sha256.digest ""
+  else if n = 1 then hashes.(lo)
+  else begin
+    let k = split_point n in
+    node_hash (mth hashes lo (lo + k)) (mth hashes (lo + k) hi)
+  end
+
+let root t = mth t.hashes 0 t.len
+
+let root_of_range t n =
+  if n < 0 || n > t.len then invalid_arg "Merkle.root_of_range";
+  mth t.hashes 0 n
+
+(* PATH(m, D[n]) per RFC 6962 §2.1.1, over hashes[lo, hi). *)
+let rec path hashes m lo hi =
+  let n = hi - lo in
+  if n <= 1 then []
+  else begin
+    let k = split_point n in
+    if m < k then path hashes m lo (lo + k) @ [ mth hashes (lo + k) hi ]
+    else path hashes (m - k) (lo + k) hi @ [ mth hashes lo (lo + k) ]
+  end
+
+let inclusion_proof t i =
+  if i < 0 || i >= t.len then invalid_arg "Merkle.inclusion_proof";
+  path t.hashes i 0 t.len
+
+let verify_inclusion ~leaf ~index ~size ~proof ~root =
+  if index >= size then false
+  else begin
+    let fn = ref index and sn = ref (size - 1) in
+    let r = ref (leaf_hash leaf) in
+    let ok = ref true in
+    List.iter
+      (fun p ->
+        if !sn = 0 then ok := false
+        else begin
+          if !fn land 1 = 1 || !fn = !sn then begin
+            r := node_hash p !r;
+            if !fn land 1 = 0 then begin
+              (* right-border node: skip to the next left turn *)
+              while !fn land 1 = 0 && !fn <> 0 do
+                fn := !fn lsr 1;
+                sn := !sn lsr 1
+              done
+            end
+          end
+          else r := node_hash !r p;
+          fn := !fn lsr 1;
+          sn := !sn lsr 1
+        end)
+      proof;
+    !ok && !sn = 0 && String.equal !r root
+  end
+
+(* SUBPROOF(m, D[n], b) per RFC 6962 §2.1.2. *)
+let rec subproof hashes m lo hi b =
+  let n = hi - lo in
+  if m = n then if b then [] else [ mth hashes lo hi ]
+  else begin
+    let k = split_point n in
+    if m <= k then subproof hashes m lo (lo + k) b @ [ mth hashes (lo + k) hi ]
+    else subproof hashes (m - k) (lo + k) hi false @ [ mth hashes lo (lo + k) ]
+  end
+
+let consistency_proof t m =
+  if m < 0 || m > t.len then invalid_arg "Merkle.consistency_proof";
+  if m = 0 || m = t.len then [] else subproof t.hashes m 0 t.len true
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* RFC 9162 §2.1.4.2 verification algorithm. *)
+let verify_consistency ~old_size ~old_root ~new_size ~new_root ~proof =
+  if old_size = 0 then true
+  else if old_size = new_size then proof = [] && String.equal old_root new_root
+  else if proof = [] then false
+  else begin
+    let proof =
+      if is_power_of_two old_size then old_root :: proof else proof
+    in
+    let proof = Array.of_list proof in
+    let fn = ref (old_size - 1) and sn = ref (new_size - 1) in
+    while !fn land 1 = 1 do
+      fn := !fn lsr 1;
+      sn := !sn lsr 1
+    done;
+    let fr = ref proof.(0) and sr = ref proof.(0) in
+    let i = ref 1 in
+    let ok = ref true in
+    (try
+       while !fn <> 0 || !sn <> 0 do
+         if !sn = 0 then begin
+           ok := false;
+           raise Exit
+         end;
+         if !fn land 1 = 1 || !fn = !sn then begin
+           if !i >= Array.length proof then begin
+             ok := false;
+             raise Exit
+           end;
+           fr := node_hash proof.(!i) !fr;
+           sr := node_hash proof.(!i) !sr;
+           incr i;
+           if !fn land 1 = 0 then
+             while !fn land 1 = 0 && !fn <> 0 do
+               fn := !fn lsr 1;
+               sn := !sn lsr 1
+             done
+         end
+         else begin
+           if !i >= Array.length proof then begin
+             ok := false;
+             raise Exit
+           end;
+           sr := node_hash !sr proof.(!i);
+           incr i
+         end;
+         fn := !fn lsr 1;
+         sn := !sn lsr 1
+       done
+     with Exit -> ());
+    !ok && !i = Array.length proof
+    && String.equal !fr old_root && String.equal !sr new_root
+  end

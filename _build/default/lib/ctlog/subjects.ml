@@ -1,0 +1,71 @@
+let ascii_hosts =
+  [| "www"; "mail"; "shop"; "api"; "portal"; "login"; "cloud"; "app"; "secure";
+     "static"; "cdn"; "intranet"; "vpn"; "webmail"; "m" |]
+
+let ascii_domains =
+  [| "example.com"; "example.org"; "example.net"; "acme-widgets.com";
+     "nordwind-reisen.de"; "mittelstand-ag.de"; "prazska-banka.cz";
+     "sklep-online.pl"; "boulangerie-paris.fr"; "tokyo-denki.jp";
+     "seoul-trading.kr"; "moscow-export.ru"; "athens-foods.gr";
+     "lisboa-mar.pt"; "wien-kaffee.at"; "zurich-uhr.ch"; "madrid-libros.es";
+     "roma-pasta.it"; "oslo-fisk.no"; "porto-vinho.pt" |]
+
+(* U-labels in UTF-8 across the scripts the paper's corpus exhibits. *)
+let idn_ulabels =
+  [| "b\xC3\xBCcher" (* bücher *); "caf\xC3\xA9" (* café *);
+     "m\xC3\xBCnchen" (* münchen *); "k\xC3\xB8benhavn" (* københavn *);
+     "\xC5\x82\xC3\xB3d\xC5\xBA" (* łódź *); "praha-\xC4\x8Desko" (* praha-česko *);
+     "\xCE\xB5\xCE\xBB\xCE\xBB\xCE\xAC\xCE\xB4\xCE\xB1" (* ελλάδα *);
+     "\xD1\x80\xD0\xBE\xD1\x81\xD1\x81\xD0\xB8\xD1\x8F" (* россия *);
+     "\xD0\xBC\xD0\xB0\xD0\xB3\xD0\xB0\xD0\xB7\xD0\xB8\xD0\xBD" (* магазин *);
+     "\xE4\xB8\xAD\xE6\x96\x87" (* 中文 *);
+     "\xE9\x93\xB6\xE8\xA1\x8C" (* 银行 *);
+     "\xE6\x97\xA5\xE6\x9C\xAC" (* 日本 *);
+     "\xED\x95\x9C\xEA\xB5\xAD" (* 한국 *);
+     "\xD8\xB4\xD8\xA8\xD9\x83\xD8\xA9" (* شبكة *);
+     "\xE0\xA4\xAD\xE0\xA4\xBE\xE0\xA4\xB0\xE0\xA4\xA4" (* भारत *) |]
+
+let unicode_orgs =
+  [| ("Samco Autotechnik GmbH", "DE");
+     ("NOWOCZESNASTODO\xC5\x81A.PL SP. Z O.O.", "PL");
+     ("SKAT Elektroniks, OOO", "RU");
+     ("RWE Energie, s.r.o.", "CZ");
+     ("Peddy Shield GmbH", "DE");
+     ("\xE6\xA0\xAA\xE5\xBC\x8F\xE4\xBC\x9A\xE7\xA4\xBE \xE4\xB8\xAD\xE5\x9B\xBD\xE9\x8A\x80\xE8\xA1\x8C", "JP");
+     ("EDP - Energias de Portugal, S.A", "PT");
+     ("St\xC3\xB6ri AG", "CH");
+     ("\xC4\x8Cesk\xC3\xA1 spo\xC5\x99itelna, a.s.", "CZ");
+     ("Soci\xC3\xA9t\xC3\xA9 G\xC3\xA9n\xC3\xA9rale", "FR");
+     ("Banco Santander, S.A. \xE2\x80\x93 Madrid", "ES");
+     ("M\xC3\xBCller & S\xC3\xB6hne KG", "DE");
+     ("\xED\x95\x9C\xEA\xB5\xAD \xEC\xA0\x95\xEB\xB3\xB4", "KR");
+     ("\xCE\x95\xCE\xBB\xCE\xBB\xCE\xB7\xCE\xBD\xCE\xB9\xCE\xBA\xCE\xAE \xCE\xA4\xCF\x81\xCE\xAC\xCF\x80\xCE\xB5\xCE\xB6\xCE\xB1", "GR");
+     ("OOO \xD0\xA0\xD0\xBE\xD0\xB3\xD0\xB0 \xD0\xB8 \xD0\x9A\xD0\xBE\xD0\xBF\xD1\x8B\xD1\x82\xD0\xB0", "RU");
+     ("\xD7\x91\xD7\xA0\xD7\xA7 \xD7\x99\xD7\xA9\xD7\xA8\xD7\x90\xD7\x9C" (* בנק ישראל *), "IL");
+     ("\xD8\xB4\xD8\xB1\xD9\x83\xD8\xA9 \xD8\xA7\xD9\x84\xD8\xA7\xD8\xAA\xD8\xB5\xD8\xA7\xD9\x84\xD8\xA7\xD8\xAA" (* شركة الاتصالات *), "SA") |]
+
+let ascii_orgs =
+  [| ("Acme Widgets Inc", "US"); ("Northwind Traders Ltd", "GB");
+     ("Contoso Pharmaceuticals", "US"); ("Fabrikam Industries", "US");
+     ("Wingtip Toys GmbH", "DE"); ("Tailspin Aviation", "CA");
+     ("Litware Hosting", "NL"); ("Proseware Analytics", "SE") |]
+
+let localities =
+  [| "Berlin"; "Praha"; "Warszawa"; "\xC3\x8Ele-de-France" (* Île-de-France *);
+     "M\xC3\xBCnchen"; "K\xC3\xB8benhavn"; "Z\xC3\xBCrich"; "Wien"; "Madrid";
+     "Lisboa"; "\xE6\x9D\xB1\xE4\xBA\xAC" (* 東京 *); "\xEC\x84\x9C\xEC\x9A\xB8" (* 서울 *) |]
+
+let random_idn_domain g =
+  let ulabel = Ucrypto.Prng.pick g idn_ulabels in
+  let alabel =
+    match Idna.Punycode.encode_utf8 ulabel with
+    | Ok body -> "xn--" ^ body
+    | Error _ -> assert false
+  in
+  let suffix = Ucrypto.Prng.pick g [| "com"; "net"; "de"; "pl"; "cz"; "jp"; "kr"; "ru"; "gr" |] in
+  alabel ^ "." ^ suffix
+
+let random_ascii_domain g =
+  let host = Ucrypto.Prng.pick g ascii_hosts in
+  let domain = Ucrypto.Prng.pick g ascii_domains in
+  host ^ "." ^ domain

@@ -1,0 +1,1 @@
+lib/idna/idna.ml: Array Char Dns Format Hashtbl List Punycode String Unicode

@@ -1,0 +1,1 @@
+lib/idna/idna.mli: Dns Format Punycode Unicode

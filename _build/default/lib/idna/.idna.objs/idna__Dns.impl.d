@@ -1,0 +1,1 @@
+lib/idna/dns.ml: Char Format List String Unicode

@@ -1,0 +1,1 @@
+lib/idna/dns.mli: Format Unicode

@@ -1,0 +1,1 @@
+lib/idna/punycode.ml: Array Buffer Char List Printf String Unicode

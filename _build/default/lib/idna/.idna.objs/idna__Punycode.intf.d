@@ -1,0 +1,1 @@
+lib/idna/punycode.mli: Unicode

@@ -1,0 +1,75 @@
+type issue =
+  | Empty_name
+  | Name_too_long of int
+  | Empty_label
+  | Label_too_long of string
+  | Bad_character of string * Unicode.Cp.t
+  | Leading_hyphen of string
+  | Trailing_hyphen of string
+  | Whitespace_in_name
+
+let pp_issue ppf = function
+  | Empty_name -> Format.fprintf ppf "empty name"
+  | Name_too_long n -> Format.fprintf ppf "name length %d exceeds 253 octets" n
+  | Empty_label -> Format.fprintf ppf "empty label"
+  | Label_too_long l -> Format.fprintf ppf "label %S exceeds 63 octets" l
+  | Bad_character (l, cp) ->
+      Format.fprintf ppf "label %S contains %s" l (Unicode.Cp.to_string cp)
+  | Leading_hyphen l -> Format.fprintf ppf "label %S starts with a hyphen" l
+  | Trailing_hyphen l -> Format.fprintf ppf "label %S ends with a hyphen" l
+  | Whitespace_in_name -> Format.fprintf ppf "whitespace inside name"
+
+let split_labels name = String.split_on_char '.' name
+
+let check_label label issues =
+  if label = "" then Empty_label :: issues
+  else begin
+    let issues = if String.length label > 63 then Label_too_long label :: issues else issues in
+    let issues = if label.[0] = '-' then Leading_hyphen label :: issues else issues in
+    let issues =
+      if label.[String.length label - 1] = '-' then Trailing_hyphen label :: issues
+      else issues
+    in
+    let bad = ref [] in
+    String.iter
+      (fun c ->
+        let cp = Char.code c in
+        if not (Unicode.Props.is_ldh cp) then bad := Bad_character (label, cp) :: !bad)
+      label;
+    List.rev_append !bad issues
+  end
+
+let check ?(allow_wildcard = true) name =
+  if name = "" then [ Empty_name ]
+  else begin
+    let issues = if String.length name > 253 then [ Name_too_long (String.length name) ] else [] in
+    let issues =
+      if String.exists (fun c -> c = ' ' || c = '\t') name then Whitespace_in_name :: issues
+      else issues
+    in
+    (* A trailing root dot is legal; drop the final empty label. *)
+    let labels =
+      match List.rev (split_labels name) with
+      | "" :: rest -> List.rev rest
+      | all -> List.rev all
+    in
+    let labels =
+      match labels with
+      | "*" :: rest when allow_wildcard -> rest
+      | l -> l
+    in
+    List.rev (List.fold_left (fun acc l -> check_label l acc) (List.rev issues) labels)
+  end
+
+let is_ldh_name name = check name = []
+
+let is_reserved_ldh_label l =
+  String.length l >= 4 && l.[2] = '-' && l.[3] = '-'
+
+let is_a_label_candidate l =
+  String.length l >= 4
+  && (l.[0] = 'x' || l.[0] = 'X')
+  && (l.[1] = 'n' || l.[1] = 'N')
+  && l.[2] = '-' && l.[3] = '-'
+
+let normalize_case name = String.lowercase_ascii name

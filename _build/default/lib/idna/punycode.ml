@@ -1,0 +1,166 @@
+(* RFC 3492 parameters. *)
+let base = 36
+let tmin = 1
+let tmax = 26
+let skew = 38
+let damp = 700
+let initial_bias = 72
+let initial_n = 128
+let delimiter = Char.code '-'
+
+let adapt delta num_points first_time =
+  let delta = if first_time then delta / damp else delta / 2 in
+  let delta = ref (delta + (delta / num_points)) in
+  let k = ref 0 in
+  while !delta > (base - tmin) * tmax / 2 do
+    delta := !delta / (base - tmin);
+    k := !k + base
+  done;
+  !k + ((base - tmin + 1) * !delta / (!delta + skew))
+
+(* Digit values: a-z = 0..25, 0-9 = 26..35 (we emit lowercase). *)
+let encode_digit d =
+  if d < 26 then Char.chr (d + Char.code 'a') else Char.chr (d - 26 + Char.code '0')
+
+let decode_digit c =
+  match c with
+  | 'a' .. 'z' -> Some (Char.code c - Char.code 'a')
+  | 'A' .. 'Z' -> Some (Char.code c - Char.code 'A')
+  | '0' .. '9' -> Some (Char.code c - Char.code '0' + 26)
+  | _ -> None
+
+let encode cps =
+  if Array.exists (fun cp -> not (Unicode.Cp.is_scalar cp)) cps then
+    Error "input contains non-scalar code points"
+  else begin
+    let buf = Buffer.create (Array.length cps * 2) in
+    let basic = Array.to_list cps |> List.filter (fun cp -> cp < 0x80) in
+    List.iter (fun cp -> Buffer.add_char buf (Char.chr cp)) basic;
+    let b = List.length basic in
+    let input_len = Array.length cps in
+    (* RFC 3492 §6.3: emit the delimiter whenever basic code points
+       were copied. *)
+    if b > 0 && b < input_len then Buffer.add_char buf '-'
+    else if b > 0 && b = input_len then Buffer.add_char buf '-';
+    if b = input_len then Ok (Buffer.contents buf)
+    else begin
+      let n = ref initial_n and delta = ref 0 and bias = ref initial_bias in
+      let h = ref b in
+      let error = ref None in
+      while !h < input_len && !error = None do
+        let m = ref max_int in
+        Array.iter (fun cp -> if cp >= !n && cp < !m then m := cp) cps;
+        if !m - !n > (max_int - !delta) / (!h + 1) then error := Some "overflow"
+        else begin
+          delta := !delta + ((!m - !n) * (!h + 1));
+          n := !m;
+          Array.iter
+            (fun cp ->
+              if cp < !n && (incr delta; !delta = 0) then error := Some "overflow"
+              else if cp = !n then begin
+                (* Encode delta as a variable-length integer. *)
+                let q = ref !delta and k = ref base in
+                let continue = ref true in
+                while !continue do
+                  let t =
+                    if !k <= !bias then tmin
+                    else if !k >= !bias + tmax then tmax
+                    else !k - !bias
+                  in
+                  if !q < t then begin
+                    Buffer.add_char buf (encode_digit !q);
+                    continue := false
+                  end
+                  else begin
+                    Buffer.add_char buf (encode_digit (t + ((!q - t) mod (base - t))));
+                    q := (!q - t) / (base - t);
+                    k := !k + base
+                  end
+                done;
+                bias := adapt !delta (!h + 1) (!h = b);
+                delta := 0;
+                incr h
+              end)
+            cps;
+          incr delta;
+          incr n
+        end
+      done;
+      match !error with Some m -> Error m | None -> Ok (Buffer.contents buf)
+    end
+  end
+
+let decode s =
+  let n_in = String.length s in
+  (* Split at the last delimiter. *)
+  let last_delim = ref (-1) in
+  String.iteri (fun i c -> if Char.code c = delimiter then last_delim := i) s;
+  let basic_end = if !last_delim >= 0 then !last_delim else 0 in
+  let output = ref [] in
+  let basic_ok = ref true in
+  for i = 0 to basic_end - 1 do
+    let c = Char.code s.[i] in
+    if c >= 0x80 then basic_ok := false else output := c :: !output
+  done;
+  if not !basic_ok then Error "non-basic code point before delimiter"
+  else begin
+    let out = ref (Array.of_list (List.rev !output)) in
+    let i = ref 0 and n = ref initial_n and bias = ref initial_bias in
+    let pos = ref (if !last_delim >= 0 then basic_end + 1 else 0) in
+    let error = ref None in
+    while !pos < n_in && !error = None do
+      let oldi = !i and w = ref 1 and k = ref base in
+      let continue = ref true in
+      while !continue && !error = None do
+        if !pos >= n_in then error := Some "truncated variable-length integer"
+        else
+          match decode_digit s.[!pos] with
+          | None -> error := Some (Printf.sprintf "invalid punycode digit %C" s.[!pos])
+          | Some digit ->
+              incr pos;
+              if digit > (max_int - !i) / !w then error := Some "overflow"
+              else begin
+                i := !i + (digit * !w);
+                let t =
+                  if !k <= !bias then tmin
+                  else if !k >= !bias + tmax then tmax
+                  else !k - !bias
+                in
+                if digit < t then continue := false
+                else if !w > max_int / (base - t) then error := Some "overflow"
+                else begin
+                  w := !w * (base - t);
+                  k := !k + base
+                end
+              end
+      done;
+      if !error = None then begin
+        let out_len = Array.length !out + 1 in
+        bias := adapt (!i - oldi) out_len (oldi = 0);
+        if !i / out_len > max_int - !n then error := Some "overflow"
+        else begin
+          n := !n + (!i / out_len);
+          i := !i mod out_len;
+          if not (Unicode.Cp.is_scalar !n) then
+            error := Some (Printf.sprintf "decoded non-scalar %s" (Unicode.Cp.to_string !n))
+          else begin
+            (* Insert n at position i. *)
+            let prev = !out in
+            let len = Array.length prev in
+            let next = Array.make (len + 1) 0 in
+            Array.blit prev 0 next 0 !i;
+            next.(!i) <- !n;
+            Array.blit prev !i next (!i + 1) (len - !i);
+            out := next;
+            incr i
+          end
+        end
+      end
+    done;
+    match !error with Some m -> Error m | None -> Ok !out
+  end
+
+let encode_utf8 text = encode (Unicode.Codec.cps_of_utf8 text)
+
+let decode_utf8 s =
+  match decode s with Ok cps -> Ok (Unicode.Codec.utf8_of_cps cps) | Error _ as e -> e

@@ -1,0 +1,1 @@
+lib/lint/lint.ml: Ctx Helpers Registry Rulebook Types

@@ -1,0 +1,1 @@
+lib/lint/lint.mli: Ctx Helpers Registry Rulebook Types

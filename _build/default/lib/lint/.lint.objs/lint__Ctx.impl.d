@@ -1,0 +1,1 @@
+lib/lint/ctx.ml: Asn1 Char List Oids String Unicode X509

@@ -1,0 +1,1 @@
+lib/lint/ctx.mli: Asn1 Unicode X509

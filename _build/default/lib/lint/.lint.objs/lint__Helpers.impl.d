@@ -1,0 +1,1 @@
+lib/lint/helpers.ml: Asn1 Char Ctx Idna List String Types Unicode X509

@@ -1,0 +1,1 @@
+lib/lint/helpers.mli: Asn1 Ctx Types Unicode X509

@@ -1,0 +1,1 @@
+lib/lint/lints_character.ml: Array Asn1 Char Ctx Helpers Idna List Printf String Types Unicode X509

@@ -1,0 +1,1 @@
+lib/lint/lints_character.mli: Types

@@ -1,0 +1,1 @@
+lib/lint/lints_encoding.ml: Array Asn1 Char Ctx Hashtbl Helpers List Printf Stdlib String Types Unicode X509

@@ -1,0 +1,1 @@
+lib/lint/lints_format.ml: Array Asn1 Char Ctx Fun Helpers Idna List Printf String Types Unicode X509

@@ -1,0 +1,1 @@
+lib/lint/lints_normalization.ml: Asn1 Ctx Helpers Idna List Printf Types Unicode X509

@@ -1,0 +1,1 @@
+lib/lint/lints_structure.ml: Hashtbl Helpers List Printf String Types Unicode X509

@@ -1,0 +1,1 @@
+lib/lint/registry.ml: Asn1 Ctx Lints_character Lints_encoding Lints_format Lints_normalization Lints_structure List String Types

@@ -1,0 +1,1 @@
+lib/lint/registry.mli: Asn1 Types X509

@@ -1,0 +1,1 @@
+lib/lint/rulebook.ml: Buffer Char Format List Printf Registry String Types

@@ -1,0 +1,1 @@
+lib/lint/rulebook.mli: Format Types

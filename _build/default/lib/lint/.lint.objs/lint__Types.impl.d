@@ -1,0 +1,1 @@
+lib/lint/types.ml: Asn1 Ctx

@@ -1,0 +1,1 @@
+lib/lint/types.mli: Asn1 Ctx

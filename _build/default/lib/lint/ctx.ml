@@ -1,0 +1,87 @@
+type atv_info = {
+  atv : X509.Dn.atv;
+  cps : Unicode.Cp.t array option;
+  lenient_cps : Unicode.Cp.t array;
+  in_issuer : bool;
+}
+
+type general_names = X509.General_name.t list
+
+type t = {
+  cert : X509.Certificate.t;
+  subject : atv_info list;
+  issuer : atv_info list;
+  san : (general_names, string) result option;
+  ian : (general_names, string) result option;
+  crldp_names : (general_names, string) result option;
+  aia : ((Asn1.Oid.t * X509.General_name.t) list, string) result option;
+  sia : ((Asn1.Oid.t * X509.General_name.t) list, string) result option;
+  policies : (X509.Extension.policy list, string) result option;
+}
+
+let atv_info ~in_issuer (atv : X509.Dn.atv) =
+  let cps = X509.Dn.atv_cps atv in
+  let lenient_cps =
+    match atv.X509.Dn.value with
+    | Asn1.Value.Str (st, raw) -> (
+        match
+          Unicode.Codec.decode ~policy:(Unicode.Codec.Replace 0xFFFD)
+            (Asn1.Str_type.standard_encoding st) raw
+        with
+        | Ok cps -> cps
+        | Error _ -> Unicode.Codec.cps_of_latin1 raw)
+    | _ -> [||]
+  in
+  { atv; cps; lenient_cps; in_issuer }
+
+let ext_payload cert oid parse =
+  match X509.Extension.find cert.X509.Certificate.tbs.X509.Certificate.extensions oid with
+  | None -> None
+  | Some e -> Some (parse e.X509.Extension.value)
+
+let of_cert cert =
+  let tbs = cert.X509.Certificate.tbs in
+  let subject = List.map (atv_info ~in_issuer:false) (X509.Dn.all_atvs tbs.X509.Certificate.subject) in
+  let issuer = List.map (atv_info ~in_issuer:true) (X509.Dn.all_atvs tbs.X509.Certificate.issuer) in
+  let open X509.Extension in
+  {
+    cert;
+    subject;
+    issuer;
+    san = ext_payload cert Oids.subject_alt_name parse_general_names;
+    ian = ext_payload cert Oids.issuer_alt_name parse_general_names;
+    crldp_names = ext_payload cert Oids.crl_distribution_points parse_crl_distribution_points;
+    aia = ext_payload cert Oids.authority_info_access parse_info_access;
+    sia = ext_payload cert Oids.subject_info_access parse_info_access;
+    policies = ext_payload cert Oids.certificate_policies parse_certificate_policies;
+  }
+
+let san_dns t =
+  match t.san with
+  | Some (Ok gns) ->
+      List.filter_map (function X509.General_name.Dns_name s -> Some s | _ -> None) gns
+  | Some (Error _) | None -> []
+
+let looks_like_dns s =
+  s <> ""
+  && String.contains s '.'
+  && String.for_all (fun c -> Char.code c < 0x80) s
+  && not (String.contains s '@')
+  && not (String.contains s '/')
+
+let dns_names t =
+  let san = san_dns t in
+  let cns =
+    List.filter_map
+      (fun info ->
+        if info.atv.X509.Dn.typ = X509.Attr.Common_name && not info.in_issuer then begin
+          let text = X509.Dn.atv_text info.atv in
+          if looks_like_dns text then Some text else None
+        end
+        else None)
+      t.subject
+  in
+  san @ cns
+
+let subject_texts t =
+  List.map (fun info -> (info.atv.X509.Dn.typ, X509.Dn.atv_text info.atv)) t.subject

@@ -1,0 +1,39 @@
+(** Pre-parsed certificate context shared by all lints, so each
+    certificate is decoded once per run instead of once per lint. *)
+
+type atv_info = {
+  atv : X509.Dn.atv;
+  cps : Unicode.Cp.t array option;
+      (** strict standard decoding; [None] when the raw bytes are
+          invalid for the declared string type *)
+  lenient_cps : Unicode.Cp.t array;
+      (** replacement decoding, always available *)
+  in_issuer : bool;
+}
+
+type general_names = X509.General_name.t list
+
+type t = {
+  cert : X509.Certificate.t;
+  subject : atv_info list;
+  issuer : atv_info list;
+  san : (general_names, string) result option;
+      (** [None] = extension absent; [Some (Error _)] = unparsable *)
+  ian : (general_names, string) result option;
+  crldp_names : (general_names, string) result option;
+  aia : ((Asn1.Oid.t * X509.General_name.t) list, string) result option;
+  sia : ((Asn1.Oid.t * X509.General_name.t) list, string) result option;
+  policies : (X509.Extension.policy list, string) result option;
+}
+
+val of_cert : X509.Certificate.t -> t
+
+val dns_names : t -> string list
+(** All dNSName payloads from SAN plus the subject CN values that look
+    like DNS names — the fields the IDN lints inspect. *)
+
+val subject_texts : t -> (X509.Attr.t * string) list
+(** Decoded (leniently) subject attribute texts, in order. *)
+
+val san_dns : t -> string list
+(** Raw dNSName payloads from the SAN extension only. *)

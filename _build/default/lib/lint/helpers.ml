@@ -1,0 +1,73 @@
+let rfc5280_date = Asn1.Time.make 2008 5 1
+let idna2008_date = Asn1.Time.make 2010 8 1
+let cab_br_date = Asn1.Time.make 2012 7 1
+let community_date = Asn1.Time.make 2015 1 1
+let rfc8399_date = Asn1.Time.make 2018 5 1
+let rfc9598_date = Asn1.Time.make 2024 6 1
+let rfc9549_date = Asn1.Time.make 2024 7 1
+
+let emit level details =
+  match details with
+  | [] -> Types.Pass
+  | _ -> (
+      match Types.severity_of_level level with
+      | Types.Error -> Types.Fail details
+      | Types.Warning -> Types.Warn details)
+
+let describe_cp = Unicode.Cp.to_string
+
+let values_of infos attrs =
+  List.filter_map
+    (fun (info : Ctx.atv_info) ->
+      let keep =
+        match attrs with None -> true | Some l -> List.mem info.Ctx.atv.X509.Dn.typ l
+      in
+      if not keep then None
+      else
+        match info.Ctx.atv.X509.Dn.value with
+        | Asn1.Value.Str (st, raw) ->
+            Some (info.Ctx.atv.X509.Dn.typ, st, raw, info.Ctx.lenient_cps)
+        | _ -> None)
+    infos
+
+let subject_values ?attrs ctx = values_of ctx.Ctx.subject attrs
+let issuer_values ?attrs ctx = values_of ctx.Ctx.issuer attrs
+
+let declared_type (atv : X509.Dn.atv) =
+  match atv.X509.Dn.value with Asn1.Value.Str (st, _) -> Some st | _ -> None
+
+let gn_strings gns =
+  List.filter_map
+    (fun gn ->
+      match gn with
+      | X509.General_name.Dns_name s -> Some ("dNSName", s)
+      | X509.General_name.Rfc822_name s -> Some ("rfc822Name", s)
+      | X509.General_name.Uri s -> Some ("URI", s)
+      | X509.General_name.Other_name _ | X509.General_name.Directory_name _
+      | X509.General_name.Ip_address _ | X509.General_name.Registered_id _ ->
+          None)
+    gns
+
+let names_of = function Some (Ok gns) -> gns | Some (Error _) | None -> []
+
+let san_names ctx = names_of ctx.Ctx.san
+let ian_names ctx = names_of ctx.Ctx.ian
+let crldp_list ctx = names_of ctx.Ctx.crldp_names
+
+let aia_locations ctx =
+  match ctx.Ctx.aia with
+  | Some (Ok descs) -> List.map snd descs
+  | Some (Error _) | None -> []
+
+let sia_locations ctx =
+  match ctx.Ctx.sia with
+  | Some (Ok descs) -> List.map snd descs
+  | Some (Error _) | None -> []
+
+let non_ia5 payload =
+  let bad = ref [] in
+  String.iter (fun c -> if Char.code c > 0x7F then bad := Char.code c :: !bad) payload;
+  List.rev !bad
+
+let a_labels domain =
+  List.filter Idna.Dns.is_a_label_candidate (Idna.Dns.split_labels domain)

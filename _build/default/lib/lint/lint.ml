@@ -1,0 +1,5 @@
+include Types
+module Ctx = Ctx
+module Helpers = Helpers
+module Registry = Registry
+module Rulebook = Rulebook

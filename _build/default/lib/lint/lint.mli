@@ -1,0 +1,13 @@
+(** Unicert lint framework — the reproduction of the paper's 95
+    constraint rules in an executable, zlint-style registry.
+
+    {!Types} (included here) defines severities, sources, the T1/T2/T3
+    taxonomy, and the lint record; {!Ctx} pre-parses certificates;
+    {!Registry} holds the full catalogue and the runner. *)
+
+include module type of Types
+
+module Ctx : module type of Ctx
+module Helpers : module type of Helpers
+module Registry : module type of Registry
+module Rulebook : module type of Rulebook

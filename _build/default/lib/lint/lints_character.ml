@@ -1,0 +1,348 @@
+(* T1 — Invalid Character lints: weak character-range validation in
+   certificate fields (paper §4.3.1).  22 lints, 10 of them the paper's
+   new Unicode-specific checks. *)
+
+open Types
+open Helpers
+
+let subject_control_chars name description ~pred ~level ~source ~is_new ~effective =
+  mk ~name ~description ~source ~level ~nc_type:Invalid_character ~is_new ~effective
+    (fun ctx ->
+      let bad =
+        List.concat_map
+          (fun (attr, _, _, cps) ->
+            Array.to_list cps
+            |> List.filter pred
+            |> List.map (fun cp ->
+                   Printf.sprintf "%s contains %s" (X509.Attr.name attr) (describe_cp cp)))
+          (subject_values ctx)
+      in
+      emit level bad)
+
+let dnsname_lint name description ~source ~level ~is_new ~effective check =
+  mk ~name ~description ~source ~level ~nc_type:Invalid_character ~is_new ~effective
+    (fun ctx ->
+      let names = Ctx.dns_names ctx in
+      emit level (List.concat_map check names))
+
+let lints : Types.t list =
+  [
+    (* ------------------------------------------------------------------
+       Established lints (12) *)
+    subject_control_chars "e_rfc_subject_dn_not_printable_characters"
+      "Subject DN values must not contain non-printable control characters \
+       (NUL, ESC, DEL, other C0 codes)."
+      ~pred:(fun cp -> Unicode.Props.is_c0_control cp || Unicode.Props.is_del cp)
+      ~level:Must ~source:Community ~is_new:false ~effective:community_date;
+    mk ~name:"e_rfc_subject_printable_string_badalpha"
+      ~description:
+        "Values declared PrintableString must stay within the PrintableString \
+         repertoire (RFC 5280 via X.680)."
+      ~source:Rfc5280 ~level:Must ~nc_type:Invalid_character ~effective:rfc5280_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun (attr, st, _, cps) ->
+              if st <> Asn1.Str_type.Printable_string then []
+              else
+                Array.to_list cps
+                |> List.filter (fun cp -> not (Unicode.Props.is_printable_string_char cp))
+                |> List.map (fun cp ->
+                       Printf.sprintf "%s PrintableString contains %s" (X509.Attr.name attr)
+                         (describe_cp cp)))
+            (subject_values ctx @ issuer_values ctx)
+        in
+        emit Must bad);
+    mk ~name:"w_community_subject_dn_trailing_whitespace"
+      ~description:"Subject DN values should not end with whitespace."
+      ~source:Community ~level:Should_not ~nc_type:Invalid_character
+      ~effective:community_date
+      (fun ctx ->
+        let bad =
+          List.filter_map
+            (fun (attr, _, _, cps) ->
+              let n = Array.length cps in
+              if n > 0 && Unicode.Props.is_whitespace cps.(n - 1) then
+                Some (X509.Attr.name attr ^ " has trailing whitespace")
+              else None)
+            (subject_values ctx)
+        in
+        emit Should_not bad);
+    mk ~name:"w_community_subject_dn_leading_whitespace"
+      ~description:"Subject DN values should not start with whitespace."
+      ~source:Community ~level:Should_not ~nc_type:Invalid_character
+      ~effective:community_date
+      (fun ctx ->
+        let bad =
+          List.filter_map
+            (fun (attr, _, _, cps) ->
+              if Array.length cps > 0 && Unicode.Props.is_whitespace cps.(0) then
+                Some (X509.Attr.name attr ^ " has leading whitespace")
+              else None)
+            (subject_values ctx)
+        in
+        emit Should_not bad);
+    dnsname_lint "e_rfc_dns_idn_malformed_unicode"
+      "IDN A-labels in DNSNames must decode to Unicode via Punycode."
+      ~source:Rfc8399 ~level:Must ~is_new:false ~effective:rfc8399_date
+      (fun name ->
+        List.filter_map
+          (fun l ->
+            match
+              List.find_opt
+                (function Idna.Malformed_punycode _ -> true | _ -> false)
+                (Idna.alabel_issues l)
+            with
+            | Some (Idna.Malformed_punycode m) ->
+                Some (Printf.sprintf "label %S: %s" l m)
+            | _ -> None)
+          (a_labels name));
+    dnsname_lint "e_cab_dns_bad_character_in_label"
+      "DNSName labels must use only letters, digits and hyphens."
+      ~source:Cab_br ~level:Must ~is_new:false ~effective:cab_br_date
+      (fun name ->
+        Idna.Dns.check name
+        |> List.filter_map (function
+             | Idna.Dns.Bad_character (l, cp) when cp < 0x80 ->
+                 Some (Printf.sprintf "label %S contains %s" l (describe_cp cp))
+             | _ -> None));
+    mk ~name:"e_ia5string_contains_non_ia5"
+      ~description:"IA5String values must contain only 7-bit characters."
+      ~source:Rfc5280 ~level:Must ~nc_type:Invalid_character ~effective:rfc5280_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun (attr, st, raw, _) ->
+              if st <> Asn1.Str_type.Ia5_string then []
+              else
+                non_ia5 raw
+                |> List.map (fun b ->
+                       Printf.sprintf "%s IA5String contains byte 0x%02X"
+                         (X509.Attr.name attr) b))
+            (subject_values ctx @ issuer_values ctx)
+        in
+        emit Must bad);
+    dnsname_lint "e_dnsname_contains_whitespace"
+      "DNSNames must not contain whitespace."
+      ~source:Cab_br ~level:Must ~is_new:false ~effective:cab_br_date
+      (fun name ->
+        if String.exists (fun c -> c = ' ' || c = '\t') name then
+          [ Printf.sprintf "%S contains whitespace" name ]
+        else []);
+    mk ~name:"e_numeric_string_invalid_characters"
+      ~description:"NumericString values allow only digits and space (X.680)."
+      ~source:X680 ~level:Must ~nc_type:Invalid_character ~effective:rfc5280_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun (attr, st, _, cps) ->
+              if st <> Asn1.Str_type.Numeric_string then []
+              else
+                Array.to_list cps
+                |> List.filter (fun cp -> not (Unicode.Props.is_numeric_string_char cp))
+                |> List.map (fun cp ->
+                       Printf.sprintf "%s NumericString contains %s" (X509.Attr.name attr)
+                         (describe_cp cp)))
+            (subject_values ctx @ issuer_values ctx)
+        in
+        emit Must bad);
+    mk ~name:"e_visible_string_invalid_characters"
+      ~description:"VisibleString values allow only printable ASCII (X.680)."
+      ~source:X680 ~level:Must ~nc_type:Invalid_character ~effective:rfc5280_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun (attr, st, _, cps) ->
+              if st <> Asn1.Str_type.Visible_string then []
+              else
+                Array.to_list cps
+                |> List.filter (fun cp -> not (Unicode.Props.is_visible_string_char cp))
+                |> List.map (fun cp ->
+                       Printf.sprintf "%s VisibleString contains %s" (X509.Attr.name attr)
+                         (describe_cp cp)))
+            (subject_values ctx @ issuer_values ctx)
+        in
+        emit Must bad);
+    subject_control_chars "w_subject_dn_del_character"
+      "Subject DN values should not contain the DEL (U+007F) character."
+      ~pred:Unicode.Props.is_del ~level:Should_not ~source:Community ~is_new:false
+      ~effective:community_date;
+    mk ~name:"e_san_rfc822_name_invalid_ascii"
+      ~description:"rfc822Name values must be 7-bit ASCII mailboxes (RFC 5280)."
+      ~source:Rfc5280 ~level:Must ~nc_type:Invalid_character ~effective:rfc5280_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun gn ->
+              match gn with
+              | X509.General_name.Rfc822_name s ->
+                  non_ia5 s
+                  |> List.map (fun b -> Printf.sprintf "rfc822Name byte 0x%02X" b)
+              | _ -> [])
+            (san_names ctx @ ian_names ctx)
+        in
+        emit Must bad);
+    (* ------------------------------------------------------------------
+       New Unicode-specific lints (10) *)
+    dnsname_lint "e_rfc_dns_idn_a2u_unpermitted_unichar"
+      "A-labels must decode to U-labels containing only IDNA2008-permitted \
+       code points."
+      ~source:Idna2008 ~level:Must ~is_new:true ~effective:idna2008_date
+      (fun name ->
+        List.concat_map
+          (fun l ->
+            Idna.alabel_issues l
+            |> List.filter_map (function
+                 | Idna.Unpermitted_char cp ->
+                     Some
+                       (Printf.sprintf "label %S decodes to unpermitted %s" l
+                          (describe_cp cp))
+                 | Idna.Bidi_violation ->
+                     Some (Printf.sprintf "label %S violates the Bidi rule" l)
+                 | _ -> None))
+          (a_labels name));
+    mk ~name:"e_ext_san_dns_contain_unpermitted_unichar"
+      ~description:
+        "SAN DNSNames must not carry raw non-ASCII or disallowed characters; \
+         internationalized labels must be A-labels."
+      ~source:Rfc8399 ~level:Must ~nc_type:Invalid_character ~is_new:true
+      ~effective:rfc8399_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun gn ->
+              match gn with
+              | X509.General_name.Dns_name s ->
+                  let cps = Unicode.Codec.cps_of_latin1 s in
+                  Array.to_list cps
+                  |> List.filter (fun cp ->
+                         cp > 0x7F || Unicode.Props.is_c0_control cp
+                         || Unicode.Props.is_del cp)
+                  |> List.map (fun cp ->
+                         Printf.sprintf "dNSName %S contains %s" s (describe_cp cp))
+              | _ -> [])
+            (san_names ctx)
+        in
+        emit Must bad);
+    mk ~name:"e_utf8string_control_characters"
+      ~description:"UTF8String DN values must not contain C0/C1 control codes."
+      ~source:Rfc9549 ~level:Must ~nc_type:Invalid_character ~is_new:true
+      ~effective:rfc8399_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun (attr, st, _, cps) ->
+              if st <> Asn1.Str_type.Utf8_string then []
+              else
+                Array.to_list cps
+                |> List.filter Unicode.Props.is_control
+                |> List.map (fun cp ->
+                       Printf.sprintf "%s UTF8String contains %s" (X509.Attr.name attr)
+                         (describe_cp cp)))
+            (subject_values ctx @ issuer_values ctx)
+        in
+        emit Must bad);
+    subject_control_chars "w_subject_dn_bidi_controls"
+      "Subject DN values should not contain bidirectional control characters."
+      ~pred:Unicode.Props.is_bidi_control ~level:Should_not ~source:Rfc9549 ~is_new:true
+      ~effective:community_date;
+    subject_control_chars "w_subject_dn_invisible_characters"
+      "Subject DN values should not contain invisible layout characters \
+       (zero-width spaces/joiners, non-ASCII whitespace)."
+      ~pred:Unicode.Props.is_invisible ~level:Should_not ~source:Community ~is_new:true
+      ~effective:community_date;
+    mk ~name:"e_bmpstring_surrogate"
+      ~description:"BMPString must not contain surrogate code units (X.680)."
+      ~source:X680 ~level:Must ~nc_type:Invalid_character ~is_new:true
+      ~effective:rfc5280_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun (attr, st, _, cps) ->
+              if st <> Asn1.Str_type.Bmp_string then []
+              else
+                Array.to_list cps
+                |> List.filter Unicode.Cp.is_surrogate
+                |> List.map (fun cp ->
+                       Printf.sprintf "%s BMPString contains surrogate %s"
+                         (X509.Attr.name attr) (describe_cp cp)))
+            (subject_values ctx @ issuer_values ctx)
+        in
+        emit Must bad);
+    mk ~name:"e_san_uri_invalid_characters"
+      ~description:
+        "URI GeneralNames must not contain spaces, control characters or raw \
+         non-ASCII bytes (IRIs must be percent-encoded/punycoded)."
+      ~source:Rfc5280 ~level:Must ~nc_type:Invalid_character ~is_new:true
+      ~effective:rfc5280_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun gn ->
+              match gn with
+              | X509.General_name.Uri s ->
+                  let issues = ref [] in
+                  String.iter
+                    (fun c ->
+                      let b = Char.code c in
+                      if b <= 0x20 || b = 0x7F || b > 0x7F then
+                        issues :=
+                          Printf.sprintf "URI %S contains byte 0x%02X" s b :: !issues)
+                    s;
+                  List.rev !issues
+              | _ -> [])
+            (san_names ctx @ sia_locations ctx)
+        in
+        emit Must bad);
+    mk ~name:"e_ext_ian_dns_invalid_characters"
+      ~description:"IssuerAltName DNSNames must use only LDH characters."
+      ~source:Cab_br ~level:Must ~nc_type:Invalid_character ~is_new:true
+      ~effective:cab_br_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun gn ->
+              match gn with
+              | X509.General_name.Dns_name s ->
+                  Idna.Dns.check s
+                  |> List.filter_map (function
+                       | Idna.Dns.Bad_character (l, cp) ->
+                           Some
+                             (Printf.sprintf "IAN label %S contains %s" l (describe_cp cp))
+                       | _ -> None)
+              | _ -> [])
+            (ian_names ctx)
+        in
+        emit Must bad);
+    subject_control_chars "w_subject_dn_replacement_character"
+      "Subject DN values should not contain U+FFFD, which indicates a broken \
+       transcoding step at issuance."
+      ~pred:(fun cp -> cp = 0xFFFD) ~level:Should_not ~source:Community ~is_new:true
+      ~effective:community_date;
+    mk ~name:"e_crldp_uri_control_characters"
+      ~description:
+        "CRLDistributionPoints URIs must not contain control characters (which \
+         lenient parsers rewrite into different addresses)."
+      ~source:Rfc5280 ~level:Must ~nc_type:Invalid_character ~is_new:true
+      ~effective:rfc5280_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun gn ->
+              match gn with
+              | X509.General_name.Uri s ->
+                  let issues = ref [] in
+                  String.iteri
+                    (fun i c ->
+                      let b = Char.code c in
+                      if b < 0x20 || b = 0x7F then
+                        issues :=
+                          Printf.sprintf "CRLDP URI control byte 0x%02X at %d" b i
+                          :: !issues)
+                    s;
+                  List.rev !issues
+              | _ -> [])
+            (crldp_list ctx)
+        in
+        emit Must bad);
+  ]

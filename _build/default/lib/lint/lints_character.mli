@@ -1,0 +1,3 @@
+(** T1 Invalid Character lints (22 rules, 10 new): weak character-range validation in certificate fields. *)
+
+val lints : Types.t list

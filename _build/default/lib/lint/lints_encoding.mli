@@ -1,0 +1,3 @@
+(** T3b Invalid Encoding lints (48 rules, 37 new): unsupported or deprecated ASN.1 string types and physically broken encodings. *)
+
+val lints : Types.t list

@@ -1,0 +1,3 @@
+(** T3a Illegal Format lints (17 rules): length overflows, case errors, and basic formatting violations. *)
+
+val lints : Types.t list

@@ -1,0 +1,82 @@
+(* T2 — Bad Normalization lints (paper §4.3.1): NFC and canonical-form
+   requirements.  4 lints, 3 new. *)
+
+open Types
+open Helpers
+
+let lints : Types.t list =
+  [
+    mk ~name:"w_rfc_utf8_string_not_nfc"
+      ~description:
+        "UTF8String attribute values SHOULD be normalized to Unicode \
+         Normalization Form C (RFC 5280 via RFC 4518/TR15)."
+      ~source:Rfc5280 ~level:Should ~nc_type:Bad_normalization ~effective:rfc5280_date
+      (fun ctx ->
+        let bad =
+          List.filter_map
+            (fun (attr, st, _, cps) ->
+              if st = Asn1.Str_type.Utf8_string && not (Unicode.Normalize.is_nfc cps) then
+                Some (X509.Attr.name attr ^ " UTF8String is not NFC")
+              else None)
+            (subject_values ctx @ issuer_values ctx)
+        in
+        emit Should bad);
+    mk ~name:"e_rfc_dns_idn_not_nfc"
+      ~description:
+        "The Unicode form of an IDN label must be NFC-normalized; A-labels \
+         whose decoding is not NFC cannot round-trip between forms."
+      ~source:Rfc8399 ~level:Must ~nc_type:Bad_normalization ~is_new:true
+      ~effective:rfc8399_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun name ->
+              List.filter_map
+                (fun l ->
+                  if List.mem Idna.Not_nfc (Idna.alabel_issues l) then
+                    Some (Printf.sprintf "label %S decodes to a non-NFC string" l)
+                  else None)
+                (a_labels name))
+            (Ctx.dns_names ctx)
+        in
+        emit Must bad);
+    mk ~name:"e_rfc_dns_idn_noncanonical_alabel"
+      ~description:
+        "A-labels must be the canonical Punycode encoding of their U-label \
+         (decode-then-re-encode must reproduce the label)."
+      ~source:Rfc5890 ~level:Must ~nc_type:Bad_normalization ~is_new:true
+      ~effective:idna2008_date
+      (fun ctx ->
+        let bad =
+          List.concat_map
+            (fun name ->
+              List.filter_map
+                (fun l ->
+                  if List.mem Idna.Non_canonical_alabel (Idna.alabel_issues l) then
+                    Some (Printf.sprintf "label %S is not canonical Punycode" l)
+                  else None)
+                (a_labels name))
+            (Ctx.dns_names ctx)
+        in
+        emit Must bad);
+    mk ~name:"e_ext_san_smtputf8_mailbox_not_nfc"
+      ~description:
+        "SmtpUTF8Mailbox otherName local parts must be NFC-normalized \
+         (RFC 9598)."
+      ~source:Rfc9598 ~level:Must ~nc_type:Bad_normalization ~is_new:true
+      ~effective:rfc9598_date
+      (fun ctx ->
+        let smtputf8 = Asn1.Oid.of_string_exn "1.3.6.1.5.5.7.8.9" in
+        let bad =
+          List.filter_map
+            (fun gn ->
+              match gn with
+              | X509.General_name.Other_name (oid, raw) when Asn1.Oid.equal oid smtputf8 ->
+                  if not (Unicode.Normalize.utf8_is_nfc raw) then
+                    Some "SmtpUTF8Mailbox is not NFC"
+                  else None
+              | _ -> None)
+            (san_names ctx)
+        in
+        emit Must bad);
+  ]

@@ -1,0 +1,3 @@
+(** T2 Bad Normalization lints (4 rules, 3 new): NFC and canonical-form requirements. *)
+
+val lints : Types.t list

@@ -1,0 +1,84 @@
+(* T3c/T3d — Invalid Structure and Discouraged Field lints.  2 + 2
+   lints, matching Table 1's taxonomy. *)
+
+open Types
+open Helpers
+
+let lints : Types.t list =
+  [
+    (* Invalid Structure (2) *)
+    mk ~name:"w_cab_subject_common_name_not_in_san"
+      ~description:
+        "If present, the subject CN must duplicate a value from the SAN \
+         extension (CA/B BR 7.1.4.2.2)."
+      ~source:Cab_br ~level:Must ~nc_type:Invalid_structure ~effective:cab_br_date
+      (fun ctx ->
+        let cns =
+          List.map (fun (_, _, _, cps) -> Unicode.Codec.utf8_of_cps cps)
+            (subject_values ~attrs:[ X509.Attr.Common_name ] ctx)
+        in
+        if cns = [] then Na
+        else begin
+          let san_values =
+            List.map snd (gn_strings (san_names ctx))
+            @ List.map
+                (fun gn ->
+                  match gn with X509.General_name.Ip_address _ -> X509.General_name.text gn | _ -> "")
+                (san_names ctx)
+          in
+          let lower = String.lowercase_ascii in
+          let missing =
+            List.filter
+              (fun cn -> not (List.exists (fun v -> lower v = lower cn) san_values))
+              cns
+          in
+          emit Must
+            (List.map (fun cn -> Printf.sprintf "CN %S not present in SAN" cn) missing)
+        end);
+    mk ~name:"e_subject_duplicate_attribute"
+      ~description:
+        "Subject attribute types must not be repeated (duplicate CNs confuse \
+         entity extraction)."
+      ~source:Community ~level:Must ~nc_type:Invalid_structure ~effective:cab_br_date
+      (fun ctx ->
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (fun (attr, _, _, _) ->
+            Hashtbl.replace counts attr
+              (1 + try Hashtbl.find counts attr with Not_found -> 0))
+          (subject_values ctx);
+        let bad =
+          Hashtbl.fold
+            (fun attr n acc ->
+              if n > 1 && attr <> X509.Attr.Domain_component
+                 && attr <> X509.Attr.Organizational_unit_name
+              then Printf.sprintf "%s appears %d times" (X509.Attr.name attr) n :: acc
+              else acc)
+            counts []
+        in
+        emit Must bad);
+    (* Discouraged Field (2) *)
+    mk ~name:"w_cab_subject_contain_extra_common_name"
+      ~description:
+        "Subjects should carry at most one commonName (deprecated field; extra \
+         CNs are discouraged)."
+      ~source:Cab_br ~level:Should_not ~nc_type:Discouraged_field ~effective:cab_br_date
+      (fun ctx ->
+        let cns = subject_values ~attrs:[ X509.Attr.Common_name ] ctx in
+        if List.length cns > 1 then
+          Warn [ Printf.sprintf "subject contains %d commonNames" (List.length cns) ]
+        else Pass);
+    mk ~name:"w_ext_san_uri_discouraged"
+      ~description:
+        "URI entries in the SAN of TLS server certificates are discouraged \
+         (CA/B BR restrict SAN to dNSName and iPAddress)."
+      ~source:Cab_br ~level:Should_not ~nc_type:Discouraged_field ~effective:cab_br_date
+      (fun ctx ->
+        emit Should_not
+          (List.filter_map
+             (fun gn ->
+               match gn with
+               | X509.General_name.Uri u -> Some (Printf.sprintf "SAN contains URI %S" u)
+               | _ -> None)
+             (san_names ctx)));
+  ]

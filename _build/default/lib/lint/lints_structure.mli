@@ -1,0 +1,3 @@
+(** T3c/T3d Invalid Structure and Discouraged Field lints (2 + 2 rules). *)
+
+val lints : Types.t list

@@ -1,0 +1,31 @@
+let all =
+  Lints_character.lints @ Lints_normalization.lints @ Lints_format.lints
+  @ Lints_encoding.lints @ Lints_structure.lints
+
+(* Duplicate lint names would silently skew every aggregate. *)
+let () =
+  let names = List.map (fun (l : Types.t) -> l.Types.name) all in
+  let unique = List.sort_uniq String.compare names in
+  if List.length names <> List.length unique then
+    invalid_arg "Lint registry contains duplicate names"
+
+let find name = List.find_opt (fun (l : Types.t) -> l.Types.name = name) all
+let by_type t = List.filter (fun (l : Types.t) -> l.Types.nc_type = t) all
+
+let counts_by_type t =
+  let lints = by_type t in
+  (List.length lints, List.length (List.filter (fun (l : Types.t) -> l.Types.is_new) lints))
+
+let run ?(respect_effective_dates = true) ?(include_new = true) ~issued cert =
+  let ctx = Ctx.of_cert cert in
+  List.filter_map
+    (fun (l : Types.t) ->
+      if (not include_new) && l.Types.is_new then None
+      else if respect_effective_dates && Asn1.Time.(issued < l.Types.effective_date) then
+        Some { Types.lint = l; status = Types.Na }
+      else Some { Types.lint = l; status = l.Types.check ctx })
+    all
+
+let noncompliant ?respect_effective_dates ?include_new ~issued cert =
+  run ?respect_effective_dates ?include_new ~issued cert
+  |> List.filter Types.is_noncompliant

@@ -1,0 +1,36 @@
+(** The lint registry: the full 95-rule catalogue and the per-certificate
+    runner. *)
+
+val all : Types.t list
+(** Every registered lint — 95 rules, 50 of them the paper's new
+    Unicode-specific checks (asserted by the test suite). *)
+
+val find : string -> Types.t option
+(** [find name] looks a lint up by name. *)
+
+val by_type : Types.nc_type -> Types.t list
+
+val counts_by_type : Types.nc_type -> int * int
+(** [(all, new)] lint counts for a taxonomy type — the "#Lints" columns
+    of Table 1. *)
+
+val run :
+  ?respect_effective_dates:bool ->
+  ?include_new:bool ->
+  issued:Asn1.Time.t ->
+  X509.Certificate.t ->
+  Types.finding list
+(** [run ~issued cert] evaluates every applicable lint.
+    [respect_effective_dates] (default [true]) skips lints whose
+    effective date is after [issued] — disabling it reproduces the
+    paper's footnote-4 ablation (249.3K → 1.8M).  [include_new]
+    (default [true]) set to [false] removes the 50 new lints — the
+    "existing linters only" ablation. *)
+
+val noncompliant :
+  ?respect_effective_dates:bool ->
+  ?include_new:bool ->
+  issued:Asn1.Time.t ->
+  X509.Certificate.t ->
+  Types.finding list
+(** Like {!run} but keeping only [Warn]/[Fail] findings. *)

@@ -1,0 +1,1 @@
+lib/middlebox/clients.ml: Char Format Idna List String Unicode X509

@@ -1,0 +1,1 @@
+lib/middlebox/clients.mli: X509

@@ -1,0 +1,1 @@
+lib/middlebox/engine.ml: Char List String X509

@@ -1,0 +1,1 @@
+lib/middlebox/engine.mli: X509

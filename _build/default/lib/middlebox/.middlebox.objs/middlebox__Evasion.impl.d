@@ -1,0 +1,1 @@
+lib/middlebox/evasion.ml: Asn1 Clients Engine Format List Result X509

@@ -1,0 +1,1 @@
+lib/middlebox/evasion.mli: Format

@@ -1,0 +1,1 @@
+lib/middlebox/inspect.ml: Engine List Option Tlswire Ucrypto

@@ -1,0 +1,1 @@
+lib/middlebox/inspect.mli: Engine Tlswire X509

@@ -1,0 +1,1 @@
+lib/middlebox/obfuscation.ml: Array Asn1 Char Engine Format List String Ucrypto Unicode X509

@@ -1,0 +1,1 @@
+lib/middlebox/obfuscation.mli: Format Ucrypto

@@ -1,0 +1,1 @@
+lib/middlebox/rules.ml: Buffer List Option Printf String Tlswire X509

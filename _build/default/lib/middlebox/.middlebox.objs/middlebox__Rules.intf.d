@@ -1,0 +1,1 @@
+lib/middlebox/rules.mli: Tlswire X509

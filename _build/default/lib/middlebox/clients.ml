@@ -1,0 +1,73 @@
+type t = {
+  name : string;
+  validate : X509.Certificate.t -> hostname:string -> (unit, string) result;
+}
+
+let of_policy name policy =
+  {
+    name;
+    validate =
+      (fun cert ~hostname ->
+        match X509.Hostname.verify ~policy ~reference:hostname cert with
+        | Ok () -> Ok ()
+        | Error f -> Error (Format.asprintf "%a" X509.Hostname.pp_failure f));
+  }
+
+let libcurl = of_policy "libcurl" X509.Hostname.strict
+
+(* urllib3 reads SAN bytes as Latin-1 and compares directly, but also
+   accepts the converted A-label form — so both a raw U-label SAN and a
+   proper A-label SAN satisfy a U-label hostname, and malformed
+   Punycode is never noticed ([P2.2]). *)
+let urllib3_validate cert ~hostname =
+  let lax =
+    { X509.Hostname.strict with
+      X509.Hostname.require_ldh_san = false;
+      convert_idn = false }
+  in
+  match X509.Hostname.verify ~policy:lax ~reference:hostname cert with
+  | Ok () -> Ok ()
+  | Error _ -> (
+      match
+        X509.Hostname.verify
+          ~policy:{ lax with X509.Hostname.convert_idn = true }
+          ~reference:hostname cert
+      with
+      | Ok () -> Ok ()
+      | Error f -> Error (Format.asprintf "%a" X509.Hostname.pp_failure f))
+
+let urllib3 = { name = "urllib3"; validate = urllib3_validate }
+let requests = { name = "requests"; validate = urllib3_validate }
+
+(* Java HttpClient accepts any syntactically-Punycode label without
+   decoding it, alongside plain LDH labels. *)
+let httpclient =
+  {
+    name = "HttpClient";
+    validate =
+      (fun cert ~hostname ->
+        let sans = X509.Certificate.san_dns_names cert in
+        let syntactically_ok s =
+          Idna.Dns.split_labels s
+          |> List.for_all (fun l ->
+                 l = "*" || Idna.Dns.is_a_label_candidate l
+                 || String.for_all (fun c -> Unicode.Props.is_ldh (Char.code c)) l)
+        in
+        let kept = List.filter syntactically_ok sans in
+        if sans = [] then Error "no subjectAltName"
+        else begin
+          let host =
+            match Idna.to_ascii hostname with Ok a -> a | Error _ -> hostname
+          in
+          let matches pattern =
+            let p = Idna.Dns.split_labels (String.lowercase_ascii pattern) in
+            let h = Idna.Dns.split_labels (String.lowercase_ascii host) in
+            match (p, h) with
+            | "*" :: prest, _ :: hrest -> prest <> [] && prest = hrest
+            | _ -> p = h
+          in
+          if List.exists matches kept then Ok () else Error "hostname mismatch"
+        end);
+  }
+
+let all = [ libcurl; urllib3; requests; httpclient ]

@@ -1,0 +1,67 @@
+type t = {
+  name : string;
+  extract_cn : X509.Certificate.t -> string option;
+  extract_org : X509.Certificate.t -> string option;
+  extract_sans : X509.Certificate.t -> string list;
+  case_sensitive_match : bool;
+}
+
+let cns cert =
+  X509.Dn.get_text cert.X509.Certificate.tbs.X509.Certificate.subject
+    X509.Attr.Common_name
+
+let orgs cert =
+  X509.Dn.get_text cert.X509.Certificate.tbs.X509.Certificate.subject
+    X509.Attr.Organization_name
+
+let first = function [] -> None | x :: _ -> Some x
+let last l = match List.rev l with [] -> None | x :: _ -> Some x
+
+let is_pure_ascii s = String.for_all (fun c -> Char.code c < 0x80) s
+
+let snort =
+  {
+    name = "Snort";
+    extract_cn = (fun c -> first (cns c));
+    extract_org = (fun c -> first (orgs c));
+    extract_sans = X509.Certificate.san_dns_names;
+    case_sensitive_match = false;
+  }
+
+let suricata =
+  {
+    name = "Suricata";
+    extract_cn = (fun c -> first (cns c));
+    extract_org = (fun c -> first (orgs c));
+    extract_sans = X509.Certificate.san_dns_names;
+    case_sensitive_match = true;
+  }
+
+let zeek =
+  {
+    name = "Zeek";
+    extract_cn = (fun c -> last (cns c));
+    extract_org = (fun c -> last (orgs c));
+    (* X509.cc skips SAN strings that are not plain IA5. *)
+    extract_sans =
+      (fun c -> List.filter is_pure_ascii (X509.Certificate.san_dns_names c));
+    case_sensitive_match = false;
+  }
+
+let all = [ snort; suricata; zeek ]
+
+type rule = { field : [ `Cn | `Org | `San ]; pattern : string }
+
+let matches engine rule cert =
+  let fold s = if engine.case_sensitive_match then s else String.lowercase_ascii s in
+  let pattern = fold rule.pattern in
+  match rule.field with
+  | `Cn -> (
+      match engine.extract_cn cert with
+      | Some cn -> String.equal (fold cn) pattern
+      | None -> false)
+  | `Org -> (
+      match engine.extract_org cert with
+      | Some o -> String.equal (fold o) pattern
+      | None -> false)
+  | `San -> List.exists (fun s -> String.equal (fold s) pattern) (engine.extract_sans cert)

@@ -1,0 +1,28 @@
+(** Network-detection engine models (§6.2): how Snort, Suricata and
+    Zeek extract and match certificate entity fields, with each tool's
+    documented quirks ([P2.1]). *)
+
+type t = {
+  name : string;
+  extract_cn : X509.Certificate.t -> string option;
+      (** Snort takes the first duplicated CN, Zeek the last. *)
+  extract_org : X509.Certificate.t -> string option;
+  extract_sans : X509.Certificate.t -> string list;
+      (** Zeek ignores SAN entries that are not pure IA5/ASCII. *)
+  case_sensitive_match : bool;
+      (** Suricata's tls.subject matching is case-sensitive. *)
+}
+
+val snort : t
+val suricata : t
+val zeek : t
+val all : t list
+
+type rule = { field : [ `Cn | `Org | `San ]; pattern : string }
+(** A blocklist rule: block when the extracted field equals (or for
+    SANs, contains) the pattern, honouring the engine's case
+    sensitivity. *)
+
+val matches : t -> rule -> X509.Certificate.t -> bool
+(** [matches engine rule cert] — would the engine flag this
+    certificate? *)

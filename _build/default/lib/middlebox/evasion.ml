@@ -1,0 +1,104 @@
+type finding = { id : string; description : string; demonstrated : bool }
+
+let issuer_key = X509.Certificate.mock_keypair ~seed:"evasion-ca"
+
+let make_cert ~subject ~sans =
+  let tbs =
+    X509.Certificate.make_tbs
+      ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "Evasion CA") ])
+      ~subject
+      ~not_before:(Asn1.Time.make 2025 1 1) ~not_after:(Asn1.Time.make 2025 4 1)
+      ~spki:(X509.Certificate.keypair_spki issuer_key)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:
+        [ X509.Extension.subject_alt_name
+            (List.map (fun d -> X509.General_name.Dns_name d) sans) ]
+      ()
+  in
+  X509.Certificate.sign issuer_key tbs
+
+let duplicated_cn_divergence () =
+  let subject =
+    X509.Dn.single
+      [ X509.Dn.atv X509.Attr.Common_name "benign.example.com";
+        X509.Dn.atv X509.Attr.Common_name "evil.example.com" ]
+  in
+  let cert = make_cert ~subject ~sans:[ "benign.example.com" ] in
+  let rule = { Engine.field = `Cn; pattern = "evil.example.com" } in
+  let snort_sees = Engine.matches Engine.snort rule cert in
+  let zeek_sees = Engine.matches Engine.zeek rule cert in
+  {
+    id = "P2.1a";
+    description =
+      "Duplicated CNs split the engines: Snort (first CN) misses the malicious \
+       value that Zeek (last CN) extracts";
+    demonstrated = (not snort_sees) && zeek_sees;
+  }
+
+let non_ia5_san_skip () =
+  let subject = X509.Dn.of_list [ (X509.Attr.Common_name, "cover.example.com") ] in
+  let cert =
+    make_cert ~subject ~sans:[ "cover.example.com"; "evil-\xC3\xA9ntity.example.com" ]
+  in
+  let rule = { Engine.field = `San; pattern = "evil-\xC3\xA9ntity.example.com" } in
+  let zeek_sees = Engine.matches Engine.zeek rule cert in
+  let snort_sees = Engine.matches Engine.snort rule cert in
+  {
+    id = "P2.1b";
+    description =
+      "Zeek ignores non-IA5String SAN entries, so a raw U-label SAN escapes its \
+       logs while Snort still matches it";
+    demonstrated = (not zeek_sees) && snort_sees;
+  }
+
+let case_sensitive_bypass () =
+  let subject = X509.Dn.of_list [ (X509.Attr.Organization_name, "EVIL Entity") ] in
+  let cert = make_cert ~subject ~sans:[ "x.example.com" ] in
+  let rule = { Engine.field = `Org; pattern = "evil entity" } in
+  let suricata_sees = Engine.matches Engine.suricata rule cert in
+  let snort_sees = Engine.matches Engine.snort rule cert in
+  {
+    id = "P2.1c";
+    description =
+      "Suricata's case-sensitive subject matching is bypassed by case variants \
+       that case-insensitive engines still catch";
+    demonstrated = (not suricata_sees) && snort_sees;
+  }
+
+let ulabel_san_client_acceptance () =
+  let hostname = "b\xC3\xBCcher.example.com" in
+  let subject = X509.Dn.of_list [ (X509.Attr.Common_name, hostname) ] in
+  let cert = make_cert ~subject ~sans:[ hostname ] in
+  List.map
+    (fun (c : Clients.t) ->
+      (c.Clients.name, Result.is_ok (c.Clients.validate cert ~hostname)))
+    Clients.all
+
+let malformed_punycode_client_acceptance () =
+  let san = "xn--ab_c.example.com" in
+  let subject = X509.Dn.of_list [ (X509.Attr.Common_name, san) ] in
+  let cert = make_cert ~subject ~sans:[ san ] in
+  List.map
+    (fun (c : Clients.t) ->
+      (c.Clients.name, Result.is_ok (c.Clients.validate cert ~hostname:san)))
+    Clients.all
+
+let all_findings () =
+  [ duplicated_cn_divergence (); non_ia5_san_skip (); case_sensitive_bypass () ]
+
+let render ppf =
+  Format.fprintf ppf "== Section 6.2: middlebox and client findings ==@.";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "[%s] %s: %s@." f.id
+        (if f.demonstrated then "demonstrated" else "NOT demonstrated")
+        f.description)
+    (all_findings ());
+  Format.fprintf ppf "U-label SAN accepted by clients:@.";
+  List.iter
+    (fun (name, ok) -> Format.fprintf ppf "    %-12s %s@." name (if ok then "accepts" else "rejects"))
+    (ulabel_san_client_acceptance ());
+  Format.fprintf ppf "Malformed-Punycode SAN accepted by clients:@.";
+  List.iter
+    (fun (name, ok) -> Format.fprintf ppf "    %-12s %s@." name (if ok then "accepts" else "rejects"))
+    (malformed_punycode_client_acceptance ())

@@ -1,0 +1,130 @@
+type buffer = Tls_subject | Tls_sni
+
+type matcher = { buffer : buffer; content : string; nocase : bool }
+
+type t = { msg : string; sid : int; matchers : matcher list }
+
+(* Split the option block "(k:v; k; ...)" into trimmed entries,
+   respecting quoted strings. *)
+let split_options body =
+  let parts = ref [] and buf = Buffer.create 32 in
+  let in_quotes = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_quotes := not !in_quotes;
+        Buffer.add_char buf c
+      end
+      else if c = ';' && not !in_quotes then begin
+        parts := String.trim (Buffer.contents buf) :: !parts;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    body;
+  let last = String.trim (Buffer.contents buf) in
+  if last <> "" then parts := last :: !parts;
+  List.rev (List.filter (fun p -> p <> "") !parts)
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then Ok (String.sub s 1 (n - 2))
+  else Error (Printf.sprintf "expected a quoted string, got %S" s)
+
+let parse line =
+  let line = String.trim line in
+  match (String.index_opt line '(', String.rindex_opt line ')') with
+  | Some lp, Some rp when lp < rp -> (
+      let header = String.trim (String.sub line 0 lp) in
+      let tokens =
+        String.split_on_char ' ' header |> List.filter (fun t -> t <> "")
+      in
+      match tokens with
+      | "alert" :: "tls" :: _ -> (
+          let body = String.sub line (lp + 1) (rp - lp - 1) in
+          let options = split_options body in
+          let msg = ref "" and sid = ref 0 in
+          let matchers = ref [] in
+          let current_buffer = ref None in
+          let error = ref None in
+          List.iter
+            (fun opt ->
+              if !error <> None then ()
+              else
+                match String.index_opt opt ':' with
+                | Some i -> (
+                    let key = String.trim (String.sub opt 0 i) in
+                    let value =
+                      String.trim (String.sub opt (i + 1) (String.length opt - i - 1))
+                    in
+                    match key with
+                    | "msg" -> (
+                        match unquote value with
+                        | Ok m -> msg := m
+                        | Error e -> error := Some e)
+                    | "sid" -> (
+                        match int_of_string_opt value with
+                        | Some n -> sid := n
+                        | None -> error := Some ("bad sid " ^ value))
+                    | "content" -> (
+                        match (unquote value, !current_buffer) with
+                        | Ok c, Some buffer ->
+                            matchers := { buffer; content = c; nocase = false } :: !matchers
+                        | Ok _, None ->
+                            error := Some "content without a preceding buffer keyword"
+                        | Error e, _ -> error := Some e)
+                    | other -> error := Some ("unknown option " ^ other))
+                | None -> (
+                    match opt with
+                    | "tls.subject" -> current_buffer := Some Tls_subject
+                    | "tls.sni" -> current_buffer := Some Tls_sni
+                    | "nocase" -> (
+                        match !matchers with
+                        | m :: rest -> matchers := { m with nocase = true } :: rest
+                        | [] -> error := Some "nocase without a content")
+                    | other -> error := Some ("unknown keyword " ^ other)))
+            options;
+          match !error with
+          | Some e -> Error e
+          | None ->
+              if !matchers = [] then Error "rule has no content matchers"
+              else Ok { msg = !msg; sid = !sid; matchers = List.rev !matchers })
+      | _ -> Error "rule must start with 'alert tls'")
+  | _ -> Error "missing option block"
+
+(* Suricata renders the subject as comma-space-joined short-name pairs
+   in encoding order. *)
+let subject_buffer cert =
+  let atvs = X509.Dn.all_atvs cert.X509.Certificate.tbs.X509.Certificate.subject in
+  String.concat ", "
+    (List.map
+       (fun (atv : X509.Dn.atv) ->
+         let label =
+           match X509.Attr.short_name atv.X509.Dn.typ with
+           | Some s -> s
+           | None -> X509.Attr.name atv.X509.Dn.typ
+         in
+         label ^ "=" ^ X509.Dn.atv_text atv)
+       atvs)
+
+let contains ~nocase hay needle =
+  let hay = if nocase then String.lowercase_ascii hay else hay in
+  let needle = if nocase then String.lowercase_ascii needle else needle in
+  let hn = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let matches rule ~client_flow ~server_flow =
+  let subject =
+    match Tlswire.Wire.server_certificates server_flow with
+    | cert :: _ -> subject_buffer cert
+    | [] -> ""
+  in
+  let sni = Option.value ~default:"" (Tlswire.Wire.sni_of_flow client_flow) in
+  List.for_all
+    (fun m ->
+      let hay = match m.buffer with Tls_subject -> subject | Tls_sni -> sni in
+      contains ~nocase:m.nocase hay m.content)
+    rule.matchers
+
+let eval rules ~client_flow ~server_flow =
+  List.filter (fun r -> matches r ~client_flow ~server_flow) rules

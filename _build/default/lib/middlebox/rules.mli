@@ -1,0 +1,39 @@
+(** A miniature Suricata-style TLS rule language, covering the keywords
+    the §6.2 experiments exercise: [tls.subject], [tls.sni],
+    [content:"…"], [nocase], [msg:"…"] and [sid:N].
+
+    Example rule:
+    {v
+alert tls any any -> any any (msg:"evil org"; tls.subject; content:"O=Evil Entity"; nocase; sid:1001;)
+    v} *)
+
+type buffer = Tls_subject | Tls_sni
+
+type matcher = {
+  buffer : buffer;
+  content : string;
+  nocase : bool;
+}
+
+type t = {
+  msg : string;
+  sid : int;
+  matchers : matcher list;
+}
+
+val parse : string -> (t, string) result
+(** [parse line] reads one rule.  Unknown option keywords are rejected;
+    [content] binds to the most recent buffer keyword. *)
+
+val subject_buffer : X509.Certificate.t -> string
+(** The engine's rendering of the subject for content matching
+    (Suricata-style ["C=US, O=Acme, CN=x"]). *)
+
+val matches :
+  t -> client_flow:Tlswire.Wire.flow -> server_flow:Tlswire.Wire.flow -> bool
+(** [matches rule ~client_flow ~server_flow] — every matcher must find
+    its content in its buffer. *)
+
+val eval :
+  t list -> client_flow:Tlswire.Wire.flow -> server_flow:Tlswire.Wire.flow -> t list
+(** The alerting rules, in order. *)

@@ -1,0 +1,1 @@
+lib/monitors/audit.ml: Asn1 Ctlog Format List Monitor X509

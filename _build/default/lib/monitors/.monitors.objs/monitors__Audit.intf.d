@@ -1,0 +1,1 @@
+lib/monitors/audit.mli: Format

@@ -1,0 +1,1 @@
+lib/monitors/monitor.ml: Char Ctlog Idna List Printf Result String Unicode X509

@@ -1,0 +1,1 @@
+lib/monitors/monitor.mli: Ctlog X509

@@ -1,0 +1,203 @@
+type profile = {
+  name : string;
+  indexes_subject_attrs : bool;
+  fuzzy_search : bool;
+  unicode_search : bool;
+  ulabel_check : bool;
+  punycode_ccidn : bool;
+  cn_split_slash : bool;
+  cn_drop_with_space : bool;
+  index_drops_special : bool;
+}
+
+type instance = {
+  prof : profile;
+  mutable entries : (string list * X509.Certificate.t) list;
+      (** (index keys, certificate), newest first *)
+}
+
+let create prof = { prof; entries = [] }
+let profile m = m.prof
+
+let has_special s =
+  String.exists (fun c -> Char.code c < 0x20 || Char.code c = 0x7F) s
+
+let fold_key s = String.lowercase_ascii s
+
+(* Keys a monitor derives from one certificate. *)
+let keys_of prof cert =
+  let tbs = cert.X509.Certificate.tbs in
+  let cns = X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Common_name in
+  let cns =
+    List.filter_map
+      (fun cn ->
+        if prof.cn_drop_with_space && String.contains cn ' ' then None
+        else if prof.cn_split_slash && String.contains cn '/' then
+          Some (String.sub cn 0 (String.index cn '/'))
+        else Some cn)
+      cns
+  in
+  let sans = X509.Certificate.san_dns_names cert in
+  let extra =
+    if prof.indexes_subject_attrs then
+      X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Organization_name
+      @ X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Organizational_unit_name
+      @ X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Email_address
+    else []
+  in
+  let keys = cns @ sans @ extra in
+  let keys =
+    if prof.index_drops_special then List.filter (fun k -> not (has_special k)) keys
+    else keys
+  in
+  List.map fold_key keys
+
+let ingest m cert = m.entries <- (keys_of m.prof cert, cert) :: m.entries
+
+let ingest_log m log =
+  List.iter
+    (fun (e : Ctlog.Log.entry) ->
+      match X509.Certificate.parse e.Ctlog.Log.der with
+      | Ok cert -> ingest m cert
+      | Error _ -> ())
+    (Ctlog.Log.entries log)
+
+type query_result = Refused of string | Results of X509.Certificate.t list
+
+let is_ascii_query q = String.for_all (fun c -> Char.code c < 0x80) q
+
+(* Convert a U-label query to its A-label lookup form, validating if the
+   monitor checks legality. *)
+let prepare_query prof q =
+  if not (is_ascii_query q) then begin
+    if not prof.unicode_search then Error "Unicode input not supported"
+    else begin
+      let labels = Idna.Dns.split_labels q in
+      let validated =
+        List.map
+          (fun l ->
+            if String.for_all (fun c -> Char.code c < 0x80) l then Ok l
+            else begin
+              let cps = Unicode.Codec.cps_of_utf8 l in
+              if prof.ulabel_check && Idna.ulabel_issues cps <> [] then
+                Error (Printf.sprintf "invalid U-label %S" l)
+              else
+                match Idna.Punycode.encode_utf8 l with
+                | Ok body -> Ok ("xn--" ^ body)
+                | Error m -> Error m
+            end)
+          labels
+      in
+      match List.find_opt Result.is_error validated with
+      | Some (Error m) -> Error m
+      | Some (Ok _) -> assert false
+      | None -> Ok (String.concat "." (List.map Result.get_ok validated))
+    end
+  end
+  else begin
+    (* A-label queries: monitors that check legality also validate
+       Punycode IDN queries before searching. *)
+    let labels = Idna.Dns.split_labels q in
+    let bad_alabel =
+      prof.ulabel_check
+      && List.exists
+           (fun l -> Idna.Dns.is_a_label_candidate l && Idna.alabel_issues l <> [])
+           labels
+    in
+    let cctld_refused =
+      (not prof.punycode_ccidn)
+      &&
+      match List.rev labels with
+      | tld :: _ -> Idna.Dns.is_a_label_candidate tld
+      | [] -> false
+    in
+    if bad_alabel then Error "A-label fails U-label legality check"
+    else if cctld_refused then Error "Punycode IDN ccTLDs not supported"
+    else Ok q
+  end
+
+let search m q =
+  match prepare_query m.prof q with
+  | Error reason -> Refused reason
+  | Ok prepared ->
+      let needle = fold_key prepared in
+      let contains hay =
+        let hn = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+        nn > 0 && go 0
+      in
+      let matches keys =
+        if m.prof.fuzzy_search then List.exists contains keys
+        else List.exists (String.equal needle) keys
+      in
+      Results
+        (List.rev_map snd (List.filter (fun (keys, _) -> matches keys) m.entries)
+        |> List.rev)
+
+(* Profiles per Table 6. *)
+let crtsh =
+  {
+    name = "Crt.sh";
+    indexes_subject_attrs = true;
+    fuzzy_search = true;
+    unicode_search = false;
+    ulabel_check = false;
+    punycode_ccidn = true;
+    cn_split_slash = false;
+    cn_drop_with_space = false;
+    index_drops_special = false;
+  }
+
+let sslmate =
+  {
+    name = "SSLMate Spotter";
+    indexes_subject_attrs = false;
+    fuzzy_search = false;
+    unicode_search = false;
+    ulabel_check = true;
+    punycode_ccidn = true;
+    cn_split_slash = true;
+    cn_drop_with_space = true;
+    index_drops_special = true;
+  }
+
+let facebook =
+  {
+    name = "Facebook Monitor";
+    indexes_subject_attrs = false;
+    fuzzy_search = false;
+    unicode_search = false;
+    ulabel_check = true;
+    punycode_ccidn = true;
+    cn_split_slash = false;
+    cn_drop_with_space = false;
+    index_drops_special = false;
+  }
+
+let entrust =
+  {
+    name = "Entrust Search";
+    indexes_subject_attrs = false;
+    fuzzy_search = false;
+    unicode_search = false;
+    ulabel_check = false;
+    punycode_ccidn = false;
+    cn_split_slash = false;
+    cn_drop_with_space = false;
+    index_drops_special = false;
+  }
+
+let merklemap =
+  {
+    name = "MerkleMap";
+    indexes_subject_attrs = false;
+    fuzzy_search = true;
+    unicode_search = false;
+    ulabel_check = false;
+    punycode_ccidn = true;
+    cn_split_slash = false;
+    cn_drop_with_space = false;
+    index_drops_special = false;
+  }
+
+let all = [ crtsh; sslmate; facebook; entrust; merklemap ]

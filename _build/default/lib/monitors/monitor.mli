@@ -1,0 +1,50 @@
+(** CT monitor simulators (§6.1).
+
+    Each profile reproduces one public monitor's indexing and query
+    behaviour from Table 6: which fields it indexes, how it handles
+    case, Unicode and fuzzy queries, whether it validates U-labels, and
+    whether special characters break its indexing. *)
+
+type profile = {
+  name : string;
+  indexes_subject_attrs : bool;
+      (** Crt.sh also indexes O/OU/emailAddress, not just CN+SAN. *)
+  fuzzy_search : bool;
+  unicode_search : bool;  (** accepts non-ASCII query input *)
+  ulabel_check : bool;    (** validates U-label legality before querying *)
+  punycode_ccidn : bool;  (** accepts A-label queries under IDN ccTLDs *)
+  cn_split_slash : bool;
+      (** SSLMate: match only the CN substring before "/" (P1.4) *)
+  cn_drop_with_space : bool;
+      (** SSLMate: ignore CNs containing a space (P1.4) *)
+  index_drops_special : bool;
+      (** entries with control characters never enter the index *)
+}
+
+type instance
+
+val create : profile -> instance
+val profile : instance -> profile
+
+val ingest : instance -> X509.Certificate.t -> unit
+(** [ingest m cert] indexes a logged certificate. *)
+
+val ingest_log : instance -> Ctlog.Log.t -> unit
+(** Index every parseable entry of a CT log. *)
+
+type query_result =
+  | Refused of string        (** input rejected before searching *)
+  | Results of X509.Certificate.t list
+
+val search : instance -> string -> query_result
+(** [search m q] looks [q] up the way the monitor would: case folding,
+    optional U-label validation and conversion, exact or substring
+    matching. *)
+
+val crtsh : profile
+val sslmate : profile
+val facebook : profile
+val entrust : profile
+val merklemap : profile
+
+val all : profile list

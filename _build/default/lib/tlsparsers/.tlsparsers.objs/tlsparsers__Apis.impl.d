@@ -1,0 +1,1 @@
+lib/tlsparsers/apis.ml: Format List Model Models Printf String

@@ -1,0 +1,1 @@
+lib/tlsparsers/apis.mli: Format Model

@@ -1,0 +1,1 @@
+lib/tlsparsers/harness.ml: Array Asn1 Buffer Format Fun Infer List Model Models Printf String Testgen Unicode X509

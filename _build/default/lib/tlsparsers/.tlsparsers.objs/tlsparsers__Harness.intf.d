@@ -1,0 +1,1 @@
+lib/tlsparsers/harness.mli: Asn1 Format Infer

@@ -1,0 +1,1 @@
+lib/tlsparsers/infer.ml: Asn1 Buffer Char List Printf String Unicode

@@ -1,0 +1,1 @@
+lib/tlsparsers/infer.mli: Asn1

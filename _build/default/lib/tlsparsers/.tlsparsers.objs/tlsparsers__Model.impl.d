@@ -1,0 +1,1 @@
+lib/tlsparsers/model.ml: Asn1 Buffer Char String Unicode X509

@@ -1,0 +1,1 @@
+lib/tlsparsers/model.mli: Asn1 Unicode X509

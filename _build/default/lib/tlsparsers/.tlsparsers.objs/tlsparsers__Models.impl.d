@@ -1,0 +1,1 @@
+lib/tlsparsers/models.ml: Array Asn1 Buffer Char Format List Model Printf String Unicode X509

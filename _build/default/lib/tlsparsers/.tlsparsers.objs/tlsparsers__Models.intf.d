@@ -1,0 +1,1 @@
+lib/tlsparsers/models.mli: Model

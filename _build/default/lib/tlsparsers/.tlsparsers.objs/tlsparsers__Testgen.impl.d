@@ -1,0 +1,1 @@
+lib/tlsparsers/testgen.ml: Array Asn1 List Unicode X509

@@ -1,0 +1,1 @@
+lib/tlsparsers/testgen.mli: Asn1 X509

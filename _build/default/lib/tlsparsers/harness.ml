@@ -1,0 +1,357 @@
+type scenario = { declared : Asn1.Str_type.t; context : [ `Name | `Gn ] }
+
+let scenarios =
+  [
+    { declared = Asn1.Str_type.Printable_string; context = `Name };
+    { declared = Asn1.Str_type.Ia5_string; context = `Name };
+    { declared = Asn1.Str_type.Bmp_string; context = `Name };
+    { declared = Asn1.Str_type.Utf8_string; context = `Name };
+    { declared = Asn1.Str_type.Ia5_string; context = `Gn };
+  ]
+
+let scenario_name s =
+  Printf.sprintf "%s in %s" (Asn1.Str_type.name s.declared)
+    (match s.context with `Name -> "Name" | `Gn -> "GN")
+
+type cell = {
+  library : string;
+  inferred : (Infer.method_ * Infer.handling) option;
+  verdicts : Infer.verdict list;
+}
+
+(* Round each probe through a real certificate so the full encode/parse
+   path is exercised, then hand the extracted raw bytes to the model —
+   the moral equivalent of calling the library's parsing API on the
+   test Unicert. *)
+let observations_for (model : Model.t) scenario =
+  List.filter_map
+    (fun payload ->
+      match scenario.context with
+      | `Name ->
+          let cert =
+            Testgen.make
+              (Testgen.Subject_attr
+                 (X509.Attr.Organization_name, scenario.declared, payload))
+          in
+          (match Testgen.raw_subject_attr cert X509.Attr.Organization_name with
+          | Some (st, raw) ->
+              Some { Infer.raw; output = model.Model.decode_name_attr st raw }
+          | None -> None)
+      | `Gn ->
+          let cert = Testgen.make (Testgen.San_dns payload) in
+          (match Testgen.raw_san_payloads cert with
+          | raw :: _ -> Some { Infer.raw; output = model.Model.decode_gn Model.San raw }
+          | [] -> None))
+    Testgen.byte_battery
+
+let decoding_matrix () =
+  List.map
+    (fun scenario ->
+      let cells =
+        List.map
+          (fun (model : Model.t) ->
+            let supported =
+              match scenario.context with
+              | `Name -> model.Model.supports Model.Subject_dn
+              | `Gn -> model.Model.supports Model.San
+            in
+            if not supported then
+              { library = model.Model.name; inferred = None;
+                verdicts = [ Infer.Unsupported ] }
+            else begin
+              let obs = observations_for model scenario in
+              let all_none = List.for_all (fun o -> o.Infer.output = None) obs in
+              let inferred = Infer.infer obs in
+              let verdicts =
+                Infer.classify ~declared:scenario.declared inferred ~all_none
+              in
+              { library = model.Model.name; inferred; verdicts }
+            end)
+          Models.all
+      in
+      (scenario, cells))
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 upper half: illegal-character tolerance.                    *)
+
+type tolerance = Enforced | Tolerated | Not_tested
+
+let tolerance_symbol = function
+  | Enforced -> "o"
+  | Tolerated -> "(.)"
+  | Not_tested -> "-"
+
+(* A value is "tolerated" when the parser returns text containing code
+   points outside the declared repertoire — U+FFFD replacements and
+   ASCII escape expansions count as handling the problem. *)
+let classify_tolerance declared outputs =
+  let some_outputs = List.filter_map Fun.id outputs in
+  if some_outputs = [] then Enforced
+  else begin
+    let offending text =
+      let cps = Unicode.Codec.cps_of_utf8 text in
+      Array.exists
+        (fun cp -> cp <> 0xFFFD && not (Asn1.Str_type.allows declared cp))
+        cps
+    in
+    if List.exists offending some_outputs then Tolerated else Enforced
+  end
+
+let illegal_payloads declared =
+  match declared with
+  | Asn1.Str_type.Printable_string ->
+      [ "caf\xC3\xA9" (* UTF-8 e-acute *); "caf\xE9" (* Latin-1 e-acute *) ]
+  | Asn1.Str_type.Ia5_string -> [ "caf\xC3\xA9"; "caf\xE9"; "hi\xFF" ]
+  | Asn1.Str_type.Bmp_string ->
+      [ "\xD8\x00\x00a" (* lone surrogate unit *); "\xD8\x3D\xDE\x00" (* pair *) ]
+  | _ -> [ "caf\xC3\xA9" ]
+
+let illegal_char_rows () =
+  let dn_row declared label =
+    ( label,
+      List.map
+        (fun (model : Model.t) ->
+          if not (model.Model.supports Model.Subject_dn) then
+            (model.Model.name, Not_tested)
+          else begin
+            let outputs =
+              List.map
+                (fun payload ->
+                  let cert =
+                    Testgen.make
+                      (Testgen.Subject_attr
+                         (X509.Attr.Organization_name, declared, payload))
+                  in
+                  match Testgen.raw_subject_attr cert X509.Attr.Organization_name with
+                  | Some (st, raw) -> model.Model.decode_name_attr st raw
+                  | None -> None)
+                (illegal_payloads declared)
+            in
+            (model.Model.name, classify_tolerance declared outputs)
+          end)
+        Models.all )
+  in
+  let gn_row =
+    ( "IA5String in GN",
+      List.map
+        (fun (model : Model.t) ->
+          if not (model.Model.supports Model.San) then (model.Model.name, Not_tested)
+          else begin
+            let outputs =
+              List.map
+                (fun payload ->
+                  let cert = Testgen.make (Testgen.San_dns payload) in
+                  match Testgen.raw_san_payloads cert with
+                  | raw :: _ -> model.Model.decode_gn Model.San raw
+                  | [] -> None)
+                (illegal_payloads Asn1.Str_type.Ia5_string)
+            in
+            (model.Model.name, classify_tolerance Asn1.Str_type.Ia5_string outputs)
+          end)
+        Models.all )
+  in
+  [
+    dn_row Asn1.Str_type.Printable_string "PrintableString in DN";
+    dn_row Asn1.Str_type.Ia5_string "IA5String in DN";
+    dn_row Asn1.Str_type.Bmp_string "BMPString in DN";
+    gn_row;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 lower half: escaping conformance and exploitability.        *)
+
+type escaping_verdict = Esc_ok | Esc_violation | Esc_exploited | Esc_na
+
+let escaping_symbol = function
+  | Esc_ok -> "o"
+  | Esc_violation -> "(.)"
+  | Esc_exploited -> "X"
+  | Esc_na -> "-"
+
+(* Values whose escaping the DN string formats must protect. *)
+let dn_probe_values =
+  [ "a,b"; "a+b"; "#leading"; " leading-space"; "trailing-space "; "quo\"te";
+    "back\\slash" ]
+
+let dn_injection_values = [ "x,CN=evil.com"; "x/CN=evil.com"; "x, CN=evil.com" ]
+
+(* Count components the way a naive string-based analyzer would: split
+   on '/' for oneline output, on newlines for line-per-attribute output,
+   or on unescaped ',' otherwise. *)
+let naive_components rendered =
+  if String.contains rendered '\n' then String.split_on_char '\n' rendered
+  else if String.length rendered > 0 && rendered.[0] = '/' then
+    String.split_on_char '/' rendered |> List.filter (fun s -> s <> "")
+  else begin
+    let out = ref [] and buf = Buffer.create 32 in
+    let escaped = ref false in
+    String.iter
+      (fun c ->
+        if !escaped then begin
+          Buffer.add_char buf c;
+          escaped := false
+        end
+        else if c = '\\' then escaped := true
+        else if c = ',' then begin
+          out := Buffer.contents buf :: !out;
+          Buffer.clear buf
+        end
+        else Buffer.add_char buf c)
+      rendered;
+    out := Buffer.contents buf :: !out;
+    List.rev !out
+  end
+
+let injection_succeeds (model : Model.t) =
+  List.exists
+    (fun v ->
+      let cert =
+        Testgen.make
+          (Testgen.Subject_attr
+             (X509.Attr.Organization_name, Asn1.Str_type.Utf8_string, v))
+      in
+      match model.Model.dn_to_string cert.X509.Certificate.tbs.X509.Certificate.subject with
+      | None -> false
+      | Some rendered ->
+          List.exists
+            (fun comp ->
+              let comp = String.trim comp in
+              String.length comp >= 3 && String.sub comp 0 3 = "CN="
+              && String.length comp >= 10
+              && String.sub comp 0 10 = "CN=evil.co")
+            (naive_components rendered))
+    dn_injection_values
+
+let dn_escaping_verdict (model : Model.t) flavor =
+  match model.Model.dn_to_string X509.Dn.empty with
+  | None -> Esc_na
+  | Some _ ->
+      let claimed =
+        List.mem
+          (match flavor with
+          | X509.Dn.Rfc1779 -> `Rfc1779
+          | X509.Dn.Rfc2253 -> `Rfc2253
+          | X509.Dn.Rfc4514 -> `Rfc4514)
+          model.Model.escaping_claim
+      in
+      if not claimed then Esc_na
+      else if injection_succeeds model then Esc_exploited
+      else begin
+        let deviates =
+          List.exists
+            (fun v ->
+              let cert =
+                Testgen.make
+                  (Testgen.Subject_attr
+                     (X509.Attr.Organization_name, Asn1.Str_type.Utf8_string, v))
+              in
+              match
+                model.Model.dn_to_string
+                  cert.X509.Certificate.tbs.X509.Certificate.subject
+              with
+              | None -> false
+              | Some rendered ->
+                  let reference = X509.Dn.escape_value flavor v in
+                  (* The correctly escaped value must appear verbatim. *)
+                  let contains hay needle =
+                    let hn = String.length hay and nn = String.length needle in
+                    let rec go i =
+                      i + nn <= hn && (String.sub hay i nn = needle || go (i + 1))
+                    in
+                    nn = 0 || go 0
+                  in
+                  not (contains rendered reference))
+            dn_probe_values
+        in
+        if deviates then Esc_violation else Esc_ok
+      end
+
+let gn_injection_value = "a.com, DNS:b.com"
+
+let gn_escaping_verdict (model : Model.t) =
+  let cert = Testgen.make (Testgen.San_dns gn_injection_value) in
+  match
+    X509.Extension.find cert.X509.Certificate.tbs.X509.Certificate.extensions
+      X509.Extension.Oids.subject_alt_name
+  with
+  | None -> Esc_na
+  | Some e -> (
+      match X509.Extension.parse_general_names e.X509.Extension.value with
+      | Error _ -> Esc_na
+      | Ok gns -> (
+          match model.Model.gns_to_string gns with
+          | None -> Esc_na
+          | Some rendered ->
+              let components =
+                String.split_on_char ',' rendered |> List.map String.trim
+              in
+              let forged =
+                List.exists (fun c -> c = "DNS:b.com") components
+              in
+              if forged then Esc_exploited
+              else if
+                (* Any rendering that does not leave the payload verbatim
+                   and unambiguous deviates from the standards' advice. *)
+                not (String.equal rendered ("DNS:" ^ gn_injection_value))
+              then Esc_violation
+              else Esc_violation))
+
+let escaping_rows () =
+  let flavors =
+    [ ("RFC2253 DN", X509.Dn.Rfc2253); ("RFC4514 DN", X509.Dn.Rfc4514);
+      ("RFC1779 DN", X509.Dn.Rfc1779) ]
+  in
+  List.map
+    (fun (label, flavor) ->
+      (label, List.map (fun m -> (m.Model.name, dn_escaping_verdict m flavor)) Models.all))
+    flavors
+  @ [
+      ( "GN escaping",
+        List.map (fun m -> (m.Model.name, gn_escaping_verdict m)) Models.all );
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let render ppf =
+  let libs = List.map (fun m -> m.Model.name) Models.all in
+  Format.fprintf ppf "== Table 4: decoding methods for DN and GN ==@.";
+  Format.fprintf ppf "%-24s" "Scenario";
+  List.iter (fun l -> Format.fprintf ppf " | %-18s" l) libs;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (scenario, cells) ->
+      Format.fprintf ppf "%-24s" (scenario_name scenario);
+      List.iter
+        (fun cell ->
+          let text =
+            match cell.inferred with
+            | None -> String.concat "," (List.map Infer.verdict_symbol cell.verdicts)
+            | Some (m, h) ->
+                let flags =
+                  String.concat "," (List.map Infer.verdict_symbol cell.verdicts)
+                in
+                if h = Infer.H_none then
+                  Printf.sprintf "%s %s" (Infer.method_name m) flags
+                else Printf.sprintf "%s* %s" (Infer.method_name m) flags
+          in
+          Format.fprintf ppf " | %-18s" text)
+        cells;
+      Format.fprintf ppf "@.")
+    (decoding_matrix ());
+  Format.fprintf ppf "@.== Table 5: standard violations in parsing DN and GN ==@.";
+  Format.fprintf ppf "%-24s" "Violation";
+  List.iter (fun l -> Format.fprintf ppf " | %-18s" l) libs;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (label, cells) ->
+      Format.fprintf ppf "%-24s" label;
+      List.iter (fun (_, t) -> Format.fprintf ppf " | %-18s" (tolerance_symbol t)) cells;
+      Format.fprintf ppf "@.")
+    (illegal_char_rows ());
+  List.iter
+    (fun (label, cells) ->
+      Format.fprintf ppf "%-24s" label;
+      List.iter (fun (_, v) -> Format.fprintf ppf " | %-18s" (escaping_symbol v)) cells;
+      Format.fprintf ppf "@.")
+    (escaping_rows ())

@@ -1,0 +1,434 @@
+open Model
+
+let st = Asn1.Str_type.name
+let _ = st
+
+(* Reference text of an ATV for renderers that re-decode values the
+   library-specific way. *)
+let atv_text_via decode (atv : X509.Dn.atv) =
+  match atv.X509.Dn.value with
+  | Asn1.Value.Str (stype, raw) -> decode stype raw
+  | other -> Some (Format.asprintf "%a" Asn1.Value.pp other)
+
+let attr_label (atv : X509.Dn.atv) =
+  match X509.Attr.short_name atv.X509.Dn.typ with
+  | Some s -> s
+  | None -> Asn1.Oid.to_string (X509.Attr.oid atv.X509.Dn.typ)
+
+(* ------------------------------------------------------------------ *)
+(* OpenSSL: X509_NAME_oneline — modified-ASCII decoding with \xNN hex
+   escapes, byte-wise (incompatible) BMPString handling, slash-joined
+   unescaped output (the exploited escaping violation of Table 5). *)
+
+let openssl_decode stype raw =
+  match stype with
+  | Asn1.Str_type.Printable_string | Asn1.Str_type.Ia5_string
+  | Asn1.Str_type.Numeric_string | Asn1.Str_type.Visible_string ->
+      Some (ascii_hex_escape raw)
+  | Asn1.Str_type.Utf8_string -> Some (ascii_hex_escape raw)
+  | Asn1.Str_type.Teletex_string -> Some (ascii_hex_escape raw)
+  | Asn1.Str_type.Bmp_string | Asn1.Str_type.Universal_string ->
+      (* Reads the payload byte-wise: ASCII BMP text collapses to its
+         low bytes ("githube.cn"), everything else gets escaped. *)
+      Some (ascii_hex_escape (String.concat ""
+              (List.filter (fun s -> s <> "\x00")
+                 (List.init (String.length raw) (fun i -> String.make 1 raw.[i])))))
+
+let openssl =
+  {
+    name = "OpenSSL";
+    supports = (function Subject_dn -> true | San | Ian | Aia | Sia | Crldp -> false);
+    decode_name_attr = openssl_decode;
+    decode_gn = (fun _ _ -> None);
+    dn_to_string =
+      (fun dn ->
+        let parts =
+          List.map
+            (fun atv ->
+              let text =
+                match atv_text_via openssl_decode atv with Some t -> t | None -> ""
+              in
+              attr_label atv ^ "=" ^ text)
+            (X509.Dn.all_atvs dn)
+        in
+        Some ("/" ^ String.concat "/" parts));
+    gns_to_string = (fun _ -> None);
+    escaping_claim = [ `Rfc1779; `Rfc2253; `Rfc4514 ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* GnuTLS: decodes every DN/GN string type as UTF-8 (over-tolerant)
+   except BMPString, which it converts correctly; RFC 4514 output. *)
+
+let gnutls_decode stype raw =
+  match stype with
+  | Asn1.Str_type.Bmp_string -> ucs2 raw
+  | _ -> utf8_strict raw
+
+let rfc4514_escape text =
+  let cps = Unicode.Codec.cps_of_utf8 text in
+  let n = Array.length cps in
+  let buf = Buffer.create (n * 2) in
+  Array.iteri
+    (fun i cp ->
+      let special =
+        cp < 0x80
+        &&
+        match Char.chr cp with
+        | ',' | '+' | '"' | '\\' | '<' | '>' | ';' -> true
+        | '#' -> i = 0
+        | ' ' -> i = 0 || i = n - 1
+        | _ -> false
+      in
+      if special then begin
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf (Char.chr cp)
+      end
+      else if cp < 0x20 || cp = 0x7F then
+        Buffer.add_string buf (Printf.sprintf "\\%02X" cp)
+      else Buffer.add_string buf (Unicode.Codec.utf8_of_cps [| cp |]))
+    cps;
+  Buffer.contents buf
+
+let dn_rfc4514 decode dn =
+  let rdn_strings =
+    List.rev_map
+      (fun rdn ->
+        String.concat "+"
+          (List.map
+             (fun atv ->
+               let text =
+                 match atv_text_via decode atv with Some t -> t | None -> ""
+               in
+               attr_label atv ^ "=" ^ rfc4514_escape text)
+             rdn))
+      dn
+  in
+  Some (String.concat "," rdn_strings)
+
+let gnutls =
+  {
+    name = "GnuTLS";
+    supports = (function Subject_dn | San | Ian | Crldp -> true | Aia | Sia -> false);
+    decode_name_attr = gnutls_decode;
+    decode_gn = (fun _ raw -> utf8_strict raw);
+    dn_to_string = (fun dn -> dn_rfc4514 gnutls_decode dn);
+    (* gnutls_x509_crt_get_subject_alt_name yields one name per call —
+       no joined string form exists. *)
+    gns_to_string = (fun _ -> None);
+    escaping_claim = [ `Rfc4514 ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* PyOpenSSL: Latin-1-tolerant name decoding; GeneralNames rendered as
+   "DNS:a, DNS:b" without escaping (the exploited subfield forgery) and
+   control characters in CRLDP locations rewritten to ".". *)
+
+let pyopenssl_decode stype raw =
+  match stype with
+  | Asn1.Str_type.Utf8_string -> utf8_strict raw
+  | Asn1.Str_type.Bmp_string -> ucs2 raw
+  | Asn1.Str_type.Universal_string -> (
+      match Unicode.Codec.decode Unicode.Codec.Ucs4 raw with
+      | Ok cps -> Some (Unicode.Codec.utf8_of_cps cps)
+      | Error _ -> None)
+  | _ -> Some (latin1 raw)
+
+let dot_controls s =
+  String.map
+    (fun c ->
+      let b = Char.code c in
+      if (b <= 0x09 || b = 0x0B || b = 0x0C || (b >= 0x0E && b <= 0x1F) || b = 0x7F)
+      then '.'
+      else c)
+    s
+
+let pyopenssl =
+  {
+    name = "PyOpenSSL";
+    supports = (function Subject_dn | San | Ian | Aia | Crldp -> true | Sia -> false);
+    decode_name_attr = pyopenssl_decode;
+    decode_gn =
+      (fun field raw ->
+        let text = latin1 raw in
+        match field with Crldp -> Some (dot_controls text) | _ -> Some text);
+    dn_to_string = (fun _ -> None) (* X509Name components are structured *);
+    gns_to_string =
+      (fun gns ->
+        Some
+          (String.concat ", "
+             (List.map
+                (fun gn ->
+                  let payload =
+                    match gn with
+                    | X509.General_name.Dns_name s -> "DNS:" ^ s
+                    | X509.General_name.Rfc822_name s -> "email:" ^ s
+                    | X509.General_name.Uri s -> "URI:" ^ s
+                    | gn -> X509.General_name.kind gn ^ ":" ^ X509.General_name.text gn
+                  in
+                  payload)
+                gns)));
+    escaping_claim = [ `Rfc2253 ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* pyca/cryptography: strict PrintableString, Latin-1-lax IA5String (for
+   compatibility, per the maintainers' response), UTF-16-lax BMPString;
+   correct RFC 4514 DN serialization. *)
+
+let cryptography_decode stype raw =
+  match stype with
+  | Asn1.Str_type.Printable_string -> ascii_strict raw
+  | Asn1.Str_type.Ia5_string | Asn1.Str_type.Numeric_string
+  | Asn1.Str_type.Visible_string | Asn1.Str_type.Teletex_string ->
+      Some (latin1 raw)
+  | Asn1.Str_type.Utf8_string -> utf8_strict raw
+  | Asn1.Str_type.Bmp_string -> utf16 raw
+  | Asn1.Str_type.Universal_string -> (
+      match Unicode.Codec.decode Unicode.Codec.Ucs4 raw with
+      | Ok cps -> Some (Unicode.Codec.utf8_of_cps cps)
+      | Error _ -> None)
+
+let cryptography =
+  {
+    name = "Cryptography";
+    supports = (fun _ -> true);
+    decode_name_attr = cryptography_decode;
+    decode_gn = (fun _ raw -> Some (latin1 raw));
+    dn_to_string = (fun dn -> dn_rfc4514 cryptography_decode dn);
+    gns_to_string = (fun _ -> None) (* typed ExtensionValue objects *);
+    escaping_claim = [ `Rfc4514 ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Go crypto/x509: strict decoding with repertoire checks — illegal
+   bytes abort parsing ("asn1: syntax error"); results are structured
+   (pkix.Name), so no text-escaping surface exists. *)
+
+let gocrypto_decode stype raw =
+  let check_all pred cps = if Array.for_all pred cps then Some cps else None in
+  match stype with
+  | Asn1.Str_type.Printable_string -> (
+      match Unicode.Codec.decode Unicode.Codec.Ascii raw with
+      | Ok cps -> (
+          match check_all Unicode.Props.is_printable_string_char cps with
+          | Some cps -> Some (Unicode.Codec.utf8_of_cps cps)
+          | None -> None)
+      | Error _ -> None)
+  | Asn1.Str_type.Ia5_string | Asn1.Str_type.Numeric_string
+  | Asn1.Str_type.Visible_string ->
+      ascii_strict raw
+  | Asn1.Str_type.Teletex_string -> Some (latin1 raw)
+  | Asn1.Str_type.Utf8_string -> utf8_strict raw
+  | Asn1.Str_type.Bmp_string -> ucs2 raw
+  | Asn1.Str_type.Universal_string -> (
+      match Unicode.Codec.decode Unicode.Codec.Ucs4 raw with
+      | Ok cps -> Some (Unicode.Codec.utf8_of_cps cps)
+      | Error _ -> None)
+
+let gocrypto =
+  {
+    name = "Golang Crypto";
+    supports = (function Subject_dn | San | Crldp -> true | Ian | Aia | Sia -> false);
+    decode_name_attr = gocrypto_decode;
+    decode_gn = (fun _ raw -> ascii_strict raw);
+    dn_to_string = (fun _ -> None);
+    gns_to_string = (fun _ -> None);
+    escaping_claim = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Java java.security.cert: replaces undecodable content with U+FFFD
+   (modified decoding), reads BMPString byte-wise (ASCII-compatible but
+   incompatible with UCS-2), renders DNs RFC 2253-style with deviations
+   on the 4514/1779 special cases. *)
+
+let javasec_decode stype raw =
+  match stype with
+  | Asn1.Str_type.Printable_string | Asn1.Str_type.Ia5_string
+  | Asn1.Str_type.Numeric_string | Asn1.Str_type.Visible_string ->
+      Some (ascii_replace 0xFFFD raw)
+  | Asn1.Str_type.Utf8_string -> Some (utf8_replace raw)
+  | Asn1.Str_type.Teletex_string -> Some (latin1 raw)
+  | Asn1.Str_type.Bmp_string | Asn1.Str_type.Universal_string ->
+      Some (ucs2_ascii_bytewise 0xFFFD raw)
+
+(* Escapes the 2253 specials but, unlike RFC 4514, neither hex-escapes
+   control characters nor protects a leading '#'. *)
+let java_escape text =
+  let buf = Buffer.create (String.length text * 2) in
+  String.iteri
+    (fun i c ->
+      (match c with
+      | ',' | '+' | '"' | '\\' | '<' | '>' | ';' -> Buffer.add_char buf '\\'
+      | ' ' when i = 0 || i = String.length text - 1 -> Buffer.add_char buf '\\'
+      | _ -> ());
+      Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+let javasec =
+  {
+    name = "Java.security.cert";
+    supports = (function Subject_dn | San | Ian -> true | Aia | Sia | Crldp -> false);
+    decode_name_attr = javasec_decode;
+    decode_gn = (fun _ raw -> Some (ascii_replace 0xFFFD raw));
+    dn_to_string =
+      (fun dn ->
+        let rdn_strings =
+          List.rev_map
+            (fun rdn ->
+              String.concat "+"
+                (List.map
+                   (fun atv ->
+                     let text =
+                       match atv_text_via javasec_decode atv with Some t -> t | None -> ""
+                     in
+                     attr_label atv ^ "=" ^ java_escape text)
+                   rdn))
+            dn
+        in
+        Some (String.concat ", " rdn_strings));
+    gns_to_string = (fun _ -> None) (* returns a Collection *);
+    escaping_claim = [ `Rfc2253; `Rfc4514; `Rfc1779 ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* BouncyCastle: tolerant IA5 (Latin-1), UTF-16 BMPString (surrogate
+   pairs accepted), DN-only string access with minor escaping
+   deviations. *)
+
+let bouncycastle_decode stype raw =
+  match stype with
+  | Asn1.Str_type.Printable_string -> ascii_strict raw
+  | Asn1.Str_type.Ia5_string | Asn1.Str_type.Numeric_string
+  | Asn1.Str_type.Visible_string | Asn1.Str_type.Teletex_string ->
+      Some (latin1 raw)
+  | Asn1.Str_type.Utf8_string -> utf8_strict raw
+  | Asn1.Str_type.Bmp_string -> utf16 raw
+  | Asn1.Str_type.Universal_string -> (
+      match Unicode.Codec.decode Unicode.Codec.Ucs4 raw with
+      | Ok cps -> Some (Unicode.Codec.utf8_of_cps cps)
+      | Error _ -> None)
+
+(* BouncyCastle escapes 2253 specials but not leading/trailing spaces. *)
+let bc_escape text =
+  let buf = Buffer.create (String.length text * 2) in
+  String.iter
+    (fun c ->
+      (match c with
+      | ',' | '+' | '"' | '\\' | '<' | '>' | ';' | '=' -> Buffer.add_char buf '\\'
+      | _ -> ());
+      Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+let bouncycastle =
+  {
+    name = "BouncyCastle";
+    supports = (function Subject_dn -> true | San | Ian | Aia | Sia | Crldp -> false);
+    decode_name_attr = bouncycastle_decode;
+    decode_gn = (fun _ _ -> None);
+    dn_to_string =
+      (fun dn ->
+        let parts =
+          List.map
+            (fun atv ->
+              let text =
+                match atv_text_via bouncycastle_decode atv with Some t -> t | None -> ""
+              in
+              attr_label atv ^ "=" ^ bc_escape text)
+            (X509.Dn.all_atvs dn)
+        in
+        Some (String.concat "," parts));
+    gns_to_string = (fun _ -> None);
+    escaping_claim = [ `Rfc2253; `Rfc4514; `Rfc1779 ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Node.js crypto: correct per-type decoding; DN rendered one attribute
+   per line (a deliberate, unexploitable deviation from all three DN
+   string RFCs introduced after CVE-2021-44533); SAN values quoted when
+   they contain specials. *)
+
+let nodecrypto_decode stype raw =
+  match stype with
+  | Asn1.Str_type.Printable_string | Asn1.Str_type.Ia5_string
+  | Asn1.Str_type.Numeric_string | Asn1.Str_type.Visible_string ->
+      ascii_strict raw
+  | Asn1.Str_type.Utf8_string -> utf8_strict raw
+  | Asn1.Str_type.Teletex_string -> Some (latin1 raw)
+  | Asn1.Str_type.Bmp_string -> ucs2 raw
+  | Asn1.Str_type.Universal_string -> (
+      match Unicode.Codec.decode Unicode.Codec.Ucs4 raw with
+      | Ok cps -> Some (Unicode.Codec.utf8_of_cps cps)
+      | Error _ -> None)
+
+let node_quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = ' ' || Char.code c < 0x20) s then
+    "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let nodecrypto =
+  {
+    name = "Node.js Crypto";
+    supports = (function Subject_dn | San | Aia -> true | Ian | Sia | Crldp -> false);
+    decode_name_attr = nodecrypto_decode;
+    decode_gn = (fun _ raw -> ascii_strict raw);
+    dn_to_string =
+      (fun dn ->
+        let parts =
+          List.map
+            (fun atv ->
+              let text =
+                match atv_text_via nodecrypto_decode atv with Some t -> t | None -> ""
+              in
+              attr_label atv ^ "=" ^ text)
+            (X509.Dn.all_atvs dn)
+        in
+        Some (String.concat "\n" parts));
+    gns_to_string =
+      (fun gns ->
+        Some
+          (String.concat ", "
+             (List.map
+                (fun gn ->
+                  match gn with
+                  | X509.General_name.Dns_name s -> "DNS:" ^ node_quote s
+                  | X509.General_name.Rfc822_name s -> "email:" ^ node_quote s
+                  | X509.General_name.Uri s -> "URI:" ^ node_quote s
+                  | gn -> X509.General_name.kind gn ^ ":" ^ X509.General_name.text gn)
+                gns)));
+    escaping_claim = [ `Rfc2253; `Rfc4514; `Rfc1779 ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* node-forge: decodes UTF8String as ISO-8859-1 (the incompatible
+   decoding of Table 4) and is Latin-1-tolerant elsewhere; BMPString
+   unsupported; structured field access only. *)
+
+let forge_decode stype raw =
+  match stype with
+  | Asn1.Str_type.Utf8_string -> Some (latin1 raw)
+  | Asn1.Str_type.Printable_string | Asn1.Str_type.Ia5_string
+  | Asn1.Str_type.Numeric_string | Asn1.Str_type.Visible_string
+  | Asn1.Str_type.Teletex_string ->
+      Some (latin1 raw)
+  | Asn1.Str_type.Bmp_string | Asn1.Str_type.Universal_string -> None
+
+let forge =
+  {
+    name = "Forge";
+    supports = (function Subject_dn | San | Ian -> true | Aia | Sia | Crldp -> false);
+    decode_name_attr = forge_decode;
+    decode_gn = (fun _ raw -> Some (latin1 raw));
+    dn_to_string = (fun _ -> None) (* subject.getField() is structured *);
+    gns_to_string = (fun _ -> None);
+    escaping_claim = [];
+  }
+
+let all =
+  [ openssl; gnutls; pyopenssl; cryptography; gocrypto; javasec; bouncycastle;
+    nodecrypto; forge ]
+
+let find name = List.find_opt (fun m -> m.Model.name = name) all

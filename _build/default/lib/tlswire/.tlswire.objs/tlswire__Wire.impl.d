@@ -1,0 +1,1 @@
+lib/tlswire/wire.ml: Char List String Ucrypto X509

@@ -1,0 +1,1 @@
+lib/tlswire/wire.mli: Ucrypto X509

@@ -1,0 +1,230 @@
+type record = { content_type : int; version : int * int; payload : string }
+
+let u8 n = String.make 1 (Char.chr (n land 0xFF))
+let u16 n = String.init 2 (fun i -> Char.chr ((n lsr (8 * (1 - i))) land 0xFF))
+let u24 n = String.init 3 (fun i -> Char.chr ((n lsr (8 * (2 - i))) land 0xFF))
+
+let read_u8 s off = if off < String.length s then Some (Char.code s.[off]) else None
+
+let read_u16 s off =
+  if off + 2 <= String.length s then
+    Some ((Char.code s.[off] lsl 8) lor Char.code s.[off + 1])
+  else None
+
+let read_u24 s off =
+  if off + 3 <= String.length s then
+    Some
+      ((Char.code s.[off] lsl 16)
+      lor (Char.code s.[off + 1] lsl 8)
+      lor Char.code s.[off + 2])
+  else None
+
+let encode_record r =
+  let maj, min = r.version in
+  u8 r.content_type ^ u8 maj ^ u8 min ^ u16 (String.length r.payload) ^ r.payload
+
+let decode_records stream =
+  let n = String.length stream in
+  let rec go off acc =
+    if off = n then Ok (List.rev acc)
+    else if off + 5 > n then Error "truncated record header"
+    else begin
+      let content_type = Char.code stream.[off] in
+      let version = (Char.code stream.[off + 1], Char.code stream.[off + 2]) in
+      match read_u16 stream (off + 3) with
+      | None -> Error "truncated record length"
+      | Some len ->
+          if off + 5 + len > n then Error "record payload overruns stream"
+          else
+            go (off + 5 + len)
+              ({ content_type; version; payload = String.sub stream (off + 5) len }
+              :: acc)
+    end
+  in
+  go 0 []
+
+type handshake =
+  | Client_hello of { version : int * int; random : string; sni : string option }
+  | Server_hello of { version : int * int; random : string }
+  | Certificate of string list
+  | Other of int * string
+
+(* Extension 0 = server_name (RFC 6066). *)
+let sni_extension host =
+  let name = u8 0 (* host_name *) ^ u16 (String.length host) ^ host in
+  let list = u16 (String.length name) ^ name in
+  u16 0 ^ u16 (String.length list) ^ list
+
+let parse_sni_extension body =
+  (* ServerNameList: u16 list length, then entries of (type, u16 len,
+     bytes). *)
+  match read_u16 body 0 with
+  | None -> None
+  | Some _ -> (
+      match (read_u8 body 2, read_u16 body 3) with
+      | Some 0, Some len when 5 + len <= String.length body ->
+          Some (String.sub body 5 len)
+      | _ -> None)
+
+let hello_body ~version ~random ~extensions =
+  let maj, min = version in
+  let session = u8 0 in
+  let ciphers = u16 2 ^ u16 0x002F in
+  let compression = u8 1 ^ u8 0 in
+  let ext_block =
+    if extensions = "" then "" else u16 (String.length extensions) ^ extensions
+  in
+  u8 maj ^ u8 min ^ random ^ session ^ ciphers ^ compression ^ ext_block
+
+let encode_handshake h =
+  let typ, body =
+    match h with
+    | Client_hello { version; random; sni } ->
+        let extensions = match sni with Some host -> sni_extension host | None -> "" in
+        (1, hello_body ~version ~random ~extensions)
+    | Server_hello { version; random } ->
+        let maj, min = version in
+        (2, u8 maj ^ u8 min ^ random ^ u8 0 ^ u16 0x002F ^ u8 0)
+    | Certificate ders ->
+        let entries = String.concat "" (List.map (fun d -> u24 (String.length d) ^ d) ders) in
+        (11, u24 (String.length entries) ^ entries)
+    | Other (typ, body) -> (typ, body)
+  in
+  u8 typ ^ u24 (String.length body) ^ body
+
+let parse_client_hello body =
+  if String.length body < 34 then None
+  else begin
+    let version = (Char.code body.[0], Char.code body.[1]) in
+    let random = String.sub body 2 32 in
+    (* Skip session id, cipher suites, compression. *)
+    match read_u8 body 34 with
+    | None -> None
+    | Some sess_len -> (
+        let off = 35 + sess_len in
+        match read_u16 body off with
+        | None -> None
+        | Some cipher_len -> (
+            let off = off + 2 + cipher_len in
+            match read_u8 body off with
+            | None -> None
+            | Some comp_len -> (
+                let off = off + 1 + comp_len in
+                if off >= String.length body then
+                  Some (Client_hello { version; random; sni = None })
+                else
+                  match read_u16 body off with
+                  | None -> Some (Client_hello { version; random; sni = None })
+                  | Some ext_total ->
+                      let stop = min (String.length body) (off + 2 + ext_total) in
+                      let rec scan off =
+                        if off + 4 > stop then None
+                        else
+                          match (read_u16 body off, read_u16 body (off + 2)) with
+                          | Some etype, Some elen ->
+                              if etype = 0 then
+                                parse_sni_extension
+                                  (String.sub body (off + 4)
+                                     (min elen (stop - off - 4)))
+                              else scan (off + 4 + elen)
+                          | _ -> None
+                      in
+                      Some (Client_hello { version; random; sni = scan (off + 2) }))))
+  end
+
+let parse_certificate body =
+  match read_u24 body 0 with
+  | None -> None
+  | Some total ->
+      let stop = min (String.length body) (3 + total) in
+      let rec go off acc =
+        if off >= stop then Some (Certificate (List.rev acc))
+        else
+          match read_u24 body off with
+          | None -> None
+          | Some len ->
+              if off + 3 + len > stop then None
+              else go (off + 3 + len) (String.sub body (off + 3) len :: acc)
+      in
+      go 3 []
+
+let decode_handshakes payload =
+  let n = String.length payload in
+  let rec go off acc =
+    if off = n then Ok (List.rev acc)
+    else if off + 4 > n then Error "truncated handshake header"
+    else begin
+      let typ = Char.code payload.[off] in
+      match read_u24 payload (off + 1) with
+      | None -> Error "truncated handshake length"
+      | Some len ->
+          if off + 4 + len > n then Error "handshake body overruns payload"
+          else begin
+            let body = String.sub payload (off + 4) len in
+            let msg =
+              match typ with
+              | 1 -> ( match parse_client_hello body with Some h -> h | None -> Other (1, body))
+              | 2 ->
+                  if String.length body >= 34 then
+                    Server_hello
+                      { version = (Char.code body.[0], Char.code body.[1]);
+                        random = String.sub body 2 32 }
+                  else Other (2, body)
+              | 11 -> ( match parse_certificate body with Some h -> h | None -> Other (11, body))
+              | t -> Other (t, body)
+            in
+            go (off + 4 + len) (msg :: acc)
+          end
+    end
+  in
+  go 0 []
+
+type flow = string
+
+let tls12 = (3, 3)
+
+let handshake_record payload =
+  encode_record { content_type = 22; version = tls12; payload }
+
+let client_hello_flow ?sni g =
+  let random = Ucrypto.Prng.bytes g 32 in
+  handshake_record (encode_handshake (Client_hello { version = tls12; random; sni }))
+
+let server_flight g certs =
+  let random = Ucrypto.Prng.bytes g 32 in
+  handshake_record
+    (encode_handshake (Server_hello { version = tls12; random })
+    ^ encode_handshake
+        (Certificate (List.map (fun c -> c.X509.Certificate.der) certs)))
+
+let handshakes_of_flow flow =
+  match decode_records flow with
+  | Error _ as e -> e
+  | Ok records ->
+      let handshake_payload =
+        String.concat ""
+          (List.filter_map
+             (fun r -> if r.content_type = 22 then Some r.payload else None)
+             records)
+      in
+      decode_handshakes handshake_payload
+
+let server_certificates flow =
+  match handshakes_of_flow flow with
+  | Error _ -> []
+  | Ok msgs ->
+      List.concat_map
+        (function
+          | Certificate ders ->
+              List.filter_map
+                (fun der ->
+                  match X509.Certificate.parse der with Ok c -> Some c | Error _ -> None)
+                ders
+          | _ -> [])
+        msgs
+
+let sni_of_flow flow =
+  match handshakes_of_flow flow with
+  | Error _ -> None
+  | Ok msgs ->
+      List.find_map (function Client_hello { sni; _ } -> sni | _ -> None) msgs

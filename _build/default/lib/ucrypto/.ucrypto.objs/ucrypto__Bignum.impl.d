@@ -1,0 +1,1 @@
+lib/ucrypto/bignum.ml: Array Char List Printf Prng Stdlib String

@@ -1,0 +1,1 @@
+lib/ucrypto/bignum.mli: Prng

@@ -1,0 +1,1 @@
+lib/ucrypto/prng.ml: Array Char Int64 List String

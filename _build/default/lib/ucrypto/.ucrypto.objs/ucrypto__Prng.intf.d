@@ -1,0 +1,1 @@
+lib/ucrypto/prng.mli:

@@ -1,0 +1,1 @@
+lib/ucrypto/rsa.ml: Asn1 Bignum Sha256 String

@@ -1,0 +1,1 @@
+lib/ucrypto/rsa.mli: Bignum Prng

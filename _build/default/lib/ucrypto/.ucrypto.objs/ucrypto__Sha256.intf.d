@@ -1,0 +1,1 @@
+lib/ucrypto/sha256.mli:

@@ -1,0 +1,14 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used for Merkle tree hashing in the CT log substrate and for the
+    RSA signature digests. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte binary digest. *)
+
+val hex : string -> string
+(** [hex msg] is the lowercase hex digest. *)
+
+val hmac : key:string -> string -> string
+(** [hmac ~key msg] is HMAC-SHA-256 (RFC 2104), used by the
+    deterministic mock signature scheme of the corpus generator. *)

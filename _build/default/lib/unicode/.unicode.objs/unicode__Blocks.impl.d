@@ -1,0 +1,1 @@
+lib/unicode/blocks.ml: Array Cp List

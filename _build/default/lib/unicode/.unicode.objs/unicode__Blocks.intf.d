@@ -1,0 +1,1 @@
+lib/unicode/blocks.mli: Cp

@@ -1,0 +1,1 @@
+lib/unicode/codec.ml: Array Buffer Char Cp Format List Printf String

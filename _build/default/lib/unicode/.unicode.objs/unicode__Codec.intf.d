@@ -1,0 +1,1 @@
+lib/unicode/codec.mli: Cp Format

@@ -1,0 +1,1 @@
+lib/unicode/confusables.ml: Array Char Codec Hashtbl List Normalize Props

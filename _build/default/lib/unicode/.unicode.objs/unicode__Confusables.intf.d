@@ -1,0 +1,1 @@
+lib/unicode/confusables.mli: Cp

@@ -1,0 +1,1 @@
+lib/unicode/cp.ml: Char Printf

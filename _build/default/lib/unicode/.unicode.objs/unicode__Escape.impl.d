@@ -1,0 +1,1 @@
+lib/unicode/escape.ml: Array Buffer Char Codec List Printf Props String

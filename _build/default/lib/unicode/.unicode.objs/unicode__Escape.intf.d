@@ -1,0 +1,1 @@
+lib/unicode/escape.mli: Cp

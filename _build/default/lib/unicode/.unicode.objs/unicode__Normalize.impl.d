@@ -1,0 +1,1 @@
+lib/unicode/normalize.ml: Array Codec Hashtbl List

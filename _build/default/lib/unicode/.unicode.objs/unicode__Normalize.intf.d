@@ -1,0 +1,1 @@
+lib/unicode/normalize.mli: Cp

@@ -1,0 +1,1 @@
+lib/unicode/props.ml: Char Cp

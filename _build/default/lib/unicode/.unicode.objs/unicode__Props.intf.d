@@ -1,0 +1,1 @@
+lib/unicode/props.mli: Cp

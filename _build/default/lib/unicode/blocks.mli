@@ -1,0 +1,31 @@
+(** The Unicode block table.
+
+    The test-Unicert generator of the paper (§3.2) samples one code
+    point from each standard Unicode block, excluding surrogates.  This
+    module embeds the block ranges of the Unicode Character Database
+    [Blocks.txt] (Unicode 15.0 repertoire). *)
+
+type t = { name : string; first : Cp.t; last : Cp.t }
+(** A block: inclusive code-point range and its UCD name. *)
+
+val all : t array
+(** [all] is every block, in code-point order. *)
+
+val count : int
+(** [count] is [Array.length all]. *)
+
+val non_surrogate : t array
+(** [non_surrogate] is [all] minus the three surrogate blocks — the
+    sampling universe used by the generator. *)
+
+val find : Cp.t -> t option
+(** [find cp] is the block containing [cp], if any (the block table does
+    not cover all of the code space). *)
+
+val name_of : Cp.t -> string
+(** [name_of cp] is the containing block's name or ["No_Block"]. *)
+
+val sample : t -> Cp.t
+(** [sample b] is a representative code point of [b] (its first code
+    point, matching the generator's "one character from each block"
+    rule). *)

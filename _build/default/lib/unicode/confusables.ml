@@ -1,0 +1,85 @@
+(* Primary ASCII lookalikes for the confusables exercised by the paper:
+   Cyrillic and Greek homographs, fullwidth forms, and a few
+   mathematical/letterlike lookalikes.  A subset of UTS #39. *)
+let table : (int, int) Hashtbl.t =
+  let t = Hashtbl.create 256 in
+  let add (cp, ascii) = Hashtbl.replace t cp ascii in
+  List.iter add
+    [
+      (* Cyrillic -> Latin *)
+      (0x0430, Char.code 'a'); (0x0435, Char.code 'e');
+      (0x043E, Char.code 'o'); (0x0440, Char.code 'p');
+      (0x0441, Char.code 'c'); (0x0443, Char.code 'y');
+      (0x0445, Char.code 'x'); (0x0456, Char.code 'i');
+      (0x0458, Char.code 'j'); (0x0455, Char.code 's');
+      (0x04BB, Char.code 'h'); (0x0501, Char.code 'd');
+      (0x051B, Char.code 'q'); (0x051D, Char.code 'w');
+      (0x0410, Char.code 'A'); (0x0412, Char.code 'B');
+      (0x0415, Char.code 'E'); (0x041A, Char.code 'K');
+      (0x041C, Char.code 'M'); (0x041D, Char.code 'H');
+      (0x041E, Char.code 'O'); (0x0420, Char.code 'P');
+      (0x0421, Char.code 'C'); (0x0422, Char.code 'T');
+      (0x0425, Char.code 'X'); (0x0406, Char.code 'I');
+      (* Greek -> Latin *)
+      (0x03BF, Char.code 'o'); (0x03B1, Char.code 'a');
+      (0x03B5, Char.code 'e'); (0x03B9, Char.code 'i');
+      (0x03BA, Char.code 'k'); (0x03BD, Char.code 'v');
+      (0x03C1, Char.code 'p'); (0x03C5, Char.code 'u');
+      (0x0391, Char.code 'A'); (0x0392, Char.code 'B');
+      (0x0395, Char.code 'E'); (0x0396, Char.code 'Z');
+      (0x0397, Char.code 'H'); (0x0399, Char.code 'I');
+      (0x039A, Char.code 'K'); (0x039C, Char.code 'M');
+      (0x039D, Char.code 'N'); (0x039F, Char.code 'O');
+      (0x03A1, Char.code 'P'); (0x03A4, Char.code 'T');
+      (0x03A5, Char.code 'Y'); (0x03A7, Char.code 'X');
+      (* Letterlike / dotless *)
+      (0x0131, Char.code 'i'); (0x0261, Char.code 'g');
+      (0x217C, Char.code 'l'); (0x2113, Char.code 'l');
+      (0x1D5BA, Char.code 'a');
+      (* Punctuation lookalikes *)
+      (0x2010, Char.code '-'); (0x2011, Char.code '-');
+      (0x2012, Char.code '-'); (0x2013, Char.code '-');
+      (0x2014, Char.code '-'); (0x2212, Char.code '-');
+      (0x02BC, Char.code '\''); (0x2019, Char.code '\'');
+      (0x037E, Char.code ';'); (0x0903, Char.code ':');
+      (0x0589, Char.code ':'); (0x05C3, Char.code ':');
+      (0x2236, Char.code ':');
+      (* Slash / dot lookalikes *)
+      (0x2044, Char.code '/'); (0x2215, Char.code '/');
+      (0x3002, Char.code '.'); (0x0660, Char.code '.');
+    ];
+  (* Fullwidth forms map uniformly to their ASCII counterparts. *)
+  for cp = 0xFF01 to 0xFF5E do
+    add (cp, cp - 0xFF00 + 0x20)
+  done;
+  t
+
+let lookalike cp = Hashtbl.find_opt table cp
+
+let skeleton cps =
+  let keep = ref [] in
+  Array.iter
+    (fun cp ->
+      if Props.is_layout_control cp || Props.is_control cp then ()
+      else if Props.is_nonascii_whitespace cp then keep := 0x20 :: !keep
+      else
+        let cp = match lookalike cp with Some a -> a | None -> cp in
+        keep := Props.ascii_lowercase cp :: !keep)
+    cps;
+  Array.of_list (List.rev !keep)
+
+let utf8_skeleton s = Codec.utf8_of_cps (skeleton (Codec.cps_of_utf8 s))
+
+let confusable a b =
+  utf8_skeleton a = utf8_skeleton b && Normalize.utf8_to_nfc a <> Normalize.utf8_to_nfc b
+
+(* Browser equivalent-substitution policy modelled after the paper's
+   Table 14 discussion: the substitution target is the *canonical*
+   equivalent rather than the visually faithful one. *)
+let equivalent_substitution cp =
+  match cp with
+  | 0x037E -> Some 0x003B (* Greek question mark -> semicolon *)
+  | 0x0387 -> Some 0x00B7 (* ano teleia -> middle dot *)
+  | 0x212A -> Some 0x004B (* Kelvin -> K *)
+  | 0x212B -> Some 0x00C5 (* Angstrom -> A-ring *)
+  | _ -> None

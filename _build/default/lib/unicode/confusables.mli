@@ -1,0 +1,29 @@
+(** Visually confusable characters (homographs).
+
+    Browsers and CT monitors in the paper fail to detect Cyrillic/Greek
+    lookalikes in certificate fields (Appendix F.1 [G1.2], §6.1 [P1.3]).
+    This module implements a skeleton transform in the spirit of UTS #39:
+    each code point maps to its primary ASCII lookalike, so two strings
+    are confusable iff their skeletons are equal. *)
+
+val lookalike : Cp.t -> Cp.t option
+(** [lookalike cp] is the ASCII (or canonical) code point [cp] visually
+    resembles, if it is a known confusable. *)
+
+val skeleton : Cp.t array -> Cp.t array
+(** [skeleton cps] maps every confusable to its lookalike, lowercases
+    ASCII, and drops invisible characters, yielding a comparison key. *)
+
+val utf8_skeleton : string -> string
+(** [utf8_skeleton s] is {!skeleton} over a UTF-8 string. *)
+
+val confusable : string -> string -> bool
+(** [confusable a b] is [true] iff the two UTF-8 strings have equal
+    skeletons but different NFC forms — i.e. they look the same without
+    being canonically the same. *)
+
+val equivalent_substitution : Cp.t -> Cp.t option
+(** [equivalent_substitution cp] models the browser character
+    substitution policy the paper criticizes: e.g. the Greek question
+    mark U+037E is replaced by a semicolon U+003B rather than the
+    visually faithful Latin question mark (Table 14, [G1.2]). *)

@@ -1,0 +1,78 @@
+let is_c0_control cp = cp >= 0x00 && cp <= 0x1F
+let is_del cp = cp = 0x7F
+let is_c1_control cp = cp >= 0x80 && cp <= 0x9F
+let is_control cp = is_c0_control cp || is_del cp || is_c1_control cp
+
+let is_layout_control cp =
+  (cp >= 0x200B && cp <= 0x200F)
+  || (cp >= 0x202A && cp <= 0x202E)
+  || (cp >= 0x2060 && cp <= 0x2064)
+  || (cp >= 0x2066 && cp <= 0x206F)
+  || cp = 0x2028 || cp = 0x2029
+
+let is_bidi_control cp =
+  cp = 0x061C || cp = 0x200E || cp = 0x200F
+  || (cp >= 0x202A && cp <= 0x202E)
+  || (cp >= 0x2066 && cp <= 0x2069)
+
+let is_format cp =
+  cp = 0x00AD
+  || (cp >= 0x0600 && cp <= 0x0605)
+  || cp = 0x061C || cp = 0x06DD || cp = 0x070F || cp = 0x08E2
+  || (cp >= 0x200B && cp <= 0x200F)
+  || (cp >= 0x202A && cp <= 0x202E)
+  || (cp >= 0x2060 && cp <= 0x2064)
+  || (cp >= 0x2066 && cp <= 0x206F)
+  || cp = 0xFEFF
+  || (cp >= 0xFFF9 && cp <= 0xFFFB)
+  || cp = 0x110BD
+  || (cp >= 0x1BCA0 && cp <= 0x1BCA3)
+  || (cp >= 0x1D173 && cp <= 0x1D17A)
+  || cp = 0xE0001
+  || (cp >= 0xE0020 && cp <= 0xE007F)
+
+let is_whitespace cp =
+  (cp >= 0x0009 && cp <= 0x000D)
+  || cp = 0x0020 || cp = 0x0085 || cp = 0x00A0 || cp = 0x1680
+  || (cp >= 0x2000 && cp <= 0x200A)
+  || cp = 0x2028 || cp = 0x2029 || cp = 0x202F || cp = 0x205F || cp = 0x3000
+
+let is_nonascii_whitespace cp = is_whitespace cp && cp > 0x20
+let is_invisible cp = is_layout_control cp || is_nonascii_whitespace cp
+
+let is_ascii_upper cp = cp >= Char.code 'A' && cp <= Char.code 'Z'
+let is_ascii_lower cp = cp >= Char.code 'a' && cp <= Char.code 'z'
+let is_ascii_digit cp = cp >= Char.code '0' && cp <= Char.code '9'
+let is_ascii_letter cp = is_ascii_upper cp || is_ascii_lower cp
+let ascii_lowercase cp = if is_ascii_upper cp then cp + 32 else cp
+
+let is_printable_string_char cp =
+  is_ascii_letter cp || is_ascii_digit cp
+  ||
+  match cp with
+  | 0x20 (* space *) | 0x27 (* ' *) | 0x28 (* ( *) | 0x29 (* ) *)
+  | 0x2B (* + *) | 0x2C (* , *) | 0x2D (* - *) | 0x2E (* . *)
+  | 0x2F (* / *) | 0x3A (* : *) | 0x3D (* = *) | 0x3F (* ? *) -> true
+  | _ -> false
+
+let is_ia5_char cp = cp >= 0x00 && cp <= 0x7F
+let is_visible_string_char cp = cp >= 0x20 && cp <= 0x7E
+let is_numeric_string_char cp = is_ascii_digit cp || cp = 0x20
+
+let is_teletex_char cp =
+  is_visible_string_char cp || (cp >= 0xA0 && cp <= 0xFF)
+
+let is_ldh cp = is_ascii_letter cp || is_ascii_digit cp || cp = Char.code '-'
+let is_dns_name_char cp = is_ldh cp || cp = Char.code '.'
+
+let classify cp =
+  if is_c0_control cp then "C0"
+  else if is_del cp then "DEL"
+  else if is_c1_control cp then "C1"
+  else if is_layout_control cp then "layout"
+  else if is_format cp then "format"
+  else if is_whitespace cp && cp <> 0x20 then "space"
+  else if Cp.is_printable_ascii cp then "printable-ascii"
+  else if cp <= 0xFF then "latin1"
+  else if Cp.is_bmp cp then "bmp"
+  else "astral"

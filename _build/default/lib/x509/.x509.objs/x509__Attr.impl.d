@@ -1,0 +1,1 @@
+lib/x509/attr.ml: Asn1 List

@@ -1,0 +1,1 @@
+lib/x509/attr.mli: Asn1

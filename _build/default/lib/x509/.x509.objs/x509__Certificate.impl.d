@@ -1,0 +1,1 @@
+lib/x509/certificate.ml: Asn1 Attr Char Dn Extension Format General_name List Pem Result String Ucrypto

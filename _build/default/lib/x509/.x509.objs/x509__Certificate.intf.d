@@ -1,0 +1,1 @@
+lib/x509/certificate.mli: Asn1 Dn Extension Ucrypto

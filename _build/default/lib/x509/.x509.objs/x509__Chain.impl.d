@@ -1,0 +1,1 @@
+lib/x509/chain.ml: Asn1 Certificate Dn Extension Format General_name List String

@@ -1,0 +1,1 @@
+lib/x509/chain.mli: Asn1 Certificate Dn Format

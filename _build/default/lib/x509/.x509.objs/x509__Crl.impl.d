@@ -1,0 +1,1 @@
+lib/x509/crl.ml: Asn1 Certificate Char Dn Extension Format Fun General_name Hashtbl List Pem Printf Result String

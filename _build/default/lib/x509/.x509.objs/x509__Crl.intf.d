@@ -1,0 +1,1 @@
+lib/x509/crl.mli: Asn1 Certificate Dn

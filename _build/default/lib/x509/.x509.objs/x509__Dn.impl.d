@@ -1,0 +1,1 @@
+lib/x509/dn.ml: Array Asn1 Attr Buffer Char Format List Printf Result Stdlib String Unicode

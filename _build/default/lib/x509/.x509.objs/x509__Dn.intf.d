@@ -1,0 +1,1 @@
+lib/x509/dn.mli: Asn1 Attr Unicode

@@ -1,0 +1,1 @@
+lib/x509/extension.ml: Asn1 Char Format General_name List Result String

@@ -1,0 +1,1 @@
+lib/x509/extension.mli: Asn1 General_name

@@ -1,0 +1,1 @@
+lib/x509/general_name.ml: Asn1 Char Dn List Printf String

@@ -1,0 +1,1 @@
+lib/x509/general_name.mli: Asn1 Dn

@@ -1,0 +1,1 @@
+lib/x509/hostname.ml: Certificate Char Format Idna List Printf String

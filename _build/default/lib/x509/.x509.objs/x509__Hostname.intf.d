@@ -1,0 +1,1 @@
+lib/x509/hostname.mli: Certificate Format

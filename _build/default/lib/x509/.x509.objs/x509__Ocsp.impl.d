@@ -1,0 +1,1 @@
+lib/x509/ocsp.ml: Asn1 Certificate Dn Format Hashtbl String Ucrypto

@@ -1,0 +1,1 @@
+lib/x509/ocsp.mli: Asn1 Certificate Dn

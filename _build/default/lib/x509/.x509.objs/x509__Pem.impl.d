@@ -1,0 +1,1 @@
+lib/x509/pem.ml: Array Buffer Char Printf String

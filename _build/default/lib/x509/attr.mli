@@ -1,0 +1,50 @@
+(** Distinguished-name attribute types: OIDs, names, and the per-type
+    constraints of RFC 5280 Appendix A (upper bounds, permitted
+    DirectoryString encodings). *)
+
+type t =
+  | Common_name
+  | Surname
+  | Serial_number
+  | Country_name
+  | Locality_name
+  | State_or_province_name
+  | Street_address
+  | Organization_name
+  | Organizational_unit_name
+  | Title
+  | Given_name
+  | Business_category
+  | Postal_code
+  | Domain_component
+  | Email_address
+  | Jurisdiction_locality
+  | Jurisdiction_state
+  | Jurisdiction_country
+  | Unknown of Asn1.Oid.t
+
+val oid : t -> Asn1.Oid.t
+val of_oid : Asn1.Oid.t -> t
+val name : t -> string
+(** [name a] is the long name, e.g. ["commonName"]. *)
+
+val short_name : t -> string option
+(** [short_name a] is the RFC 4514 short form (["CN"], ["O"], …) when
+    one exists. *)
+
+val upper_bound : t -> int option
+(** [upper_bound a] is the RFC 5280 ub- length limit in characters, if
+    specified (e.g. 64 for commonName, 2 for countryName). *)
+
+val permitted_string_types : t -> Asn1.Str_type.t list
+(** [permitted_string_types a] lists the encodings RFC 5280 / CA/B BR
+    permit for this attribute's value (for DirectoryString attributes:
+    PrintableString and UTF8String; countryName: PrintableString only;
+    emailAddress and domainComponent: IA5String). *)
+
+val is_directory_string : t -> bool
+(** [is_directory_string a] — attribute value is a DirectoryString
+    CHOICE. *)
+
+val all_known : t list
+(** Every concrete attribute type (no [Unknown]). *)

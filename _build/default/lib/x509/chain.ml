@@ -1,0 +1,106 @@
+type anchor = { dn : Dn.t; spki : Certificate.spki }
+
+type failure =
+  | No_issuer_found of Dn.t
+  | Signature_invalid of int
+  | Certificate_expired of int
+  | Issuer_not_ca of int
+  | Name_constraint_violated of string
+  | Path_too_long
+
+let pp_failure ppf = function
+  | No_issuer_found dn -> Format.fprintf ppf "no issuer found for %s" (Dn.to_string dn)
+  | Signature_invalid d -> Format.fprintf ppf "signature invalid at depth %d" d
+  | Certificate_expired d -> Format.fprintf ppf "certificate expired at depth %d" d
+  | Issuer_not_ca d -> Format.fprintf ppf "issuer at depth %d is not a CA" d
+  | Name_constraint_violated name ->
+      Format.fprintf ppf "name %S violates the issuer's name constraints" name
+  | Path_too_long -> Format.fprintf ppf "path exceeds maximum depth"
+
+let anchor_of_keypair dn keypair = { dn; spki = Certificate.keypair_spki keypair }
+
+let is_ca cert =
+  match
+    Extension.find cert.Certificate.tbs.Certificate.extensions
+      Extension.Oids.basic_constraints
+  with
+  | None -> false
+  | Some e -> (
+      match Asn1.Value.decode e.Extension.value with
+      | Ok (Asn1.Value.Sequence (Asn1.Value.Boolean ca :: _)) -> ca
+      | Ok _ | Error _ -> false)
+
+(* dNSName subtree matching per RFC 5280 §4.2.1.10: a name falls within
+   a base when it equals the base or ends with "." ^ base. *)
+let in_subtree ~base name =
+  let base = String.lowercase_ascii base and name = String.lowercase_ascii name in
+  String.equal name base
+  ||
+  let nb = String.length base and nn = String.length name in
+  nn > nb + 1 && name.[nn - nb - 1] = '.' && String.sub name (nn - nb) nb = base
+
+let constraint_violation issuer leaf_names =
+  match
+    Extension.find issuer.Certificate.tbs.Certificate.extensions
+      Extension.Oids.name_constraints
+  with
+  | None -> None
+  | Some e -> (
+      match Extension.parse_name_constraints e.Extension.value with
+      | Error _ -> None
+      | Ok (permitted, excluded) ->
+          let bases gns =
+            List.filter_map
+              (function General_name.Dns_name d -> Some d | _ -> None)
+              gns
+          in
+          let permitted = bases permitted and excluded = bases excluded in
+          List.find_opt
+            (fun name ->
+              List.exists (fun base -> in_subtree ~base name) excluded
+              || (permitted <> []
+                 && not (List.exists (fun base -> in_subtree ~base name) permitted)))
+            leaf_names)
+
+let max_depth = 8
+
+let verify ~at ~anchors ~intermediates leaf =
+  let leaf_names = Certificate.san_dns_names leaf in
+  let rec extend current depth acc =
+    if depth > max_depth then Error Path_too_long
+    else if not (Certificate.is_valid_at current at) then
+      Error (Certificate_expired depth)
+    else begin
+      let issuer_dn = current.Certificate.tbs.Certificate.issuer in
+      (* Prefer a trust anchor over further intermediates. *)
+      match
+        List.find_opt (fun a -> Dn.equal_normalized a.dn issuer_dn) anchors
+      with
+      | Some anchor ->
+          if Certificate.verify ~issuer_spki:anchor.spki current then
+            Ok (List.rev (current :: acc))
+          else Error (Signature_invalid depth)
+      | None -> (
+          let candidates =
+            List.filter
+              (fun c ->
+                Dn.equal_normalized c.Certificate.tbs.Certificate.subject issuer_dn
+                && c != current)
+              intermediates
+          in
+          match
+            List.find_opt
+              (fun c ->
+                Certificate.verify ~issuer_spki:(Certificate.self_spki c) current)
+              candidates
+          with
+          | None -> Error (No_issuer_found issuer_dn)
+          | Some issuer ->
+              if not (is_ca issuer) then Error (Issuer_not_ca (depth + 1))
+              else (
+                match constraint_violation issuer leaf_names with
+                | Some name -> Error (Name_constraint_violated name)
+                | None -> extend issuer (depth + 1) (current :: acc)))
+    end
+  in
+  extend leaf 0 []

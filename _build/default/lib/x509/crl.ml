@@ -1,0 +1,144 @@
+type revoked_entry = { serial : string; revocation_date : Asn1.Time.t }
+
+type tbs = {
+  issuer : Dn.t;
+  this_update : Asn1.Time.t;
+  next_update : Asn1.Time.t option;
+  revoked : revoked_entry list;
+}
+
+type t = { tbs : tbs; tbs_der : string; signature : string; der : string }
+
+let algorithm_identifier =
+  Asn1.Value.Sequence [ Asn1.Value.Oid Certificate.Oids.mock_signature; Asn1.Value.Null ]
+
+let entry_value e =
+  Asn1.Value.Sequence
+    [ Asn1.Value.Integer e.serial;
+      Asn1.Value.Utc_time (Asn1.Time.to_utctime e.revocation_date) ]
+
+let tbs_value tbs =
+  let open Asn1.Value in
+  Sequence
+    ([ integer_of_int 1 (* v2 *); algorithm_identifier; Dn.to_value tbs.issuer;
+       Utc_time (Asn1.Time.to_utctime tbs.this_update) ]
+    @ (match tbs.next_update with
+      | Some t -> [ Utc_time (Asn1.Time.to_utctime t) ]
+      | None -> [])
+    @
+    if tbs.revoked = [] then []
+    else [ Sequence (List.map entry_value tbs.revoked) ])
+
+(* The keypair hides the signature scheme; CRLs sign their TBS bytes
+   with the same primitive certificates use. *)
+let make ~issuer ~this_update ?next_update ~revoked keypair =
+  let tbs = { issuer; this_update; next_update; revoked } in
+  let tbs_der = Asn1.Value.encode (tbs_value tbs) in
+  let signature = Certificate.raw_signature keypair tbs_der in
+  let der =
+    Asn1.Writer.sequence
+      [ tbs_der;
+        Asn1.Value.encode algorithm_identifier;
+        Asn1.Value.encode (Asn1.Value.Bit_string (0, signature)) ]
+  in
+  { tbs; tbs_der; signature; der }
+
+let ( >>= ) = Result.bind
+
+let parse_entry = function
+  | Asn1.Value.Sequence (Asn1.Value.Integer serial :: Asn1.Value.Utc_time t :: _) ->
+      (match Asn1.Time.of_utctime t with
+      | Ok revocation_date -> Ok { serial; revocation_date }
+      | Error m -> Error m)
+  | _ -> Error "bad revokedCertificates entry"
+
+let parse der =
+  match Asn1.Value.decode der with
+  | Error e -> Error (Format.asprintf "%a" Asn1.Value.pp_error e)
+  | Ok (Asn1.Value.Sequence [ tbs_v; _alg; Asn1.Value.Bit_string (_, signature) ]) -> (
+      (match tbs_v with
+      | Asn1.Value.Sequence
+          (Asn1.Value.Integer _ :: _alg2 :: issuer_v :: Asn1.Value.Utc_time this :: rest)
+        ->
+          Dn.of_value issuer_v >>= fun issuer ->
+          (match Asn1.Time.of_utctime this with Ok t -> Ok t | Error m -> Error m)
+          >>= fun this_update ->
+          let next_update, rest =
+            match rest with
+            | Asn1.Value.Utc_time n :: rest -> (
+                match Asn1.Time.of_utctime n with
+                | Ok t -> (Some t, rest)
+                | Error _ -> (None, rest))
+            | rest -> (None, rest)
+          in
+          (match rest with
+          | [ Asn1.Value.Sequence entries ] ->
+              List.fold_left
+                (fun acc e ->
+                  acc >>= fun l ->
+                  parse_entry e >>= fun e -> Ok (e :: l))
+                (Ok []) entries
+              |> Result.map List.rev
+          | [] -> Ok []
+          | _ -> Error "unexpected TBSCertList layout")
+          >>= fun revoked -> Ok { issuer; this_update; next_update; revoked }
+      | _ -> Error "TBSCertList must be a SEQUENCE")
+      >>= fun tbs ->
+      (* Recover the exact TBS span for signature checking. *)
+      let child_offset =
+        let l0 = Char.code der.[1] in
+        if l0 < 0x80 then 2 else 2 + (l0 land 0x7F)
+      in
+      match Asn1.Value.decode_prefix der child_offset with
+      | Ok (_, stop) ->
+          let tbs_der = String.sub der child_offset (stop - child_offset) in
+          Ok { tbs; tbs_der; signature; der }
+      | Error e -> Error (Format.asprintf "%a" Asn1.Value.pp_error e))
+  | Ok _ -> Error "CertificateList must be SEQUENCE { tbs, alg, BIT STRING }"
+
+let to_pem crl = Pem.encode ~label:"X509 CRL" crl.der
+
+let of_pem pem =
+  match Pem.decode pem with
+  | Ok ("X509 CRL", der) -> parse der
+  | Ok (label, _) -> Error (Printf.sprintf "unexpected PEM label %S" label)
+  | Error m -> Error m
+
+let verify ~issuer_spki crl =
+  Certificate.verify_raw ~issuer_spki ~message:crl.tbs_der ~signature:crl.signature
+
+let is_revoked crl serial =
+  List.exists (fun e -> String.equal e.serial serial) crl.tbs.revoked
+
+module Store = struct
+  type store = (string, t) Hashtbl.t
+
+  let create () : store = Hashtbl.create 8
+  let publish store ~url crl = Hashtbl.replace store url crl
+  let fetch store url = Hashtbl.find_opt store url
+end
+
+type status = Good | Revoked | Unavailable of string
+
+let crldp_uris cert =
+  match
+    Extension.find cert.Certificate.tbs.Certificate.extensions
+      Extension.Oids.crl_distribution_points
+  with
+  | None -> []
+  | Some e -> (
+      match Extension.parse_crl_distribution_points e.Extension.value with
+      | Error _ -> []
+      | Ok gns -> List.filter_map (function General_name.Uri u -> Some u | _ -> None) gns)
+
+let check_revocation ?(rewrite_location = Fun.id) ~store ~issuer_spki cert =
+  match crldp_uris cert with
+  | [] -> Unavailable "no CRLDistributionPoints"
+  | uri :: _ -> (
+      let fetched = rewrite_location uri in
+      match Store.fetch store fetched with
+      | None -> Unavailable (Printf.sprintf "no CRL at %S" fetched)
+      | Some crl ->
+          if not (verify ~issuer_spki crl) then Unavailable "CRL signature invalid"
+          else if is_revoked crl cert.Certificate.tbs.Certificate.serial then Revoked
+          else Good)

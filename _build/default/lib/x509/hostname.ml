@@ -1,0 +1,91 @@
+type policy = {
+  allow_wildcards : bool;
+  require_ldh_san : bool;
+  convert_idn : bool;
+  cn_fallback : bool;
+  c_string_semantics : bool;
+}
+
+let strict =
+  { allow_wildcards = true; require_ldh_san = true; convert_idn = true;
+    cn_fallback = false; c_string_semantics = false }
+
+let legacy =
+  { allow_wildcards = true; require_ldh_san = false; convert_idn = true;
+    cn_fallback = true; c_string_semantics = false }
+
+let vulnerable_c_client = { legacy with c_string_semantics = true }
+
+let truncate_at_nul s =
+  match String.index_opt s '\x00' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+type failure =
+  | No_presented_identifier
+  | Mismatch of string list
+  | Invalid_reference of string
+
+let pp_failure ppf = function
+  | No_presented_identifier -> Format.fprintf ppf "no presented identifier"
+  | Mismatch considered ->
+      Format.fprintf ppf "no identifier matched (considered: %s)"
+        (String.concat ", " considered)
+  | Invalid_reference m -> Format.fprintf ppf "invalid reference identity: %s" m
+
+let fold = String.lowercase_ascii
+
+(* RFC 9525 §6.3: the wildcard must be the complete left-most label and
+   match exactly one label. *)
+let label_match ~allow_wildcards pattern host =
+  let p = Idna.Dns.split_labels pattern and h = Idna.Dns.split_labels host in
+  match (p, h) with
+  | "*" :: prest, _ :: hrest when allow_wildcards -> prest <> [] && prest = hrest
+  | _ -> p = h
+
+let verify ?(policy = strict) ~reference cert =
+  let reference_ascii =
+    if policy.convert_idn && String.exists (fun c -> Char.code c >= 0x80) reference
+    then
+      match Idna.to_ascii reference with
+      | Ok a -> Ok a
+      | Error errs ->
+          Error
+            (Invalid_reference
+               (String.concat "; "
+                  (List.map
+                     (fun (l, issues) ->
+                       Printf.sprintf "%s: %s" l
+                         (String.concat ","
+                            (List.map (Format.asprintf "%a" Idna.pp_issue) issues)))
+                     errs)))
+    else Ok reference
+  in
+  match reference_ascii with
+  | Error _ as e -> e
+  | Ok reference -> (
+      let sans = Certificate.san_dns_names cert in
+      let sans =
+        if policy.require_ldh_san then List.filter Idna.Dns.is_ldh_name sans else sans
+      in
+      let candidates =
+        if sans <> [] then sans
+        else if policy.cn_fallback then
+          match Certificate.subject_cn cert with Some cn -> [ cn ] | None -> []
+        else []
+      in
+      let candidates =
+        if policy.c_string_semantics then List.map truncate_at_nul candidates
+        else candidates
+      in
+      match candidates with
+      | [] -> Error No_presented_identifier
+      | _ ->
+          if
+            List.exists
+              (fun c ->
+                label_match ~allow_wildcards:policy.allow_wildcards (fold c)
+                  (fold reference))
+              candidates
+          then Ok ()
+          else Error (Mismatch candidates))

@@ -1,0 +1,39 @@
+(** Reference-identity verification (RFC 6125 / RFC 9525): matching a
+    hostname against a certificate's presented identifiers, with the
+    IDN conversion step whose absence the paper's [P2.2] clients get
+    wrong. *)
+
+type policy = {
+  allow_wildcards : bool;    (** sole "*" as the left-most label *)
+  require_ldh_san : bool;    (** ignore SAN entries that are not LDH *)
+  convert_idn : bool;        (** U-label references become A-labels *)
+  cn_fallback : bool;        (** deprecated CN matching when SAN absent *)
+  c_string_semantics : bool;
+      (** truncate presented identifiers at the first NUL before
+          matching — the historic null-prefix bypass the paper's T1
+          findings reference (13.9K certs with NUL in Subject
+          attributes). *)
+}
+
+val strict : policy
+(** RFC 9525 behaviour: wildcards allowed, LDH-only SANs, IDN
+    conversion, no CN fallback. *)
+
+val legacy : policy
+(** Pre-9525 behaviour with CN fallback — what Snort/cURL/Postfix-style
+    consumers still do (§4.4 [F2]). *)
+
+val vulnerable_c_client : policy
+(** [legacy] plus C-string truncation: the null-prefix-attack victim. *)
+
+type failure =
+  | No_presented_identifier
+  | Mismatch of string list  (** the identifiers that were considered *)
+  | Invalid_reference of string
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val verify :
+  ?policy:policy -> reference:string -> Certificate.t -> (unit, failure) result
+(** [verify ~reference cert] checks the reference identity against the
+    certificate's SAN dNSNames (and optionally the CN). *)

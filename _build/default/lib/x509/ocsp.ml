@@ -1,0 +1,101 @@
+type cert_id = {
+  issuer_name_hash : string;
+  issuer_key_hash : string;
+  serial : string;
+}
+
+let cert_id ~issuer_spki cert =
+  {
+    issuer_name_hash =
+      Ucrypto.Sha256.digest (Dn.encode cert.Certificate.tbs.Certificate.issuer);
+    issuer_key_hash = Ucrypto.Sha256.digest issuer_spki.Certificate.key;
+    serial = cert.Certificate.tbs.Certificate.serial;
+  }
+
+let cert_id_to_der id =
+  Asn1.Value.encode
+    (Asn1.Value.Sequence
+       [ Asn1.Value.Octet_string id.issuer_name_hash;
+         Asn1.Value.Octet_string id.issuer_key_hash;
+         Asn1.Value.Integer id.serial ])
+
+let cert_id_of_der der =
+  match Asn1.Value.decode der with
+  | Ok
+      (Asn1.Value.Sequence
+        [ Asn1.Value.Octet_string issuer_name_hash;
+          Asn1.Value.Octet_string issuer_key_hash; Asn1.Value.Integer serial ]) ->
+      Ok { issuer_name_hash; issuer_key_hash; serial }
+  | Ok _ -> Error "CertID must be SEQUENCE { OCTET, OCTET, INTEGER }"
+  | Error e -> Error (Format.asprintf "%a" Asn1.Value.pp_error e)
+
+type cert_status = Good | Revoked of Asn1.Time.t | Unknown
+
+type single_response = {
+  id : cert_id;
+  status : cert_status;
+  this_update : Asn1.Time.t;
+}
+
+let response_der r =
+  let status_field =
+    match r.status with
+    | Good -> Asn1.Value.Implicit (0, "")
+    | Revoked at -> Asn1.Value.Implicit (1, Asn1.Time.to_generalized at)
+    | Unknown -> Asn1.Value.Implicit (2, "")
+  in
+  Asn1.Value.encode
+    (Asn1.Value.Sequence
+       [ Asn1.Value.Octet_string (cert_id_to_der r.id); status_field;
+         Asn1.Value.Generalized_time (Asn1.Time.to_generalized r.this_update) ])
+
+module Responder = struct
+  type t = {
+    issuer_dn : Dn.t;
+    keypair : Certificate.keypair;
+    revoked : (string, Asn1.Time.t) Hashtbl.t;
+    mutable short_lived : bool;
+  }
+
+  let create ~issuer_dn keypair =
+    { issuer_dn; keypair; revoked = Hashtbl.create 8; short_lived = false }
+
+  let revoke t ~serial ~at = Hashtbl.replace t.revoked serial at
+  let set_short_lived t v = t.short_lived <- v
+
+  let query t ~now id =
+    if t.short_lived then Error "responder discontinued (short-lived certificates)"
+    else begin
+      let expected_name_hash = Ucrypto.Sha256.digest (Dn.encode t.issuer_dn) in
+      let expected_key_hash =
+        Ucrypto.Sha256.digest (Certificate.keypair_spki t.keypair).Certificate.key
+      in
+      let status =
+        if
+          not
+            (String.equal id.issuer_name_hash expected_name_hash
+            && String.equal id.issuer_key_hash expected_key_hash)
+        then Unknown
+        else
+          match Hashtbl.find_opt t.revoked id.serial with
+          | Some at -> Revoked at
+          | None -> Good
+      in
+      let response = { id; status; this_update = now } in
+      let signature =
+        Certificate.raw_signature t.keypair (response_der response)
+      in
+      Ok (response, signature)
+    end
+
+  let verify ~issuer_spki response ~signature =
+    Certificate.verify_raw ~issuer_spki ~message:(response_der response) ~signature
+end
+
+let check ~responder ~issuer_spki ~now cert =
+  let id = cert_id ~issuer_spki cert in
+  match Responder.query responder ~now id with
+  | Error _ -> None
+  | Ok (response, signature) ->
+      if Responder.verify ~issuer_spki response ~signature then Some response.status
+      else None

@@ -1,0 +1,57 @@
+(** A compact OCSP model (RFC 6960, reduced): CertID-addressed status
+    queries against a responder keyed by the issuing CA.  Together with
+    {!Crl} this completes the two AIA revocation paths; the paper's
+    remediation discussion (§5.2) notes OCSP being phased out in favour
+    of short-lived certificates, which {!Responder.set_short_lived}
+    models by refusing to answer. *)
+
+type cert_id = {
+  issuer_name_hash : string;  (** SHA-256 of the issuer DN encoding *)
+  issuer_key_hash : string;   (** SHA-256 of the issuer SPKI key bytes *)
+  serial : string;
+}
+
+val cert_id : issuer_spki:Certificate.spki -> Certificate.t -> cert_id
+(** Build the CertID for a certificate under its issuer. *)
+
+val cert_id_to_der : cert_id -> string
+val cert_id_of_der : string -> (cert_id, string) result
+
+type cert_status = Good | Revoked of Asn1.Time.t | Unknown
+
+type single_response = {
+  id : cert_id;
+  status : cert_status;
+  this_update : Asn1.Time.t;
+}
+
+module Responder : sig
+  type t
+
+  val create : issuer_dn:Dn.t -> Certificate.keypair -> t
+
+  val revoke : t -> serial:string -> at:Asn1.Time.t -> unit
+
+  val set_short_lived : t -> bool -> unit
+  (** When set, the responder stops answering (the post-OCSP world of
+      Ballot SC063 / short-lived certificates). *)
+
+  val query :
+    t -> now:Asn1.Time.t -> cert_id -> (single_response * string, string) result
+  (** [query r ~now id] is the response and its signature over the DER
+      of the single response. *)
+
+  val verify :
+    issuer_spki:Certificate.spki ->
+    single_response -> signature:string -> bool
+end
+
+val check :
+  responder:Responder.t ->
+  issuer_spki:Certificate.spki ->
+  now:Asn1.Time.t ->
+  Certificate.t ->
+  cert_status option
+(** End-to-end client check: build the CertID, query, verify the
+    response signature, return the status ([None] when the responder is
+    silent or the signature fails — soft-fail territory). *)

@@ -1,0 +1,133 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let base64_encode s =
+  let n = String.length s in
+  let buf = Buffer.create ((n + 2) / 3 * 4) in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] and b2 = Char.code s.[!i + 2] in
+    Buffer.add_char buf alphabet.[b0 lsr 2];
+    Buffer.add_char buf alphabet.[((b0 land 3) lsl 4) lor (b1 lsr 4)];
+    Buffer.add_char buf alphabet.[((b1 land 0xF) lsl 2) lor (b2 lsr 6)];
+    Buffer.add_char buf alphabet.[b2 land 0x3F];
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let b0 = Char.code s.[!i] in
+      Buffer.add_char buf alphabet.[b0 lsr 2];
+      Buffer.add_char buf alphabet.[(b0 land 3) lsl 4];
+      Buffer.add_string buf "=="
+  | 2 ->
+      let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] in
+      Buffer.add_char buf alphabet.[b0 lsr 2];
+      Buffer.add_char buf alphabet.[((b0 land 3) lsl 4) lor (b1 lsr 4)];
+      Buffer.add_char buf alphabet.[(b1 land 0xF) lsl 2];
+      Buffer.add_char buf '='
+  | _ -> ());
+  Buffer.contents buf
+
+let decode_char c =
+  match c with
+  | 'A' .. 'Z' -> Some (Char.code c - Char.code 'A')
+  | 'a' .. 'z' -> Some (Char.code c - Char.code 'a' + 26)
+  | '0' .. '9' -> Some (Char.code c - Char.code '0' + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let base64_decode s =
+  let buf = Buffer.create (String.length s * 3 / 4) in
+  let quad = Array.make 4 0 in
+  let qlen = ref 0 and pad = ref 0 in
+  let error = ref None in
+  String.iter
+    (fun c ->
+      if !error <> None then ()
+      else if c = '\n' || c = '\r' || c = ' ' || c = '\t' then ()
+      else if c = '=' then incr pad
+      else if !pad > 0 then error := Some "data after padding"
+      else
+        match decode_char c with
+        | None -> error := Some (Printf.sprintf "invalid base64 character %C" c)
+        | Some v ->
+            quad.(!qlen) <- v;
+            incr qlen;
+            if !qlen = 4 then begin
+              Buffer.add_char buf (Char.chr ((quad.(0) lsl 2) lor (quad.(1) lsr 4)));
+              Buffer.add_char buf
+                (Char.chr (((quad.(1) land 0xF) lsl 4) lor (quad.(2) lsr 2)));
+              Buffer.add_char buf (Char.chr (((quad.(2) land 3) lsl 6) lor quad.(3)));
+              qlen := 0
+            end)
+    s;
+  match !error with
+  | Some m -> Error m
+  | None -> (
+      match (!qlen, !pad) with
+      | 0, _ -> Ok (Buffer.contents buf)
+      | 2, 2 ->
+          Buffer.add_char buf (Char.chr ((quad.(0) lsl 2) lor (quad.(1) lsr 4)));
+          Ok (Buffer.contents buf)
+      | 3, 1 ->
+          Buffer.add_char buf (Char.chr ((quad.(0) lsl 2) lor (quad.(1) lsr 4)));
+          Buffer.add_char buf (Char.chr (((quad.(1) land 0xF) lsl 4) lor (quad.(2) lsr 2)));
+          Ok (Buffer.contents buf)
+      | _ -> Error "truncated base64 input")
+
+let encode ~label der =
+  let b64 = base64_encode der in
+  let buf = Buffer.create (String.length b64 + 64) in
+  Buffer.add_string buf ("-----BEGIN " ^ label ^ "-----\n");
+  let n = String.length b64 in
+  let i = ref 0 in
+  while !i < n do
+    let len = min 64 (n - !i) in
+    Buffer.add_string buf (String.sub b64 !i len);
+    Buffer.add_char buf '\n';
+    i := !i + len
+  done;
+  Buffer.add_string buf ("-----END " ^ label ^ "-----\n");
+  Buffer.contents buf
+
+let decode pem =
+  let lines = String.split_on_char '\n' pem in
+  let trim = String.trim in
+  let rec find_begin = function
+    | [] -> Error "no BEGIN line"
+    | l :: rest ->
+        let l = trim l in
+        if String.length l > 16
+           && String.sub l 0 11 = "-----BEGIN "
+           && String.sub l (String.length l - 5) 5 = "-----"
+        then Ok (String.sub l 11 (String.length l - 16), rest)
+        else find_begin rest
+  in
+  match find_begin lines with
+  | Error m -> Error m
+  | Ok (label, rest) ->
+      let buf = Buffer.create 1024 in
+      let rec collect = function
+        | [] -> Error "no END line"
+        | l :: rest ->
+            let l = trim l in
+            if String.length l >= 9 && String.sub l 0 9 = "-----END " then Ok ()
+            else begin
+              Buffer.add_string buf l;
+              collect rest
+            end
+      in
+      (match collect rest with
+      | Error m -> Error m
+      | Ok () -> (
+          match base64_decode (Buffer.contents buf) with
+          | Ok der -> Ok (label, der)
+          | Error m -> Error m))
+
+let encode_certificate der = encode ~label:"CERTIFICATE" der
+
+let decode_certificate pem =
+  match decode pem with
+  | Ok ("CERTIFICATE", der) -> Ok der
+  | Ok (label, _) -> Error (Printf.sprintf "unexpected PEM label %S" label)
+  | Error m -> Error m

@@ -1,0 +1,16 @@
+(** PEM armoring (RFC 7468) with a from-scratch Base64 codec. *)
+
+val base64_encode : string -> string
+val base64_decode : string -> (string, string) result
+
+val encode : label:string -> string -> string
+(** [encode ~label der] wraps DER bytes in
+    [-----BEGIN label-----] armor with 64-column Base64 lines. *)
+
+val decode : string -> (string * string, string) result
+(** [decode pem] is [(label, der)] for the first armored block. *)
+
+val encode_certificate : string -> string
+(** [encode_certificate der] uses the ["CERTIFICATE"] label. *)
+
+val decode_certificate : string -> (string, string) result

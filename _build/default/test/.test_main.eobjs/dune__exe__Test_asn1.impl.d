@@ -1,0 +1,1 @@
+test/test_asn1.ml: Alcotest Asn1 Char Format List Option Printf QCheck QCheck_alcotest Result String Unicode

@@ -1,0 +1,1 @@
+test/test_crl_chain.ml: Alcotest Asn1 Buffer Ctlog Format Idna Lint List String Tlsparsers Unicert X509

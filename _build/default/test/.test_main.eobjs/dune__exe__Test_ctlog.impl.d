@@ -1,0 +1,1 @@
+test/test_ctlog.ml: Alcotest Asn1 Char Ctlog Lint List Printf QCheck QCheck_alcotest String Ucrypto X509

@@ -1,0 +1,1 @@
+test/test_hostname_rules.ml: Alcotest Asn1 Lint List Middlebox Result X509

@@ -1,0 +1,1 @@
+test/test_idna.ml: Alcotest Array Char Idna List QCheck QCheck_alcotest Result String Unicode

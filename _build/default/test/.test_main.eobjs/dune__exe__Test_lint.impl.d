@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Asn1 Ctlog Lint List String Ucrypto X509

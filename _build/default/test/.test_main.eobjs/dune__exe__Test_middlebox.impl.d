@@ -1,0 +1,1 @@
+test/test_middlebox.ml: Alcotest Asn1 List Middlebox Printf Result Ucrypto X509

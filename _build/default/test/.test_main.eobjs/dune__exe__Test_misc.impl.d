@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Asn1 Ctlog Idna Lint List Monitors Result String Unicert Unicode X509

@@ -1,0 +1,1 @@
+test/test_monitors.ml: Alcotest Asn1 Ctlog List Monitors X509

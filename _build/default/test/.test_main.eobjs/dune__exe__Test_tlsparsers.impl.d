@@ -1,0 +1,1 @@
+test/test_tlsparsers.ml: Alcotest Array Asn1 List Tlsparsers Unicode X509

@@ -1,0 +1,1 @@
+test/test_tlswire.ml: Alcotest Asn1 List Middlebox QCheck QCheck_alcotest Result Tlswire Ucrypto X509

@@ -1,0 +1,1 @@
+test/test_ucrypto.ml: Alcotest Array Bytes Char Format Fun List Printf QCheck QCheck_alcotest String Ucrypto

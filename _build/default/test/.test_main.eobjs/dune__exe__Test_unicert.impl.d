@@ -1,0 +1,1 @@
+test/test_unicert.ml: Alcotest Asn1 Buffer Format Hashtbl List String Unicert X509

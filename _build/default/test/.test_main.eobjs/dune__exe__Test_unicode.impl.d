@@ -1,0 +1,1 @@
+test/test_unicode.ml: Alcotest Array Char List Printf QCheck QCheck_alcotest Result String Unicode

@@ -1,0 +1,1 @@
+test/test_x509.ml: Alcotest Array Asn1 Bytes Char Format List Option QCheck QCheck_alcotest Result String Ucrypto Unicode X509

@@ -1,0 +1,407 @@
+(* Tests for the CRL substrate, revocation checking (including the
+   §5.2 CRL-spoofing threat), certification-path validation, and the
+   CT precertificate flow. *)
+
+let check = Alcotest.check
+
+let ca = X509.Certificate.mock_keypair ~seed:"crl-test-ca"
+let ca_dn = X509.Dn.of_list [ (X509.Attr.Organization_name, "CRL Test CA") ]
+
+let leaf ?(serial = "\x10\x01") ?(crldp = []) cn =
+  let tbs =
+    X509.Certificate.make_tbs ~serial ~issuer:ca_dn
+      ~subject:(X509.Dn.of_list [ (X509.Attr.Common_name, cn) ])
+      ~not_before:(Asn1.Time.make 2025 1 1) ~not_after:(Asn1.Time.make 2025 4 1)
+      ~spki:(X509.Certificate.keypair_spki ca)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:
+        ([ X509.Extension.subject_alt_name [ X509.General_name.Dns_name cn ] ]
+        @
+        if crldp = [] then []
+        else
+          [ X509.Extension.crl_distribution_points
+              (List.map (fun u -> X509.General_name.Uri u) crldp) ])
+      ()
+  in
+  X509.Certificate.sign ca tbs
+
+(* --- CRL ------------------------------------------------------------- *)
+
+let sample_crl () =
+  X509.Crl.make ~issuer:ca_dn
+    ~this_update:(Asn1.Time.make 2025 2 1)
+    ~next_update:(Asn1.Time.make 2025 3 1)
+    ~revoked:
+      [ { X509.Crl.serial = "\x10\x01"; revocation_date = Asn1.Time.make 2025 1 15 };
+        { X509.Crl.serial = "\x10\x02"; revocation_date = Asn1.Time.make 2025 1 20 } ]
+    ca
+
+let test_crl_roundtrip () =
+  let crl = sample_crl () in
+  match X509.Crl.parse crl.X509.Crl.der with
+  | Ok crl' ->
+      check Alcotest.int "entries" 2 (List.length crl'.X509.Crl.tbs.X509.Crl.revoked);
+      check Alcotest.bool "revoked member" true (X509.Crl.is_revoked crl' "\x10\x01");
+      check Alcotest.bool "non-member" false (X509.Crl.is_revoked crl' "\x10\x09");
+      check Alcotest.bool "signature" true
+        (X509.Crl.verify ~issuer_spki:(X509.Certificate.keypair_spki ca) crl')
+  | Error m -> Alcotest.fail m
+
+let test_crl_pem () =
+  let crl = sample_crl () in
+  match X509.Crl.of_pem (X509.Crl.to_pem crl) with
+  | Ok crl' -> check Alcotest.string "pem der" crl.X509.Crl.der crl'.X509.Crl.der
+  | Error m -> Alcotest.fail m
+
+let test_crl_tamper () =
+  let crl = sample_crl () in
+  let other = X509.Certificate.mock_keypair ~seed:"other-ca" in
+  check Alcotest.bool "wrong key fails" false
+    (X509.Crl.verify ~issuer_spki:(X509.Certificate.keypair_spki other) crl)
+
+let status_testable =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.fprintf ppf "%s"
+        (match s with
+        | X509.Crl.Good -> "good"
+        | X509.Crl.Revoked -> "revoked"
+        | X509.Crl.Unavailable m -> "unavailable: " ^ m))
+    (fun a b ->
+      match (a, b) with
+      | X509.Crl.Good, X509.Crl.Good | X509.Crl.Revoked, X509.Crl.Revoked -> true
+      | X509.Crl.Unavailable _, X509.Crl.Unavailable _ -> true
+      | _ -> false)
+
+let test_revocation_check () =
+  let store = X509.Crl.Store.create () in
+  let url = "http://crl.test/ca.crl" in
+  X509.Crl.Store.publish store ~url (sample_crl ());
+  let spki = X509.Certificate.keypair_spki ca in
+  let revoked_cert = leaf ~serial:"\x10\x01" ~crldp:[ url ] "revoked.example" in
+  let good_cert = leaf ~serial:"\x20\x05" ~crldp:[ url ] "good.example" in
+  check status_testable "revoked" X509.Crl.Revoked
+    (X509.Crl.check_revocation ~store ~issuer_spki:spki revoked_cert);
+  check status_testable "good" X509.Crl.Good
+    (X509.Crl.check_revocation ~store ~issuer_spki:spki good_cert);
+  let no_crldp = leaf ~serial:"\x10\x01" "nodp.example" in
+  check status_testable "no crldp" (X509.Crl.Unavailable "")
+    (X509.Crl.check_revocation ~store ~issuer_spki:spki no_crldp)
+
+let test_crl_spoofing_threat () =
+  (* §5.2 impact (2): the CA publishes the CRL at the *real* location
+     containing a control byte; a PyOpenSSL-style client rewrites the
+     location to dots and fetches nothing — revocation silently off. *)
+  let store = X509.Crl.Store.create () in
+  let real = "http://ssl\x01test.com/ca.crl" in
+  X509.Crl.Store.publish store ~url:real (sample_crl ());
+  let spki = X509.Certificate.keypair_spki ca in
+  let cert = leaf ~serial:"\x10\x01" ~crldp:[ real ] "victim.example" in
+  (* A faithful client sees the revocation. *)
+  check status_testable "strict client sees revocation" X509.Crl.Revoked
+    (X509.Crl.check_revocation ~store ~issuer_spki:spki cert);
+  (* The lenient parser rewrites controls to '.' and misses the CRL. *)
+  let pyopenssl_rewrite url =
+    match
+      (Tlsparsers.Models.pyopenssl).Tlsparsers.Model.decode_gn Tlsparsers.Model.Crldp
+        url
+    with
+    | Some rewritten -> rewritten
+    | None -> url
+  in
+  check status_testable "lenient client loses revocation"
+    (X509.Crl.Unavailable "")
+    (X509.Crl.check_revocation ~rewrite_location:pyopenssl_rewrite ~store
+       ~issuer_spki:spki cert)
+
+(* --- chains ------------------------------------------------------------ *)
+
+let root_kp = X509.Certificate.mock_keypair ~seed:"chain-root"
+let root_dn = X509.Dn.of_list [ (X509.Attr.Organization_name, "Chain Root") ]
+let inter_kp = X509.Certificate.mock_keypair ~seed:"chain-inter"
+let inter_dn = X509.Dn.of_list [ (X509.Attr.Organization_name, "Chain Intermediate") ]
+
+let make_cert ~issuer_dn ~subject_dn ~key ~signer ~extensions =
+  let tbs =
+    X509.Certificate.make_tbs ~issuer:issuer_dn ~subject:subject_dn
+      ~not_before:(Asn1.Time.make 2024 1 1) ~not_after:(Asn1.Time.make 2026 1 1)
+      ~spki:(X509.Certificate.keypair_spki key)
+      ~sig_alg:X509.Certificate.Oids.mock_signature ~extensions ()
+  in
+  X509.Certificate.sign signer tbs
+
+let intermediate =
+  make_cert ~issuer_dn:root_dn ~subject_dn:inter_dn ~key:inter_kp ~signer:root_kp
+    ~extensions:[ X509.Extension.basic_constraints ~ca:true () ]
+
+let chain_leaf =
+  make_cert ~issuer_dn:inter_dn
+    ~subject_dn:(X509.Dn.of_list [ (X509.Attr.Common_name, "leaf.example") ])
+    ~key:(X509.Certificate.mock_keypair ~seed:"chain-leaf")
+    ~signer:inter_kp ~extensions:[]
+
+let anchors = [ X509.Chain.anchor_of_keypair root_dn root_kp ]
+
+let test_chain_success () =
+  match
+    X509.Chain.verify ~at:(Asn1.Time.make 2025 1 1) ~anchors
+      ~intermediates:[ intermediate ] chain_leaf
+  with
+  | Ok chain -> check Alcotest.int "leaf + intermediate" 2 (List.length chain)
+  | Error f -> Alcotest.failf "%a" X509.Chain.pp_failure f
+
+let test_chain_name_normalization () =
+  (* Issuer DN differs only by case/whitespace: §7.1 comparison should
+     still chain. *)
+  let sloppy_inter_dn =
+    X509.Dn.of_list [ (X509.Attr.Organization_name, "chain  INTERMEDIATE") ]
+  in
+  let leaf2 =
+    make_cert ~issuer_dn:sloppy_inter_dn
+      ~subject_dn:(X509.Dn.of_list [ (X509.Attr.Common_name, "leaf2.example") ])
+      ~key:(X509.Certificate.mock_keypair ~seed:"chain-leaf2")
+      ~signer:inter_kp ~extensions:[]
+  in
+  match
+    X509.Chain.verify ~at:(Asn1.Time.make 2025 1 1) ~anchors
+      ~intermediates:[ intermediate ] leaf2
+  with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "normalized chaining failed: %a" X509.Chain.pp_failure f
+
+let test_chain_failures () =
+  (* Expired. *)
+  (match
+     X509.Chain.verify ~at:(Asn1.Time.make 2030 1 1) ~anchors
+       ~intermediates:[ intermediate ] chain_leaf
+   with
+  | Error (X509.Chain.Certificate_expired 0) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected expiry at depth 0");
+  (* Unknown issuer. *)
+  (match
+     X509.Chain.verify ~at:(Asn1.Time.make 2025 1 1) ~anchors ~intermediates:[]
+       chain_leaf
+   with
+  | Error (X509.Chain.No_issuer_found _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected missing issuer");
+  (* Intermediate without CA bit. *)
+  let non_ca_inter =
+    make_cert ~issuer_dn:root_dn ~subject_dn:inter_dn ~key:inter_kp ~signer:root_kp
+      ~extensions:[]
+  in
+  match
+    X509.Chain.verify ~at:(Asn1.Time.make 2025 1 1) ~anchors
+      ~intermediates:[ non_ca_inter ] chain_leaf
+  with
+  | Error (X509.Chain.Issuer_not_ca 1) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected non-CA rejection"
+
+let test_name_constraints () =
+  (* An intermediate constrained to .corp.example: in-scope leaves
+     chain, out-of-scope leaves fail. *)
+  let constrained_inter =
+    make_cert ~issuer_dn:root_dn ~subject_dn:inter_dn ~key:inter_kp ~signer:root_kp
+      ~extensions:
+        [ X509.Extension.basic_constraints ~ca:true ();
+          X509.Extension.name_constraints
+            ~permitted:[ X509.General_name.Dns_name "corp.example" ]
+            ~excluded:[ X509.General_name.Dns_name "secret.corp.example" ]
+            () ]
+  in
+  let leaf_with sans =
+    let tbs =
+      X509.Certificate.make_tbs ~issuer:inter_dn
+        ~subject:(X509.Dn.of_list [ (X509.Attr.Common_name, List.hd sans) ])
+        ~not_before:(Asn1.Time.make 2024 1 1) ~not_after:(Asn1.Time.make 2026 1 1)
+        ~spki:(X509.Certificate.keypair_spki (X509.Certificate.mock_keypair ~seed:"nc-leaf"))
+        ~sig_alg:X509.Certificate.Oids.mock_signature
+        ~extensions:
+          [ X509.Extension.subject_alt_name
+              (List.map (fun d -> X509.General_name.Dns_name d) sans) ]
+        ()
+    in
+    X509.Certificate.sign inter_kp tbs
+  in
+  let run leaf =
+    X509.Chain.verify ~at:(Asn1.Time.make 2025 1 1) ~anchors
+      ~intermediates:[ constrained_inter ] leaf
+  in
+  (match run (leaf_with [ "app.corp.example" ]) with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "in-scope leaf failed: %a" X509.Chain.pp_failure f);
+  (match run (leaf_with [ "evil.example" ]) with
+  | Error (X509.Chain.Name_constraint_violated "evil.example") -> ()
+  | Ok _ | Error _ -> Alcotest.fail "out-of-permitted leaf must fail");
+  (match run (leaf_with [ "db.secret.corp.example" ]) with
+  | Error (X509.Chain.Name_constraint_violated _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "excluded subtree must fail");
+  (* The §5.2 forgery angle: a single dNSName whose *string rendering*
+     smuggles an out-of-scope name.  Structured checking sees one
+    (in-scope-violating) name and fails closed. *)
+  match run (leaf_with [ "app.corp.example, DNS:evil.example" ]) with
+  | Error (X509.Chain.Name_constraint_violated _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "forged subfield must not slip through"
+
+let test_name_constraints_roundtrip () =
+  let e =
+    X509.Extension.name_constraints
+      ~permitted:[ X509.General_name.Dns_name "a.example" ]
+      ~excluded:
+        [ X509.General_name.Dns_name "b.example"; X509.General_name.Dns_name "c.example" ]
+      ()
+  in
+  match X509.Extension.parse_name_constraints e.X509.Extension.value with
+  | Ok (permitted, excluded) ->
+      check Alcotest.int "permitted" 1 (List.length permitted);
+      check Alcotest.int "excluded" 2 (List.length excluded)
+  | Error m -> Alcotest.fail m
+
+(* --- precertificate flow ------------------------------------------------ *)
+
+let test_precert_flow () =
+  let log = Ctlog.Log.create ~name:"precert-flow" in
+  let tbs =
+    X509.Certificate.make_tbs ~issuer:ca_dn
+      ~subject:(X509.Dn.of_list [ (X509.Attr.Common_name, "sct.example") ])
+      ~not_before:(Asn1.Time.make 2025 1 1) ~not_after:(Asn1.Time.make 2025 4 1)
+      ~spki:(X509.Certificate.keypair_spki ca)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:
+        [ X509.Extension.subject_alt_name [ X509.General_name.Dns_name "sct.example" ] ]
+      ()
+  in
+  let issued = Ctlog.Submission.issue_with_sct log ca tbs in
+  check Alcotest.bool "precert poisoned" true
+    (X509.Certificate.is_precertificate issued.Ctlog.Submission.precert);
+  check Alcotest.bool "final not poisoned" false
+    (X509.Certificate.is_precertificate issued.Ctlog.Submission.final);
+  check Alcotest.int "log has both entries" 2 (Ctlog.Log.size log);
+  check Alcotest.int "one embedded sct" 1
+    (List.length (Ctlog.Submission.embedded_scts issued.Ctlog.Submission.final));
+  check Alcotest.bool "embedded sct verifies" true
+    (Ctlog.Submission.verify_embedded log issued.Ctlog.Submission.final);
+  (* A certificate without SCTs does not verify. *)
+  let bare = leaf "bare.example" in
+  check Alcotest.bool "bare cert has no sct" false
+    (Ctlog.Submission.verify_embedded log bare)
+
+let test_sct_serialization () =
+  let sct = { Ctlog.Log.log_id = String.make 32 'L'; timestamp = 1234; signature = "sig-bytes" } in
+  match Ctlog.Submission.sct_of_bytes (Ctlog.Submission.sct_to_bytes sct) with
+  | Ok sct' ->
+      check Alcotest.string "log id" sct.Ctlog.Log.log_id sct'.Ctlog.Log.log_id;
+      check Alcotest.int "timestamp" sct.Ctlog.Log.timestamp sct'.Ctlog.Log.timestamp;
+      check Alcotest.string "signature" sct.Ctlog.Log.signature sct'.Ctlog.Log.signature
+  | Error m -> Alcotest.fail m
+
+(* --- OCSP ------------------------------------------------------------ *)
+
+let test_ocsp () =
+  let responder = X509.Ocsp.Responder.create ~issuer_dn:ca_dn ca in
+  let spki = X509.Certificate.keypair_spki ca in
+  let now = Asn1.Time.make 2025 2 1 in
+  let good_cert = leaf ~serial:"\x42\x01" "ocsp-good.example" in
+  let bad_cert = leaf ~serial:"\x42\x02" "ocsp-bad.example" in
+  X509.Ocsp.Responder.revoke responder ~serial:"\x42\x02" ~at:(Asn1.Time.make 2025 1 20);
+  (match X509.Ocsp.check ~responder ~issuer_spki:spki ~now good_cert with
+  | Some X509.Ocsp.Good -> ()
+  | _ -> Alcotest.fail "expected Good");
+  (match X509.Ocsp.check ~responder ~issuer_spki:spki ~now bad_cert with
+  | Some (X509.Ocsp.Revoked _) -> ()
+  | _ -> Alcotest.fail "expected Revoked");
+  (* A cert from a different issuer yields Unknown. *)
+  let other = X509.Certificate.mock_keypair ~seed:"ocsp-other" in
+  let foreign_id =
+    X509.Ocsp.cert_id ~issuer_spki:(X509.Certificate.keypair_spki other) good_cert
+  in
+  (match X509.Ocsp.Responder.query responder ~now foreign_id with
+  | Ok (r, _) -> check Alcotest.bool "unknown" true (r.X509.Ocsp.status = X509.Ocsp.Unknown)
+  | Error m -> Alcotest.fail m);
+  (* CertID round trip. *)
+  let id = X509.Ocsp.cert_id ~issuer_spki:spki good_cert in
+  (match X509.Ocsp.cert_id_of_der (X509.Ocsp.cert_id_to_der id) with
+  | Ok id' -> check Alcotest.bool "cert id roundtrip" true (id = id')
+  | Error m -> Alcotest.fail m);
+  (* Signature binding: a tampered status must not verify. *)
+  (match X509.Ocsp.Responder.query responder ~now id with
+  | Ok (r, signature) ->
+      let forged = { r with X509.Ocsp.status = X509.Ocsp.Revoked now } in
+      check Alcotest.bool "forged response rejected" false
+        (X509.Ocsp.Responder.verify ~issuer_spki:spki forged ~signature)
+  | Error m -> Alcotest.fail m);
+  (* The short-lived-certificates endgame: the responder goes silent. *)
+  X509.Ocsp.Responder.set_short_lived responder true;
+  check Alcotest.bool "discontinued responder" true
+    (X509.Ocsp.check ~responder ~issuer_spki:spki ~now good_cert = None)
+
+(* --- rulebook ------------------------------------------------------------ *)
+
+let test_rulebook () =
+  check Alcotest.int "95 rules" 95 (List.length Lint.Rulebook.all);
+  let ids = List.map (fun (r : Lint.Rulebook.rule) -> r.Lint.Rulebook.id) Lint.Rulebook.all in
+  check Alcotest.int "unique ids" 95 (List.length (List.sort_uniq compare ids));
+  (* 1:1 with the registry. *)
+  List.iter
+    (fun (l : Lint.t) ->
+      match Lint.Rulebook.covering_lint l.Lint.name with
+      | Some r ->
+          check Alcotest.bool "metadata agrees" true
+            (r.Lint.Rulebook.source = l.Lint.source
+            && r.Lint.Rulebook.level = l.Lint.level
+            && r.Lint.Rulebook.is_new = l.Lint.is_new)
+      | None -> Alcotest.failf "lint %s has no rule" l.Lint.name)
+    Lint.Registry.all;
+  check Alcotest.int "new rules" 50
+    (List.length (List.filter (fun (r : Lint.Rulebook.rule) -> r.Lint.Rulebook.is_new) Lint.Rulebook.all));
+  (* JSON output is well-formed enough to be line-parseable. *)
+  let buf = Buffer.create 4096 in
+  Lint.Rulebook.render_catalogue (Format.formatter_of_buffer buf);
+  check Alcotest.bool "catalogue non-empty" true (Buffer.length buf > 1000)
+
+(* --- browser display policy ---------------------------------------------- *)
+
+let test_display_policy () =
+  let b = Unicert.Browsers.chromium in
+  check Alcotest.string "clean idn shown as unicode" "b\xC3\xBCcher.de"
+    (Unicert.Browsers.display_hostname b "xn--bcher-kva.de");
+  check Alcotest.string "deceptive label stays punycode" "xn--www-hn0a.example.com"
+    (Unicert.Browsers.display_hostname b "xn--www-hn0a.example.com");
+  (* Mixed Latin/Cyrillic (the homograph case) stays punycode... *)
+  let mixed =
+    match Idna.Punycode.encode_utf8 "p\xD0\xB0ypal" with
+    | Ok body -> "xn--" ^ body
+    | Error _ -> assert false
+  in
+  check Alcotest.string "mixed-script stays punycode" (mixed ^ ".com")
+    (Unicert.Browsers.display_hostname b (mixed ^ ".com"));
+  (* ...but a whole-script Cyrillic confusable displays in Unicode — the
+     gap [G1.2] exploits. *)
+  let whole =
+    match
+      Idna.Punycode.encode_utf8
+        "\xD1\x80\xD0\xB0\xD1\x83\xD1\x80\xD0\xB0\xD0\xBB" (* раурал *)
+    with
+    | Ok body -> "xn--" ^ body
+    | Error _ -> assert false
+  in
+  check Alcotest.bool "whole-script confusable displays unicode" true
+    (Unicert.Browsers.display_hostname b (whole ^ ".com") <> whole ^ ".com")
+
+let suite =
+  [
+    Alcotest.test_case "crl roundtrip" `Quick test_crl_roundtrip;
+    Alcotest.test_case "crl pem" `Quick test_crl_pem;
+    Alcotest.test_case "crl tamper" `Quick test_crl_tamper;
+    Alcotest.test_case "revocation check" `Quick test_revocation_check;
+    Alcotest.test_case "crl spoofing threat (5.2)" `Quick test_crl_spoofing_threat;
+    Alcotest.test_case "chain success" `Quick test_chain_success;
+    Alcotest.test_case "chain name normalization" `Quick test_chain_name_normalization;
+    Alcotest.test_case "chain failures" `Quick test_chain_failures;
+    Alcotest.test_case "name constraints" `Quick test_name_constraints;
+    Alcotest.test_case "name constraints roundtrip" `Quick test_name_constraints_roundtrip;
+    Alcotest.test_case "precert flow" `Quick test_precert_flow;
+    Alcotest.test_case "sct serialization" `Quick test_sct_serialization;
+    Alcotest.test_case "ocsp" `Quick test_ocsp;
+    Alcotest.test_case "rulebook" `Quick test_rulebook;
+    Alcotest.test_case "browser display policy" `Quick test_display_policy;
+  ]

@@ -1,0 +1,239 @@
+(* Tests for the CT log substrate: Merkle trees (against RFC vectors and
+   by property), log/SCT behaviour, and the calibrated dataset. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- merkle ----------------------------------------------------------- *)
+
+let hex s =
+  String.concat ""
+    (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let test_merkle_empty_and_leaf () =
+  let t = Ctlog.Merkle.create () in
+  (* MTH({}) = SHA-256 of the empty string (RFC 6962 §2.1). *)
+  check Alcotest.string "empty root"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (hex (Ctlog.Merkle.root t));
+  ignore (Ctlog.Merkle.append t "");
+  (* RFC 6962 test vector: leaf hash of the empty leaf. *)
+  check Alcotest.string "single empty leaf"
+    "6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d"
+    (hex (Ctlog.Merkle.root t))
+
+let build n =
+  let t = Ctlog.Merkle.create () in
+  let leaves = List.init n (fun i -> Printf.sprintf "leaf-%d" i) in
+  List.iter (fun l -> ignore (Ctlog.Merkle.append t l)) leaves;
+  (t, leaves)
+
+let test_merkle_inclusion () =
+  List.iter
+    (fun n ->
+      let t, leaves = build n in
+      let root = Ctlog.Merkle.root t in
+      List.iteri
+        (fun i leaf ->
+          let proof = Ctlog.Merkle.inclusion_proof t i in
+          if not (Ctlog.Merkle.verify_inclusion ~leaf ~index:i ~size:n ~proof ~root)
+          then Alcotest.failf "inclusion failed at %d/%d" i n;
+          if Ctlog.Merkle.verify_inclusion ~leaf:"forged" ~index:i ~size:n ~proof ~root
+          then Alcotest.failf "forged leaf accepted at %d/%d" i n)
+        leaves)
+    [ 1; 2; 3; 7; 8; 9; 16; 33 ]
+
+let test_merkle_consistency () =
+  List.iter
+    (fun n ->
+      let t, _ = build n in
+      let new_root = Ctlog.Merkle.root t in
+      for m = 0 to n do
+        let old_root = Ctlog.Merkle.root_of_range t m in
+        let proof = Ctlog.Merkle.consistency_proof t m in
+        if
+          not
+            (Ctlog.Merkle.verify_consistency ~old_size:m ~old_root ~new_size:n
+               ~new_root ~proof)
+        then Alcotest.failf "consistency failed %d -> %d" m n
+      done)
+    [ 1; 2; 5; 8; 13; 32 ]
+
+let test_merkle_consistency_rejects () =
+  let t, _ = build 16 in
+  let proof = Ctlog.Merkle.consistency_proof t 7 in
+  let bogus_old = Ucrypto.Sha256.digest "bogus" in
+  check Alcotest.bool "wrong old root rejected" false
+    (Ctlog.Merkle.verify_consistency ~old_size:7 ~old_root:bogus_old ~new_size:16
+       ~new_root:(Ctlog.Merkle.root t) ~proof)
+
+let prop_merkle_random =
+  QCheck.Test.make ~name:"inclusion proofs verify for random sizes" ~count:60
+    QCheck.(pair (int_range 1 80) (int_range 0 1000))
+    (fun (n, pick) ->
+      let t, leaves = build n in
+      let i = pick mod n in
+      let proof = Ctlog.Merkle.inclusion_proof t i in
+      Ctlog.Merkle.verify_inclusion ~leaf:(List.nth leaves i) ~index:i ~size:n ~proof
+        ~root:(Ctlog.Merkle.root t))
+
+(* --- log --------------------------------------------------------------- *)
+
+let test_log_scts () =
+  let log = Ctlog.Log.create ~name:"test-log" in
+  let sct1 = Ctlog.Log.add_chain log "der-one" in
+  let sct2 = Ctlog.Log.add_chain log ~precert:true "der-two" in
+  check Alcotest.int "size" 2 (Ctlog.Log.size log);
+  check Alcotest.bool "sct1 verifies" true (Ctlog.Log.verify_sct log ~der:"der-one" sct1);
+  check Alcotest.bool "sct2 verifies" true (Ctlog.Log.verify_sct log ~der:"der-two" sct2);
+  check Alcotest.bool "wrong der" false (Ctlog.Log.verify_sct log ~der:"der-X" sct1);
+  let other = Ctlog.Log.create ~name:"other-log" in
+  check Alcotest.bool "wrong log" false (Ctlog.Log.verify_sct other ~der:"der-one" sct1);
+  check Alcotest.bool "entry lookup" true
+    (match Ctlog.Log.get log 1 with
+    | Some e -> e.Ctlog.Log.precert && e.Ctlog.Log.der = "der-two"
+    | None -> false)
+
+(* --- dataset ------------------------------------------------------------ *)
+
+let test_dataset_determinism () =
+  let serials scale seed =
+    let out = ref [] in
+    Ctlog.Dataset.iter ~scale ~seed (fun e ->
+        out := e.Ctlog.Dataset.cert.X509.Certificate.tbs.X509.Certificate.serial :: !out);
+    List.rev !out
+  in
+  check (Alcotest.list Alcotest.string) "same seed same corpus" (serials 50 7)
+    (serials 50 7);
+  check Alcotest.bool "different seed differs" true (serials 50 7 <> serials 50 8)
+
+let test_dataset_structure () =
+  let n = ref 0 in
+  Ctlog.Dataset.iter ~scale:300 ~seed:3 (fun e ->
+      incr n;
+      let cert = e.Ctlog.Dataset.cert in
+      (* Every corpus certificate parses back from its DER. *)
+      (match X509.Certificate.parse cert.X509.Certificate.der with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "corpus cert does not reparse: %s" m);
+      (* And its signature binds to the issuer key. *)
+      if
+        not
+          (X509.Certificate.verify
+             ~issuer_spki:
+               (X509.Certificate.keypair_spki e.Ctlog.Dataset.issuer.Ctlog.Dataset.keypair)
+             cert)
+      then Alcotest.fail "corpus cert signature invalid";
+      (* Issuance year within the issuer's range. *)
+      let y0, y1, _ = e.Ctlog.Dataset.issuer.Ctlog.Dataset.years in
+      let y = e.Ctlog.Dataset.issued.Asn1.Time.year in
+      if y < y0 || y > y1 then Alcotest.failf "year %d outside [%d,%d]" y y0 y1);
+  check Alcotest.int "requested scale" 300 !n
+
+let test_dataset_calibration () =
+  (* Shape-level targets from the paper at a modest scale (seed-stable). *)
+  let total = ref 0 and nc = ref 0 and nc_trusted = ref 0 and idn = ref 0 in
+  Ctlog.Dataset.iter ~scale:12000 ~seed:1 (fun e ->
+      incr total;
+      if e.Ctlog.Dataset.is_idn then incr idn;
+      let findings =
+        Lint.Registry.noncompliant ~issued:e.Ctlog.Dataset.issued e.Ctlog.Dataset.cert
+      in
+      if findings <> [] then begin
+        incr nc;
+        if e.Ctlog.Dataset.issuer.Ctlog.Dataset.trust_at_issuance = Ctlog.Dataset.Public
+        then incr nc_trusted
+      end);
+  let rate = float_of_int !nc /. float_of_int !total in
+  if rate < 0.004 || rate > 0.012 then
+    Alcotest.failf "noncompliance rate %.4f outside [0.004, 0.012] (paper: 0.0072)" rate;
+  let trusted_share = float_of_int !nc_trusted /. float_of_int (max 1 !nc) in
+  if trusted_share < 0.50 || trusted_share > 0.80 then
+    Alcotest.failf "trusted NC share %.2f outside [0.50, 0.80] (paper: 0.653)"
+      trusted_share;
+  let idn_share = float_of_int !idn /. float_of_int !total in
+  if idn_share < 0.75 then Alcotest.failf "IDN share %.2f unexpectedly low" idn_share
+
+let test_dataset_flawed_certs_detectable () =
+  (* Every injected (non-era) flaw is found by the undated linter. *)
+  let missed = ref 0 and flawed = ref 0 in
+  Ctlog.Dataset.iter ~scale:4000 ~seed:5 (fun e ->
+      if e.Ctlog.Dataset.flaws <> [] then begin
+        incr flawed;
+        let findings =
+          Lint.Registry.noncompliant ~respect_effective_dates:false
+            ~issued:e.Ctlog.Dataset.issued e.Ctlog.Dataset.cert
+        in
+        if findings = [] then incr missed
+      end);
+  check Alcotest.int "no flawed cert escapes the undated linter" 0 !missed;
+  check Alcotest.bool "some flawed certs exist" true (!flawed > 10)
+
+let test_canonical_encoding_agreement () =
+  (* For every corpus certificate: parse the DER back and re-encode the
+     parsed TBS — the bytes must be identical (encoder and decoder agree
+     on a canonical form across every value type the corpus uses,
+     including deliberately noncompliant string payloads). *)
+  Ctlog.Dataset.iter ~scale:800 ~seed:13 (fun e ->
+      let cert = e.Ctlog.Dataset.cert in
+      match X509.Certificate.parse cert.X509.Certificate.der with
+      | Error m -> Alcotest.fail m
+      | Ok parsed ->
+          if
+            not
+              (String.equal
+                 (X509.Certificate.encode_tbs parsed.X509.Certificate.tbs)
+                 parsed.X509.Certificate.tbs_der)
+          then
+            Alcotest.failf "re-encoded TBS differs for a %s certificate"
+              e.Ctlog.Dataset.issuer.Ctlog.Dataset.org)
+
+let test_populate_log () =
+  let log = Ctlog.Log.create ~name:"populate-test" in
+  let precerts, finals = Ctlog.Dataset.populate_log ~scale:400 ~seed:11 log in
+  check Alcotest.int "entry accounting" (Ctlog.Log.size log) (precerts + finals);
+  let share = float_of_int precerts /. float_of_int (precerts + finals) in
+  if share < 0.48 || share > 0.62 then
+    Alcotest.failf "precert share %.3f outside [0.48, 0.62] (paper: 0.547)" share;
+  (* The dataset-filtering step: precert entries carry the poison. *)
+  let poisoned =
+    List.filter
+      (fun (e : Ctlog.Log.entry) ->
+        match X509.Certificate.parse e.Ctlog.Log.der with
+        | Ok c -> X509.Certificate.is_precertificate c
+        | Error _ -> false)
+      (Ctlog.Log.entries log)
+  in
+  check Alcotest.int "poison marks exactly the precerts" precerts (List.length poisoned)
+
+let test_issuer_table () =
+  let issuers = Ctlog.Dataset.issuers in
+  check Alcotest.bool "over 20 issuers" true (List.length issuers >= 20);
+  let find org = List.find (fun i -> i.Ctlog.Dataset.org = org) issuers in
+  let le = find "Let's Encrypt" in
+  check Alcotest.bool "LE is dominant" true
+    (List.for_all (fun i -> i.Ctlog.Dataset.volume <= le.Ctlog.Dataset.volume) issuers);
+  check Alcotest.bool "LE idn-only" true (le.Ctlog.Dataset.idn_share = 1.0);
+  let symantec = find "Symantec Corporation" in
+  check Alcotest.bool "symantec distrusted now" true
+    (symantec.Ctlog.Dataset.trust_now = Ctlog.Dataset.Untrusted);
+  check Alcotest.bool "symantec trusted at issuance" true
+    (symantec.Ctlog.Dataset.trust_at_issuance = Ctlog.Dataset.Public)
+
+let suite =
+  [
+    Alcotest.test_case "merkle empty/leaf vectors" `Quick test_merkle_empty_and_leaf;
+    Alcotest.test_case "merkle inclusion proofs" `Quick test_merkle_inclusion;
+    Alcotest.test_case "merkle consistency proofs" `Quick test_merkle_consistency;
+    Alcotest.test_case "merkle rejects bogus roots" `Quick test_merkle_consistency_rejects;
+    Alcotest.test_case "log SCTs" `Quick test_log_scts;
+    Alcotest.test_case "dataset determinism" `Quick test_dataset_determinism;
+    Alcotest.test_case "dataset structural invariants" `Quick test_dataset_structure;
+    Alcotest.test_case "dataset calibration bounds" `Slow test_dataset_calibration;
+    Alcotest.test_case "flawed certs all detectable" `Slow test_dataset_flawed_certs_detectable;
+    Alcotest.test_case "canonical encode/decode agreement" `Slow
+      test_canonical_encoding_agreement;
+    Alcotest.test_case "populate log with precerts" `Slow test_populate_log;
+    Alcotest.test_case "issuer table" `Quick test_issuer_table;
+    qtest prop_merkle_random;
+  ]

@@ -1,0 +1,201 @@
+(* Tests for RFC 6125/9525 hostname verification and the Suricata-style
+   rule language. *)
+
+let check = Alcotest.check
+
+let ca = X509.Certificate.mock_keypair ~seed:"hostname-ca"
+
+let cert ?(cn = None) sans =
+  let cn_value = match cn with Some c -> c | None -> (match sans with s :: _ -> s | [] -> "x") in
+  let tbs =
+    X509.Certificate.make_tbs
+      ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "HN CA") ])
+      ~subject:(X509.Dn.of_list [ (X509.Attr.Common_name, cn_value) ])
+      ~not_before:(Asn1.Time.make 2025 1 1) ~not_after:(Asn1.Time.make 2025 4 1)
+      ~spki:(X509.Certificate.keypair_spki ca)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:
+        (if sans = [] then []
+         else
+           [ X509.Extension.subject_alt_name
+               (List.map (fun d -> X509.General_name.Dns_name d) sans) ])
+      ()
+  in
+  X509.Certificate.sign ca tbs
+
+let ok = function Ok () -> true | Error _ -> false
+
+(* --- hostname verification ------------------------------------------- *)
+
+let test_hostname_basic () =
+  let c = cert [ "www.example.com"; "example.com" ] in
+  check Alcotest.bool "exact" true (ok (X509.Hostname.verify ~reference:"www.example.com" c));
+  check Alcotest.bool "second san" true (ok (X509.Hostname.verify ~reference:"example.com" c));
+  check Alcotest.bool "case folded" true
+    (ok (X509.Hostname.verify ~reference:"WWW.Example.COM" c));
+  check Alcotest.bool "mismatch" false (ok (X509.Hostname.verify ~reference:"evil.com" c))
+
+let test_hostname_wildcards () =
+  let c = cert [ "*.example.com" ] in
+  check Alcotest.bool "one level" true
+    (ok (X509.Hostname.verify ~reference:"api.example.com" c));
+  check Alcotest.bool "not apex" false (ok (X509.Hostname.verify ~reference:"example.com" c));
+  check Alcotest.bool "not two levels" false
+    (ok (X509.Hostname.verify ~reference:"a.b.example.com" c));
+  let no_wild = { X509.Hostname.strict with X509.Hostname.allow_wildcards = false } in
+  check Alcotest.bool "wildcards disabled" false
+    (ok (X509.Hostname.verify ~policy:no_wild ~reference:"api.example.com" c))
+
+let test_hostname_idn () =
+  let c = cert [ "xn--bcher-kva.example.com" ] in
+  (* U-label reference converts to the A-label and matches. *)
+  check Alcotest.bool "u-label reference" true
+    (ok (X509.Hostname.verify ~reference:"b\xC3\xBCcher.example.com" c));
+  (* A deceptive reference is rejected before matching. *)
+  (match X509.Hostname.verify ~reference:"pay\xE2\x80\x8Bpal.com" c with
+  | Error (X509.Hostname.Invalid_reference _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "zwsp reference must be invalid");
+  (* Raw U-label SANs are skipped under the strict policy ([P2.2]). *)
+  let raw = cert [ "b\xC3\xBCcher.example.com" ] in
+  (match X509.Hostname.verify ~reference:"b\xC3\xBCcher.example.com" raw with
+  | Error X509.Hostname.No_presented_identifier -> ()
+  | Ok _ | Error _ -> Alcotest.fail "strict policy must skip raw U-label SANs");
+  (* The lenient policy accepts them — urllib3's behaviour: no LDH
+     filtering and no IDN conversion, just byte comparison. *)
+  let lenient =
+    { X509.Hostname.strict with
+      X509.Hostname.require_ldh_san = false;
+      convert_idn = false }
+  in
+  check Alcotest.bool "lenient accepts raw u-label" true
+    (ok
+       (X509.Hostname.verify ~policy:lenient ~reference:"b\xC3\xBCcher.example.com" raw))
+
+let test_hostname_cn_fallback () =
+  let c = cert ~cn:(Some "legacy.example.com") [] in
+  (match X509.Hostname.verify ~reference:"legacy.example.com" c with
+  | Error X509.Hostname.No_presented_identifier -> ()
+  | Ok _ | Error _ -> Alcotest.fail "strict must not use the CN");
+  check Alcotest.bool "legacy uses CN" true
+    (ok
+       (X509.Hostname.verify ~policy:X509.Hostname.legacy
+          ~reference:"legacy.example.com" c))
+
+let test_null_prefix_attack () =
+  (* The Marlinspike null-prefix attack the paper's T1 discussion
+     references: the CA validates "victim.com\x00.attacker.com" (the
+     attacker owns attacker.com), but a C-string client truncates at the
+     NUL and sees "victim.com". *)
+  let forged = cert ~cn:(Some "victim.com\x00.attacker.com") [] in
+  (* The reference implementation is safe: full-string comparison. *)
+  (match
+     X509.Hostname.verify ~policy:X509.Hostname.legacy ~reference:"victim.com" forged
+   with
+  | Error (X509.Hostname.Mismatch _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "reference implementation must not truncate");
+  (* The vulnerable C client is bypassed. *)
+  check Alcotest.bool "vulnerable client spoofed" true
+    (ok
+       (X509.Hostname.verify ~policy:X509.Hostname.vulnerable_c_client
+          ~reference:"victim.com" forged));
+  (* And the linter flags the certificate. *)
+  let findings =
+    Lint.Registry.noncompliant ~issued:(Asn1.Time.make 2025 1 1) forged
+  in
+  check Alcotest.bool "linter catches NUL" true
+    (List.exists
+       (fun (f : Lint.finding) ->
+         f.Lint.lint.Lint.name = "e_rfc_subject_dn_not_printable_characters")
+       findings)
+
+(* --- rule language ----------------------------------------------------- *)
+
+let sample_rule =
+  "alert tls any any -> any any (msg:\"evil org\"; tls.subject; \
+   content:\"O=Evil Entity\"; nocase; sid:1001;)"
+
+let test_rule_parsing () =
+  match Middlebox.Rules.parse sample_rule with
+  | Ok r ->
+      check Alcotest.string "msg" "evil org" r.Middlebox.Rules.msg;
+      check Alcotest.int "sid" 1001 r.Middlebox.Rules.sid;
+      (match r.Middlebox.Rules.matchers with
+      | [ m ] ->
+          check Alcotest.bool "subject buffer" true
+            (m.Middlebox.Rules.buffer = Middlebox.Rules.Tls_subject);
+          check Alcotest.string "content" "O=Evil Entity" m.Middlebox.Rules.content;
+          check Alcotest.bool "nocase" true m.Middlebox.Rules.nocase
+      | _ -> Alcotest.fail "expected one matcher")
+  | Error m -> Alcotest.fail m
+
+let test_rule_parse_errors () =
+  List.iter
+    (fun bad ->
+      check Alcotest.bool bad true (Result.is_error (Middlebox.Rules.parse bad)))
+    [ "drop tcp any (msg:\"x\";)" (* wrong proto *);
+      "alert tls any any -> any any (content:\"x\";)" (* no buffer *);
+      "alert tls any any -> any any (msg:\"x\";)" (* no matcher *);
+      "alert tls any any -> any any (tls.subject; content:x; sid:1;)" (* unquoted *);
+      "alert tls any any -> any any (frobnicate; tls.subject; content:\"x\";)" ]
+
+let test_rule_matching () =
+  let evil =
+    let tbs =
+      X509.Certificate.make_tbs
+        ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "HN CA") ])
+        ~subject:
+          (X509.Dn.of_list
+             [ (X509.Attr.Organization_name, "EVIL ENTITY LLC");
+               (X509.Attr.Common_name, "c2.evil.test") ])
+        ~not_before:(Asn1.Time.make 2025 1 1) ~not_after:(Asn1.Time.make 2025 4 1)
+        ~spki:(X509.Certificate.keypair_spki ca)
+        ~sig_alg:X509.Certificate.Oids.mock_signature
+        ~extensions:
+          [ X509.Extension.subject_alt_name [ X509.General_name.Dns_name "c2.evil.test" ] ]
+        ()
+    in
+    X509.Certificate.sign ca tbs
+  in
+  let client, server = Middlebox.Inspect.tls_session ~sni:"c2.evil.test" ~seed:31 [ evil ] in
+  let rule = Result.get_ok (Middlebox.Rules.parse sample_rule) in
+  (* nocase matches the upper-case org. *)
+  check Alcotest.bool "nocase alert" true
+    (Middlebox.Rules.matches rule ~client_flow:client ~server_flow:server);
+  (* A case-sensitive version misses it — the Suricata bypass. *)
+  let sensitive =
+    Result.get_ok
+      (Middlebox.Rules.parse
+         "alert tls any any -> any any (msg:\"cs\"; tls.subject; \
+          content:\"O=Evil Entity\"; sid:1002;)")
+  in
+  check Alcotest.bool "case-sensitive misses variant" false
+    (Middlebox.Rules.matches sensitive ~client_flow:client ~server_flow:server);
+  (* SNI rules. *)
+  let sni_rule =
+    Result.get_ok
+      (Middlebox.Rules.parse
+         "alert tls any any -> any any (msg:\"sni\"; tls.sni; content:\"evil.test\"; sid:2;)")
+  in
+  check Alcotest.bool "sni alert" true
+    (Middlebox.Rules.matches sni_rule ~client_flow:client ~server_flow:server);
+  check Alcotest.int "eval returns alerting rules" 2
+    (List.length
+       (Middlebox.Rules.eval [ rule; sensitive; sni_rule ] ~client_flow:client
+          ~server_flow:server))
+
+let test_subject_buffer () =
+  let c = cert ~cn:(Some "buf.example") [ "buf.example" ] in
+  check Alcotest.string "rendering" "CN=buf.example" (Middlebox.Rules.subject_buffer c)
+
+let suite =
+  [
+    Alcotest.test_case "hostname basics" `Quick test_hostname_basic;
+    Alcotest.test_case "hostname wildcards" `Quick test_hostname_wildcards;
+    Alcotest.test_case "hostname idn policies" `Quick test_hostname_idn;
+    Alcotest.test_case "hostname cn fallback" `Quick test_hostname_cn_fallback;
+    Alcotest.test_case "null-prefix attack" `Quick test_null_prefix_attack;
+    Alcotest.test_case "rule parsing" `Quick test_rule_parsing;
+    Alcotest.test_case "rule parse errors" `Quick test_rule_parse_errors;
+    Alcotest.test_case "rule matching" `Quick test_rule_matching;
+    Alcotest.test_case "subject buffer rendering" `Quick test_subject_buffer;
+  ]

@@ -1,0 +1,227 @@
+(* Tests for the lint framework: registry invariants matching the
+   paper's Table 1 counts, per-flaw ground truth, effective-date
+   gating, and individual lint behaviours. *)
+
+let check = Alcotest.check
+
+let test_registry_counts () =
+  check Alcotest.int "95 lints total" 95 (List.length Lint.Registry.all);
+  check Alcotest.int "50 new lints" 50
+    (List.length (List.filter (fun (l : Lint.t) -> l.Lint.is_new) Lint.Registry.all));
+  let expect ty all_n new_n =
+    check (Alcotest.pair Alcotest.int Alcotest.int) (Lint.nc_type_name ty)
+      (all_n, new_n) (Lint.Registry.counts_by_type ty)
+  in
+  (* The #Lints columns of Table 1. *)
+  expect Lint.Invalid_character 22 10;
+  expect Lint.Bad_normalization 4 3;
+  expect Lint.Illegal_format 17 0;
+  expect Lint.Invalid_encoding 48 37;
+  expect Lint.Invalid_structure 2 0;
+  expect Lint.Discouraged_field 2 0
+
+let test_registry_lookup () =
+  check Alcotest.bool "find known" true
+    (Lint.Registry.find "e_rfc_dns_idn_a2u_unpermitted_unichar" <> None);
+  check Alcotest.bool "find unknown" true (Lint.Registry.find "nonexistent" = None);
+  (* Every Table 11 lint name exists in the registry. *)
+  List.iter
+    (fun name ->
+      check Alcotest.bool name true (Lint.Registry.find name <> None))
+    [ "w_rfc_ext_cp_explicit_text_not_utf8"; "w_cab_subject_common_name_not_in_san";
+      "e_rfc_dns_idn_a2u_unpermitted_unichar";
+      "e_subject_organization_not_printable_or_utf8";
+      "e_subject_common_name_not_printable_or_utf8";
+      "e_subject_locality_not_printable_or_utf8";
+      "e_rfc_subject_dn_not_printable_characters";
+      "e_subject_ou_not_printable_or_utf8";
+      "e_subject_jurisdiction_locality_not_printable_or_utf8";
+      "e_rfc_ext_cp_explicit_text_too_long";
+      "e_subject_jurisdiction_state_not_printable_or_utf8";
+      "e_rfc_ext_cp_explicit_text_ia5";
+      "e_subject_jurisdiction_country_not_printable";
+      "e_subject_state_not_printable_or_utf8";
+      "e_rfc_subject_printable_string_badalpha";
+      "w_community_subject_dn_trailing_whitespace";
+      "e_subject_postal_code_not_printable_or_utf8";
+      "e_subject_street_not_printable_or_utf8";
+      "w_cab_subject_contain_extra_common_name";
+      "e_subject_dn_serial_number_not_printable";
+      "w_community_subject_dn_leading_whitespace";
+      "e_rfc_subject_country_not_printable"; "e_rfc_dns_idn_malformed_unicode";
+      "e_cab_dns_bad_character_in_label"; "e_ext_san_dns_contain_unpermitted_unichar" ]
+
+(* --- per-flaw ground truth -------------------------------------------- *)
+
+let issuer = List.hd Ctlog.Dataset.issuers
+
+let cert_with_flaw seed flaw =
+  let g = Ucrypto.Prng.create seed in
+  let spec : Ctlog.Flaws.spec =
+    {
+      Ctlog.Flaws.subject =
+        [ X509.Dn.atv X509.Attr.Country_name "DE";
+          X509.Dn.atv X509.Attr.Locality_name "Berlin";
+          X509.Dn.atv X509.Attr.Organization_name "Ground Truth GmbH";
+          X509.Dn.atv X509.Attr.Common_name "gt.example.com" ];
+      san = [ X509.General_name.Dns_name "gt.example.com" ];
+      policies = [];
+      crldp = [];
+      not_before_form = None;
+    }
+  in
+  Ctlog.Flaws.apply g spec flaw;
+  let extensions =
+    [ X509.Extension.subject_alt_name spec.Ctlog.Flaws.san ]
+    @ (if spec.Ctlog.Flaws.policies = [] then []
+       else [ X509.Extension.certificate_policies spec.Ctlog.Flaws.policies ])
+    @
+    if spec.Ctlog.Flaws.crldp = [] then []
+    else [ X509.Extension.crl_distribution_points spec.Ctlog.Flaws.crldp ]
+  in
+  let kp = X509.Certificate.mock_keypair ~seed:"gt-ca" in
+  let tbs =
+    X509.Certificate.make_tbs
+      ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "GT CA") ])
+      ~subject:(X509.Dn.single spec.Ctlog.Flaws.subject)
+      ~not_before:(Asn1.Time.make 2025 1 1)
+      ~not_after:(Asn1.Time.make 2025 4 1)
+      ?not_before_form:spec.Ctlog.Flaws.not_before_form
+      ~spki:(X509.Certificate.keypair_spki kp)
+      ~sig_alg:X509.Certificate.Oids.mock_signature ~extensions ()
+  in
+  X509.Certificate.sign kp tbs
+
+let test_flaw_ground_truth () =
+  (* Every flaw must trigger each of its expected lints, from the DER
+     bytes alone, for several random draws. *)
+  List.iter
+    (fun flaw ->
+      let expected = Ctlog.Flaws.expected_lints flaw in
+      List.iter
+        (fun seed ->
+          let cert = cert_with_flaw seed flaw in
+          (* Parse back from bytes: the linter sees only the wire form. *)
+          let cert =
+            match X509.Certificate.parse cert.X509.Certificate.der with
+            | Ok c -> c
+            | Error m -> Alcotest.failf "%s: reparse failed: %s" (Ctlog.Flaws.name flaw) m
+          in
+          let findings =
+            Lint.Registry.noncompliant ~respect_effective_dates:false
+              ~issued:(Asn1.Time.make 2025 1 1) cert
+          in
+          let names = List.map (fun (f : Lint.finding) -> f.Lint.lint.Lint.name) findings in
+          List.iter
+            (fun expected_lint ->
+              if not (List.mem expected_lint names) then
+                Alcotest.failf "flaw %s (seed %d): expected %s, got [%s]"
+                  (Ctlog.Flaws.name flaw) seed expected_lint
+                  (String.concat "; " names))
+            expected)
+        [ 1; 2; 3 ])
+    Ctlog.Flaws.all
+
+let test_clean_cert_compliant () =
+  let kp = X509.Certificate.mock_keypair ~seed:"clean-ca" in
+  let tbs =
+    X509.Certificate.make_tbs ~serial:"\x05\x11"
+      ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "Clean CA") ])
+      ~subject:(X509.Dn.of_list [ (X509.Attr.Common_name, "ok.example.com") ])
+      ~not_before:(Asn1.Time.make 2024 6 1) ~not_after:(Asn1.Time.make 2024 9 1)
+      ~spki:(X509.Certificate.keypair_spki kp)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:
+        [ X509.Extension.subject_alt_name [ X509.General_name.Dns_name "ok.example.com" ] ]
+      ()
+  in
+  let cert = X509.Certificate.sign kp tbs in
+  let findings =
+    Lint.Registry.noncompliant ~respect_effective_dates:false
+      ~issued:(Asn1.Time.make 2024 6 1) cert
+  in
+  check (Alcotest.list Alcotest.string) "no findings" []
+    (List.map (fun (f : Lint.finding) -> f.Lint.lint.Lint.name) findings)
+
+let test_effective_dates () =
+  let cert = cert_with_flaw 9 Ctlog.Flaws.Nonnfc_alabel in
+  (* e_rfc_dns_idn_not_nfc became effective with RFC 8399 (2018). *)
+  let dated =
+    Lint.Registry.noncompliant ~issued:(Asn1.Time.make 2016 1 1) cert
+  in
+  check Alcotest.bool "2016 issuance: lint silent" true
+    (not
+       (List.exists
+          (fun (f : Lint.finding) -> f.Lint.lint.Lint.name = "e_rfc_dns_idn_not_nfc")
+          dated));
+  let undated =
+    Lint.Registry.noncompliant ~respect_effective_dates:false
+      ~issued:(Asn1.Time.make 2016 1 1) cert
+  in
+  check Alcotest.bool "dates ignored: lint fires" true
+    (List.exists
+       (fun (f : Lint.finding) -> f.Lint.lint.Lint.name = "e_rfc_dns_idn_not_nfc")
+       undated)
+
+let test_include_new_ablation () =
+  let cert = cert_with_flaw 4 Ctlog.Flaws.Unpermitted_alabel in
+  let with_new = Lint.Registry.noncompliant ~issued:(Asn1.Time.make 2024 1 1) cert in
+  let without_new =
+    Lint.Registry.noncompliant ~include_new:false ~issued:(Asn1.Time.make 2024 1 1) cert
+  in
+  check Alcotest.bool "new lint catches" true
+    (List.exists
+       (fun (f : Lint.finding) ->
+         f.Lint.lint.Lint.name = "e_rfc_dns_idn_a2u_unpermitted_unichar")
+       with_new);
+  check Alcotest.bool "excluded without new" true
+    (List.for_all (fun (f : Lint.finding) -> not f.Lint.lint.Lint.is_new) without_new)
+
+let test_severity_mapping () =
+  check Alcotest.bool "must=error" true (Lint.severity_of_level Lint.Must = Lint.Error);
+  check Alcotest.bool "must-not=error" true
+    (Lint.severity_of_level Lint.Must_not = Lint.Error);
+  check Alcotest.bool "should=warning" true
+    (Lint.severity_of_level Lint.Should = Lint.Warning);
+  (* Name prefixes agree with severity, except the Table 11 lint the
+     paper itself names w_ while classing its violations as errors. *)
+  List.iter
+    (fun (l : Lint.t) ->
+      if l.Lint.name <> "w_cab_subject_common_name_not_in_san" then begin
+        let prefix = l.Lint.name.[0] in
+        match (prefix, Lint.severity l) with
+        | 'e', Lint.Error | 'w', Lint.Warning -> ()
+        | _ -> Alcotest.failf "lint %s prefix/severity mismatch" l.Lint.name
+      end)
+    Lint.Registry.all
+
+let test_explicit_text_lints () =
+  let cert = cert_with_flaw 8 Ctlog.Flaws.Explicit_text_ia5 in
+  let names =
+    Lint.Registry.noncompliant ~issued:(Asn1.Time.make 2024 1 1) cert
+    |> List.map (fun (f : Lint.finding) -> f.Lint.lint.Lint.name)
+  in
+  check Alcotest.bool "ia5 error" true (List.mem "e_rfc_ext_cp_explicit_text_ia5" names);
+  check Alcotest.bool "not-utf8 warning" true
+    (List.mem "w_rfc_ext_cp_explicit_text_not_utf8" names)
+
+let test_ctx_helpers () =
+  let cert = cert_with_flaw 2 Ctlog.Flaws.Unicode_dnsname in
+  let ctx = Lint.Ctx.of_cert cert in
+  check Alcotest.bool "san parsed" true
+    (match ctx.Lint.Ctx.san with Some (Ok _) -> true | _ -> false);
+  check Alcotest.bool "dns names include san" true (Lint.Ctx.dns_names ctx <> []);
+  check Alcotest.bool "subject texts" true (List.length (Lint.Ctx.subject_texts ctx) >= 4)
+
+let suite =
+  [
+    Alcotest.test_case "registry counts match Table 1" `Quick test_registry_counts;
+    Alcotest.test_case "registry lookups" `Quick test_registry_lookup;
+    Alcotest.test_case "per-flaw ground truth" `Slow test_flaw_ground_truth;
+    Alcotest.test_case "clean cert is compliant" `Quick test_clean_cert_compliant;
+    Alcotest.test_case "effective date gating" `Quick test_effective_dates;
+    Alcotest.test_case "new-lint ablation" `Quick test_include_new_ablation;
+    Alcotest.test_case "severity mapping" `Quick test_severity_mapping;
+    Alcotest.test_case "explicit text lints" `Quick test_explicit_text_lints;
+    Alcotest.test_case "ctx helpers" `Quick test_ctx_helpers;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "unicert"
+    [
+      ("unicode", Test_unicode.suite);
+      ("asn1", Test_asn1.suite);
+      ("ucrypto", Test_ucrypto.suite);
+      ("idna", Test_idna.suite);
+      ("x509", Test_x509.suite);
+      ("lint", Test_lint.suite);
+      ("ctlog", Test_ctlog.suite);
+      ("tlsparsers", Test_tlsparsers.suite);
+      ("monitors", Test_monitors.suite);
+      ("middlebox", Test_middlebox.suite);
+      ("tlswire", Test_tlswire.suite);
+      ("hostname-rules", Test_hostname_rules.suite);
+      ("crl-chain", Test_crl_chain.suite);
+      ("unicert", Test_unicert.suite);
+      ("misc", Test_misc.suite);
+    ]

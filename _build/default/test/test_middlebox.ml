@@ -1,0 +1,179 @@
+(* Tests for the middlebox engines, client validators, and the
+   obfuscation experiment. *)
+
+let check = Alcotest.check
+
+let ca = X509.Certificate.mock_keypair ~seed:"middlebox-test-ca"
+
+let cert ?(cns = []) ?(org = None) sans =
+  let subject =
+    (match org with Some o -> [ X509.Dn.atv X509.Attr.Organization_name o ] | None -> [])
+    @ List.map (fun cn -> X509.Dn.atv X509.Attr.Common_name cn) cns
+  in
+  let subject = if subject = [] then [ X509.Dn.atv X509.Attr.Common_name "x.test" ] else subject in
+  let tbs =
+    X509.Certificate.make_tbs
+      ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "MB CA") ])
+      ~subject:(X509.Dn.single subject)
+      ~not_before:(Asn1.Time.make 2025 1 1) ~not_after:(Asn1.Time.make 2025 4 1)
+      ~spki:(X509.Certificate.keypair_spki ca)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:
+        (if sans = [] then []
+         else
+           [ X509.Extension.subject_alt_name
+               (List.map (fun d -> X509.General_name.Dns_name d) sans) ])
+      ()
+  in
+  X509.Certificate.sign ca tbs
+
+(* --- engines ------------------------------------------------------------ *)
+
+let test_cn_position () =
+  let c = cert ~cns:[ "first.example"; "last.example" ] [ "first.example" ] in
+  check (Alcotest.option Alcotest.string) "snort first" (Some "first.example")
+    (Middlebox.Engine.snort.Middlebox.Engine.extract_cn c);
+  check (Alcotest.option Alcotest.string) "zeek last" (Some "last.example")
+    (Middlebox.Engine.zeek.Middlebox.Engine.extract_cn c)
+
+let test_zeek_san_filter () =
+  let c = cert ~cns:[ "x.test" ] [ "ok.example"; "b\xC3\xBCcher.example" ] in
+  check (Alcotest.list Alcotest.string) "zeek drops non-ia5" [ "ok.example" ]
+    (Middlebox.Engine.zeek.Middlebox.Engine.extract_sans c);
+  check Alcotest.int "snort keeps both" 2
+    (List.length (Middlebox.Engine.snort.Middlebox.Engine.extract_sans c))
+
+let test_case_sensitivity () =
+  let c = cert ~org:(Some "EVIL Entity") [ "x.test" ] in
+  let rule = { Middlebox.Engine.field = `Org; pattern = "evil entity" } in
+  check Alcotest.bool "snort matches case-insensitively" true
+    (Middlebox.Engine.matches Middlebox.Engine.snort rule c);
+  check Alcotest.bool "suricata misses" false
+    (Middlebox.Engine.matches Middlebox.Engine.suricata rule c)
+
+(* --- clients ------------------------------------------------------------ *)
+
+let validate (c : Middlebox.Clients.t) cert ~hostname =
+  Result.is_ok (c.Middlebox.Clients.validate cert ~hostname)
+
+let test_client_basic_match () =
+  let c = cert ~cns:[ "a.example.com" ] [ "a.example.com" ] in
+  List.iter
+    (fun client ->
+      check Alcotest.bool (client.Middlebox.Clients.name ^ " matches") true
+        (validate client c ~hostname:"a.example.com");
+      check Alcotest.bool (client.Middlebox.Clients.name ^ " rejects other") false
+        (validate client c ~hostname:"b.example.com"))
+    Middlebox.Clients.all
+
+let test_client_wildcard () =
+  let c = cert ~cns:[ "*.example.com" ] [ "*.example.com" ] in
+  check Alcotest.bool "wildcard matches" true
+    (validate Middlebox.Clients.libcurl c ~hostname:"www.example.com");
+  check Alcotest.bool "wildcard not apex" false
+    (validate Middlebox.Clients.libcurl c ~hostname:"example.com");
+  check Alcotest.bool "wildcard one level only" false
+    (validate Middlebox.Clients.libcurl c ~hostname:"a.b.example.com")
+
+let test_client_idn_handling () =
+  (* Proper A-label SAN: everyone accepts the U-label hostname. *)
+  let good = cert ~cns:[ "xn--bcher-kva.example.com" ] [ "xn--bcher-kva.example.com" ] in
+  List.iter
+    (fun client ->
+      check Alcotest.bool (client.Middlebox.Clients.name ^ " idn via alabel") true
+        (validate client good ~hostname:"b\xC3\xBCcher.example.com"))
+    Middlebox.Clients.all;
+  (* Raw U-label SAN ([P2.2]): only the Latin-1-tolerant clients accept. *)
+  let raw = cert ~cns:[ "b\xC3\xBCcher.example.com" ] [ "b\xC3\xBCcher.example.com" ] in
+  check Alcotest.bool "libcurl rejects raw u-label" false
+    (validate Middlebox.Clients.libcurl raw ~hostname:"b\xC3\xBCcher.example.com");
+  check Alcotest.bool "urllib3 accepts raw u-label" true
+    (validate Middlebox.Clients.urllib3 raw ~hostname:"b\xC3\xBCcher.example.com");
+  check Alcotest.bool "requests accepts raw u-label" true
+    (validate Middlebox.Clients.requests raw ~hostname:"b\xC3\xBCcher.example.com")
+
+let test_client_no_san () =
+  let c = cert ~cns:[ "nosan.example" ] [] in
+  List.iter
+    (fun client ->
+      check Alcotest.bool (client.Middlebox.Clients.name ^ " requires SAN") false
+        (validate client c ~hostname:"nosan.example"))
+    Middlebox.Clients.all
+
+(* --- obfuscation --------------------------------------------------------- *)
+
+let test_table3_pairs_detected () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (a, b) ->
+          check Alcotest.bool
+            (Printf.sprintf "%s: %s ~ %s" (Middlebox.Obfuscation.strategy_name s) a b)
+            true
+            (Middlebox.Obfuscation.is_variant_pair a b))
+        (Middlebox.Obfuscation.examples s))
+    Middlebox.Obfuscation.strategies
+
+let test_variant_pair_negative () =
+  check Alcotest.bool "unrelated orgs" false
+    (Middlebox.Obfuscation.is_variant_pair "Acme Widgets" "Globex Corp");
+  check Alcotest.bool "identical not a variant" false
+    (Middlebox.Obfuscation.is_variant_pair "Acme" "Acme")
+
+let test_apply_produces_variants () =
+  let g = Ucrypto.Prng.create 77 in
+  List.iter
+    (fun s ->
+      let v = Middlebox.Obfuscation.apply g s "Evil Entity Corp" in
+      check Alcotest.bool
+        (Middlebox.Obfuscation.strategy_name s ^ " changes the value")
+        true
+        (v <> "Evil Entity Corp"))
+    Middlebox.Obfuscation.strategies
+
+let test_evasion_matrix () =
+  let evs = Middlebox.Obfuscation.evasion_matrix () in
+  (* Suricata (case sensitive) is evaded by case conversion; the
+     case-insensitive engines are not. *)
+  let find engine strategy =
+    List.find
+      (fun (e : Middlebox.Obfuscation.evasion) ->
+        e.Middlebox.Obfuscation.engine = engine && e.Middlebox.Obfuscation.strategy = strategy)
+      evs
+  in
+  check Alcotest.bool "suricata evaded by case" true
+    (find "Suricata" Middlebox.Obfuscation.Case_conversion).Middlebox.Obfuscation.evaded;
+  check Alcotest.bool "snort catches case variant" false
+    (find "Snort" Middlebox.Obfuscation.Case_conversion).Middlebox.Obfuscation.evaded;
+  check Alcotest.bool "whitespace evades everyone" true
+    (List.for_all
+       (fun (e : Middlebox.Obfuscation.evasion) ->
+         e.Middlebox.Obfuscation.strategy <> Middlebox.Obfuscation.Whitespace_substitution
+         || e.Middlebox.Obfuscation.evaded)
+       evs)
+
+let test_findings () =
+  List.iter
+    (fun (f : Middlebox.Evasion.finding) ->
+      check Alcotest.bool f.Middlebox.Evasion.id true f.Middlebox.Evasion.demonstrated)
+    (Middlebox.Evasion.all_findings ());
+  let accepts name l = List.assoc name l in
+  let ul = Middlebox.Evasion.ulabel_san_client_acceptance () in
+  check Alcotest.bool "urllib3 accepts" true (accepts "urllib3" ul);
+  check Alcotest.bool "libcurl rejects" false (accepts "libcurl" ul)
+
+let suite =
+  [
+    Alcotest.test_case "cn position divergence" `Quick test_cn_position;
+    Alcotest.test_case "zeek san filter" `Quick test_zeek_san_filter;
+    Alcotest.test_case "case sensitivity" `Quick test_case_sensitivity;
+    Alcotest.test_case "client basic match" `Quick test_client_basic_match;
+    Alcotest.test_case "client wildcard" `Quick test_client_wildcard;
+    Alcotest.test_case "client idn handling" `Quick test_client_idn_handling;
+    Alcotest.test_case "client requires san" `Quick test_client_no_san;
+    Alcotest.test_case "table 3 pairs detected" `Quick test_table3_pairs_detected;
+    Alcotest.test_case "variant negatives" `Quick test_variant_pair_negative;
+    Alcotest.test_case "apply produces variants" `Quick test_apply_produces_variants;
+    Alcotest.test_case "evasion matrix" `Quick test_evasion_matrix;
+    Alcotest.test_case "section 6.2 findings" `Quick test_findings;
+  ]

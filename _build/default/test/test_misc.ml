@@ -1,0 +1,164 @@
+(* Cross-cutting edge cases: malformed inputs at module boundaries,
+   report aggregation invariants, and status plumbing. *)
+
+let check = Alcotest.check
+
+let ca = X509.Certificate.mock_keypair ~seed:"misc-ca"
+
+let cert ?(extensions = []) cn =
+  let tbs =
+    X509.Certificate.make_tbs
+      ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "Misc CA") ])
+      ~subject:(X509.Dn.of_list [ (X509.Attr.Common_name, cn) ])
+      ~not_before:(Asn1.Time.make 2025 1 1) ~not_after:(Asn1.Time.make 2025 4 1)
+      ~spki:(X509.Certificate.keypair_spki ca)
+      ~sig_alg:X509.Certificate.Oids.mock_signature ~extensions ()
+  in
+  X509.Certificate.sign ca tbs
+
+let test_ctx_unparsable_san () =
+  (* A SAN whose extnValue is garbage: the context records the error
+     instead of raising, and SAN-dependent lints treat it as absent. *)
+  let broken =
+    { X509.Extension.oid = X509.Extension.Oids.subject_alt_name;
+      critical = false; value = "\xFF\xFF\xFF" }
+  in
+  let c = cert ~extensions:[ broken ] "broken-san.example" in
+  let ctx = Lint.Ctx.of_cert c in
+  (match ctx.Lint.Ctx.san with
+  | Some (Error _) -> ()
+  | Some (Ok _) | None -> Alcotest.fail "expected a recorded parse error");
+  check (Alcotest.list Alcotest.string) "no dns names" []
+    (Lint.Ctx.san_dns ctx)
+
+let test_lint_na_statuses () =
+  (* Policy lints report Na when no CertificatePolicies is present. *)
+  let c = cert "na.example" in
+  let findings =
+    Lint.Registry.run ~respect_effective_dates:false
+      ~issued:(Asn1.Time.make 2025 1 1) c
+  in
+  let status_of name =
+    List.find_map
+      (fun (f : Lint.finding) ->
+        if f.Lint.lint.Lint.name = name then Some f.Lint.status else None)
+      findings
+  in
+  (match status_of "w_rfc_ext_cp_explicit_text_not_utf8" with
+  | Some Lint.Na -> ()
+  | _ -> Alcotest.fail "expected Na without policies");
+  (* Pre-effective-date certs get Na for later lints. *)
+  let dated =
+    Lint.Registry.run ~issued:(Asn1.Time.make 2009 1 1) c
+  in
+  let cab_statuses =
+    List.filter
+      (fun (f : Lint.finding) -> f.Lint.lint.Lint.source = Lint.Cab_br)
+      dated
+  in
+  check Alcotest.bool "cab lints Na in 2009" true
+    (cab_statuses <> []
+    && List.for_all (fun (f : Lint.finding) -> f.Lint.status = Lint.Na) cab_statuses)
+
+let test_monitor_unicode_refusal () =
+  let m = Monitors.Monitor.create Monitors.Monitor.crtsh in
+  match Monitors.Monitor.search m "b\xC3\xBCcher.de" with
+  | Monitors.Monitor.Refused _ -> ()
+  | Monitors.Monitor.Results _ -> Alcotest.fail "crtsh must refuse raw Unicode input"
+
+let test_pem_multi_block () =
+  let der1 = "first-der" and der2 = "second-der" in
+  let blob =
+    X509.Pem.encode ~label:"CERTIFICATE" der1 ^ X509.Pem.encode ~label:"CERTIFICATE" der2
+  in
+  match X509.Pem.decode blob with
+  | Ok ("CERTIFICATE", der) -> check Alcotest.string "first block wins" der1 der
+  | Ok _ | Error _ -> Alcotest.fail "expected the first block"
+
+let test_crl_parse_malformed () =
+  List.iter
+    (fun bytes ->
+      check Alcotest.bool "rejected" true (Result.is_error (X509.Crl.parse bytes)))
+    [ ""; "\x30\x03\x02\x01\x01"; String.make 40 '\xFF' ]
+
+let test_sct_bytes_malformed () =
+  List.iter
+    (fun bytes ->
+      check Alcotest.bool "rejected" true
+        (Result.is_error (Ctlog.Submission.sct_of_bytes bytes)))
+    [ ""; "\x00"; "\x00\x05ab"; "\x00\x01X\x00\x01\x00\xFF" ]
+
+let test_bidi_categories_via_labels () =
+  (* ASCII digits are EN: a Hebrew label ending in a digit is fine. *)
+  let issues s = Idna.ulabel_issues (Unicode.Codec.cps_of_utf8 s) in
+  check Alcotest.bool "hebrew + digit ok" false
+    (List.mem Idna.Bidi_violation (issues "\xD7\x90\xD7\x911"));
+  (* A digit-leading RTL label violates condition 1. *)
+  check Alcotest.bool "digit-leading rtl" true
+    (List.mem Idna.Bidi_violation (issues "1\xD7\x90\xD7\x91"))
+
+let test_report_table2_aggregates () =
+  let t = Unicert.Pipeline.run ~scale:2500 ~seed:6 () in
+  (* Aggregate buckets never appear among the named top-10 rows. *)
+  let named =
+    Unicert.Pipeline.top_issuers_by_nc t
+    |> List.filter (fun (_, (s : Unicert.Pipeline.issuer_stats)) ->
+           not s.Unicert.Pipeline.aggregate)
+    |> List.map fst
+  in
+  List.iter
+    (fun bucket ->
+      check Alcotest.bool (bucket ^ " excluded") false (List.mem bucket named))
+    [ "Other public CAs"; "Other regional CAs"; "Government / regional CAs" ]
+
+let test_display_hostname_plain () =
+  (* Non-IDN domains pass through untouched for all engines. *)
+  List.iter
+    (fun b ->
+      check Alcotest.string "plain passthrough" "www.example.com"
+        (Unicert.Browsers.display_hostname b "www.example.com"))
+    Unicert.Browsers.all
+
+let test_chain_self_signed () =
+  (* A root listed as its own anchor verifies as a one-element chain. *)
+  let root_dn = X509.Dn.of_list [ (X509.Attr.Organization_name, "Self Root") ] in
+  let kp = X509.Certificate.mock_keypair ~seed:"self-root" in
+  let tbs =
+    X509.Certificate.make_tbs ~issuer:root_dn ~subject:root_dn
+      ~not_before:(Asn1.Time.make 2024 1 1) ~not_after:(Asn1.Time.make 2026 1 1)
+      ~spki:(X509.Certificate.keypair_spki kp)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:[ X509.Extension.basic_constraints ~ca:true () ]
+      ()
+  in
+  let root = X509.Certificate.sign kp tbs in
+  match
+    X509.Chain.verify ~at:(Asn1.Time.make 2025 1 1)
+      ~anchors:[ X509.Chain.anchor_of_keypair root_dn kp ]
+      ~intermediates:[] root
+  with
+  | Ok [ _ ] -> ()
+  | Ok _ -> Alcotest.fail "expected a single-element chain"
+  | Error f -> Alcotest.failf "%a" X509.Chain.pp_failure f
+
+let test_classify_precert () =
+  (* Precertificates classify like their final form (the dataset
+     filtering handles them separately). *)
+  let pre = cert ~extensions:[ X509.Extension.ct_poison ] "xn--bcher-kva.de" in
+  check Alcotest.bool "precert is still classified" true
+    (Unicert.Classify.is_unicert pre)
+
+let suite =
+  [
+    Alcotest.test_case "ctx with unparsable SAN" `Quick test_ctx_unparsable_san;
+    Alcotest.test_case "lint Na statuses" `Quick test_lint_na_statuses;
+    Alcotest.test_case "monitor unicode refusal" `Quick test_monitor_unicode_refusal;
+    Alcotest.test_case "pem multi block" `Quick test_pem_multi_block;
+    Alcotest.test_case "crl parse malformed" `Quick test_crl_parse_malformed;
+    Alcotest.test_case "sct bytes malformed" `Quick test_sct_bytes_malformed;
+    Alcotest.test_case "bidi via labels" `Quick test_bidi_categories_via_labels;
+    Alcotest.test_case "table2 aggregate exclusion" `Slow test_report_table2_aggregates;
+    Alcotest.test_case "display hostname passthrough" `Quick test_display_hostname_plain;
+    Alcotest.test_case "self-signed chain" `Quick test_chain_self_signed;
+    Alcotest.test_case "precert classification" `Quick test_classify_precert;
+  ]

@@ -1,0 +1,119 @@
+(* Tests for the TLS 1.2 wire substrate and wire-level middlebox
+   inspection. *)
+
+let check = Alcotest.check
+
+let ca = X509.Certificate.mock_keypair ~seed:"tlswire-ca"
+
+let cert ?(org = None) cn =
+  let subject =
+    (match org with Some o -> [ X509.Dn.atv X509.Attr.Organization_name o ] | None -> [])
+    @ [ X509.Dn.atv X509.Attr.Common_name cn ]
+  in
+  let tbs =
+    X509.Certificate.make_tbs
+      ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "Wire CA") ])
+      ~subject:(X509.Dn.single subject)
+      ~not_before:(Asn1.Time.make 2025 1 1) ~not_after:(Asn1.Time.make 2025 4 1)
+      ~spki:(X509.Certificate.keypair_spki ca)
+      ~sig_alg:X509.Certificate.Oids.mock_signature
+      ~extensions:[ X509.Extension.subject_alt_name [ X509.General_name.Dns_name cn ] ]
+      ()
+  in
+  X509.Certificate.sign ca tbs
+
+let test_record_roundtrip () =
+  let r = { Tlswire.Wire.content_type = 22; version = (3, 3); payload = "payload-bytes" } in
+  match Tlswire.Wire.decode_records (Tlswire.Wire.encode_record r) with
+  | Ok [ r' ] ->
+      check Alcotest.int "type" 22 r'.Tlswire.Wire.content_type;
+      check Alcotest.string "payload" "payload-bytes" r'.Tlswire.Wire.payload
+  | Ok _ -> Alcotest.fail "expected one record"
+  | Error m -> Alcotest.fail m
+
+let test_record_errors () =
+  check Alcotest.bool "truncated header" true
+    (Result.is_error (Tlswire.Wire.decode_records "\x16\x03"));
+  check Alcotest.bool "overrunning payload" true
+    (Result.is_error (Tlswire.Wire.decode_records "\x16\x03\x03\x00\x10abc"))
+
+let test_client_hello_sni () =
+  let g = Ucrypto.Prng.create 3 in
+  let flow = Tlswire.Wire.client_hello_flow ~sni:"shop.example.com" g in
+  check (Alcotest.option Alcotest.string) "sni recovered" (Some "shop.example.com")
+    (Tlswire.Wire.sni_of_flow flow);
+  let plain = Tlswire.Wire.client_hello_flow (Ucrypto.Prng.create 4) in
+  check (Alcotest.option Alcotest.string) "no sni" None (Tlswire.Wire.sni_of_flow plain)
+
+let test_certificate_message () =
+  let g = Ucrypto.Prng.create 5 in
+  let leaf = cert "leaf.example" and extra = cert "issuer.example" in
+  let flow = Tlswire.Wire.server_flight g [ leaf; extra ] in
+  let certs = Tlswire.Wire.server_certificates flow in
+  check Alcotest.int "two certs" 2 (List.length certs);
+  check (Alcotest.option Alcotest.string) "leaf first" (Some "leaf.example")
+    (X509.Certificate.subject_cn (List.hd certs));
+  (* Raw bytes identical after the round trip. *)
+  check Alcotest.string "der preserved" leaf.X509.Certificate.der
+    (List.hd certs).X509.Certificate.der
+
+let test_handshake_sequence () =
+  let g = Ucrypto.Prng.create 6 in
+  let flow = Tlswire.Wire.server_flight g [ cert "a.example" ] in
+  match Tlswire.Wire.handshakes_of_flow flow with
+  | Ok [ Tlswire.Wire.Server_hello _; Tlswire.Wire.Certificate [ _ ] ] -> ()
+  | Ok msgs -> Alcotest.failf "unexpected sequence of %d messages" (List.length msgs)
+  | Error m -> Alcotest.fail m
+
+let test_wire_inspection () =
+  let evil = cert ~org:(Some "Evil Entity Corp") "service.evil.test" in
+  let client, server =
+    Middlebox.Inspect.tls_session ~sni:"service.evil.test" ~seed:9 [ evil ]
+  in
+  let rules = [ { Middlebox.Engine.field = `Org; pattern = "Evil Entity Corp" } ] in
+  List.iter
+    (fun engine ->
+      let v = Middlebox.Inspect.inspect engine ~rules ~client_flow:client ~server_flow:server in
+      check Alcotest.bool (v.Middlebox.Inspect.engine ^ " blocks") true
+        v.Middlebox.Inspect.blocked;
+      check (Alcotest.option Alcotest.string) "sni seen" (Some "service.evil.test")
+        v.Middlebox.Inspect.sni)
+    Middlebox.Engine.all
+
+let test_wire_evasion () =
+  (* The variant certificate slips through the same wire path. *)
+  let g = Ucrypto.Prng.create 10 in
+  let variant =
+    Middlebox.Obfuscation.apply g Middlebox.Obfuscation.Whitespace_substitution
+      "Evil Entity Corp"
+  in
+  let evasive = cert ~org:(Some variant) "service.evil.test" in
+  let client, server = Middlebox.Inspect.tls_session ~seed:11 [ evasive ] in
+  let rules = [ { Middlebox.Engine.field = `Org; pattern = "Evil Entity Corp" } ] in
+  List.iter
+    (fun engine ->
+      let v = Middlebox.Inspect.inspect engine ~rules ~client_flow:client ~server_flow:server in
+      check Alcotest.bool (v.Middlebox.Inspect.engine ^ " evaded") false
+        v.Middlebox.Inspect.blocked)
+    Middlebox.Engine.all
+
+let prop_flow_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"server flight always parses" ~count:60
+       QCheck.(int_range 0 100000)
+       (fun seed ->
+         let g = Ucrypto.Prng.create seed in
+         let flow = Tlswire.Wire.server_flight g [ cert "prop.example" ] in
+         List.length (Tlswire.Wire.server_certificates flow) = 1))
+
+let suite =
+  [
+    Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
+    Alcotest.test_case "record errors" `Quick test_record_errors;
+    Alcotest.test_case "client hello sni" `Quick test_client_hello_sni;
+    Alcotest.test_case "certificate message" `Quick test_certificate_message;
+    Alcotest.test_case "handshake sequence" `Quick test_handshake_sequence;
+    Alcotest.test_case "wire inspection" `Quick test_wire_inspection;
+    Alcotest.test_case "wire evasion" `Quick test_wire_evasion;
+    prop_flow_roundtrip;
+  ]

@@ -1,0 +1,204 @@
+(* Tests for the crypto substrate: SHA-256, HMAC, PRNG, bignum, RSA. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_sha256_vectors () =
+  check Alcotest.string "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Ucrypto.Sha256.hex "");
+  check Alcotest.string "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Ucrypto.Sha256.hex "abc");
+  check Alcotest.string "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Ucrypto.Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  (* exact block boundary *)
+  check Alcotest.string "64 bytes"
+    (Ucrypto.Sha256.hex (String.make 64 'a'))
+    (Ucrypto.Sha256.hex (String.make 64 'a'));
+  check Alcotest.int "digest length" 32 (String.length (Ucrypto.Sha256.digest "x"))
+
+let hex s =
+  String.concat ""
+    (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let test_hmac_vectors () =
+  (* RFC 4231 test cases 1 and 2. *)
+  check Alcotest.string "tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hex (Ucrypto.Sha256.hmac ~key:(String.make 20 '\x0b') "Hi There"));
+  check Alcotest.string "tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex (Ucrypto.Sha256.hmac ~key:"Jefe" "what do ya want for nothing?"));
+  (* Long key forces the hashing branch. *)
+  let long_key = String.make 131 '\xaa' in
+  check Alcotest.string "tc7 (long key)"
+    "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+    (hex
+       (Ucrypto.Sha256.hmac ~key:long_key
+          "This is a test using a larger than block-size key and a larger than \
+           block-size data. The key needs to be hashed before being used by the \
+           HMAC algorithm."))
+
+let test_prng_determinism () =
+  let a = Ucrypto.Prng.create 42 and b = Ucrypto.Prng.create 42 in
+  for _ = 1 to 50 do
+    check Alcotest.int "same stream" (Ucrypto.Prng.int a 1000) (Ucrypto.Prng.int b 1000)
+  done;
+  let c = Ucrypto.Prng.create 43 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    let x = Ucrypto.Prng.int a 1000000 and y = Ucrypto.Prng.int c 1000000 in
+    if x = y then incr same
+  done;
+  check Alcotest.bool "different seeds diverge" true (!same < 5)
+
+let test_prng_ranges () =
+  let g = Ucrypto.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Ucrypto.Prng.int g 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "out of range: %d" v;
+    let f = Ucrypto.Prng.float g in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done;
+  let w = Ucrypto.Prng.weighted g [ ("a", 1.0); ("b", 0.0) ] in
+  check Alcotest.string "zero weight never picked" "a" w
+
+let bn = Ucrypto.Bignum.of_int
+let bn_testable = Alcotest.testable (fun ppf v -> Format.fprintf ppf "%s" (Ucrypto.Bignum.to_hex v)) Ucrypto.Bignum.equal
+
+let test_bignum_basic () =
+  let open Ucrypto.Bignum in
+  check bn_testable "add" (bn 500) (add (bn 123) (bn 377));
+  check bn_testable "sub" (bn 123) (sub (bn 500) (bn 377));
+  check bn_testable "mul" (bn 56088) (mul (bn 123) (bn 456));
+  check Alcotest.int "bit length" 10 (bit_length (bn 1023));
+  check Alcotest.int "bit length 1024" 11 (bit_length (bn 1024));
+  check bn_testable "shift left" (bn 40) (shift_left (bn 5) 3);
+  check bn_testable "shift right" (bn 5) (shift_right (bn 40) 3);
+  check Alcotest.bool "sub negative raises" true
+    (try ignore (sub (bn 1) (bn 2)); false with Invalid_argument _ -> true)
+
+let test_bignum_bytes () =
+  let open Ucrypto.Bignum in
+  check Alcotest.string "to bytes" "\x01\x00" (to_bytes_be (bn 256));
+  check bn_testable "of bytes" (bn 65535) (of_bytes_be "\xFF\xFF");
+  check bn_testable "hex" (bn 0xDEADBEEF) (of_hex "deadbeef")
+
+let small_nat = QCheck.map (fun n -> abs n) QCheck.int
+
+let prop_divmod =
+  QCheck.Test.make ~name:"divmod law" ~count:500
+    (QCheck.pair small_nat QCheck.(int_range 1 1_000_000))
+    (fun (a, b) ->
+      let open Ucrypto.Bignum in
+      let a = bn a and b = bn b in
+      let q, r = divmod a b in
+      equal (add (mul q b) r) a && compare r b < 0)
+
+let prop_mod_pow =
+  QCheck.Test.make ~name:"mod_pow vs naive" ~count:100
+    QCheck.(triple (int_range 0 1000) (int_range 0 40) (int_range 2 1000))
+    (fun (b, e, m) ->
+      let naive = ref 1 in
+      for _ = 1 to e do
+        naive := !naive * b mod m
+      done;
+      let got =
+        Ucrypto.Bignum.mod_pow ~base:(bn b) ~exp:(bn e) ~modulus:(bn m)
+      in
+      Ucrypto.Bignum.to_int_opt got = Some !naive)
+
+let prop_mod_inverse =
+  QCheck.Test.make ~name:"mod_inverse" ~count:200
+    QCheck.(pair (int_range 1 10000) (int_range 2 10000))
+    (fun (a, m) ->
+      match Ucrypto.Bignum.mod_inverse (bn a) (bn m) with
+      | None ->
+          (* gcd must be > 1 *)
+          Ucrypto.Bignum.to_int_opt (Ucrypto.Bignum.gcd (bn a) (bn m)) <> Some 1
+      | Some inv ->
+          Ucrypto.Bignum.to_int_opt
+            (Ucrypto.Bignum.rem (Ucrypto.Bignum.mul (bn a) inv) (bn m))
+          = Some 1)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bignum bytes roundtrip" ~count:300 small_nat (fun n ->
+      Ucrypto.Bignum.to_int_opt (Ucrypto.Bignum.of_bytes_be (Ucrypto.Bignum.to_bytes_be (bn n)))
+      = Some n)
+
+let test_primality () =
+  let g = Ucrypto.Prng.create 11 in
+  List.iter
+    (fun p ->
+      check Alcotest.bool (string_of_int p) true
+        (Ucrypto.Bignum.is_probable_prime g (bn p)))
+    [ 2; 3; 5; 7; 97; 101; 7919; 104729 ];
+  List.iter
+    (fun n ->
+      check Alcotest.bool (string_of_int n) false
+        (Ucrypto.Bignum.is_probable_prime g (bn n)))
+    [ 1; 4; 100; 561 (* Carmichael *); 7917; 104730 ]
+
+let test_rsa () =
+  let g = Ucrypto.Prng.create 5 in
+  let key = Ucrypto.Rsa.generate ~bits:192 g in
+  let s = Ucrypto.Rsa.sign key "the quick brown fox" in
+  check Alcotest.bool "verifies" true
+    (Ucrypto.Rsa.verify key.Ucrypto.Rsa.public ~msg:"the quick brown fox" ~signature:s);
+  check Alcotest.bool "tampered message" false
+    (Ucrypto.Rsa.verify key.Ucrypto.Rsa.public ~msg:"the quick brown fix" ~signature:s);
+  let s' = Bytes.of_string s in
+  Bytes.set s' 0 (Char.chr (Char.code (Bytes.get s' 0) lxor 1));
+  check Alcotest.bool "tampered signature" false
+    (Ucrypto.Rsa.verify key.Ucrypto.Rsa.public ~msg:"the quick brown fox"
+       ~signature:(Bytes.to_string s'));
+  (* another key does not verify *)
+  let other = Ucrypto.Rsa.generate ~bits:192 g in
+  check Alcotest.bool "wrong key" false
+    (Ucrypto.Rsa.verify other.Ucrypto.Rsa.public ~msg:"the quick brown fox" ~signature:s)
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~name:"shift left/right inverse" ~count:300
+    QCheck.(pair small_nat (int_range 0 200))
+    (fun (n, k) ->
+      let v = bn n in
+      Ucrypto.Bignum.equal (Ucrypto.Bignum.shift_right (Ucrypto.Bignum.shift_left v k) k) v)
+
+let prop_gcd =
+  QCheck.Test.make ~name:"gcd divides both" ~count:300
+    QCheck.(pair (int_range 1 1000000) (int_range 1 1000000))
+    (fun (a, b) ->
+      let g = Ucrypto.Bignum.gcd (bn a) (bn b) in
+      match Ucrypto.Bignum.to_int_opt g with
+      | Some g -> g > 0 && a mod g = 0 && b mod g = 0
+      | None -> false)
+
+let test_prng_shuffle () =
+  let g = Ucrypto.Prng.create 55 in
+  let arr = Array.init 50 Fun.id in
+  Ucrypto.Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 50 Fun.id) sorted;
+  check Alcotest.bool "actually shuffled" true (arr <> Array.init 50 Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+    Alcotest.test_case "hmac-sha256 vectors" `Quick test_hmac_vectors;
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
+    Alcotest.test_case "bignum basics" `Quick test_bignum_basic;
+    Alcotest.test_case "bignum bytes" `Quick test_bignum_bytes;
+    Alcotest.test_case "miller-rabin" `Quick test_primality;
+    Alcotest.test_case "rsa sign/verify" `Slow test_rsa;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle;
+    qtest prop_shift_roundtrip;
+    qtest prop_gcd;
+    qtest prop_divmod;
+    qtest prop_mod_pow;
+    qtest prop_mod_inverse;
+    qtest prop_bytes_roundtrip;
+  ]
