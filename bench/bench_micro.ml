@@ -53,6 +53,17 @@ let tests =
              X509.Dn.to_string sample_cert.X509.Certificate.tbs.X509.Certificate.subject));
       Test.make ~name:"idna-domain-issues"
         (Staged.stage (fun () -> Idna.domain_issues "xn--bcher-kva.example.com"));
+      (* Telemetry primitives: these sit on paths hit once per lint per
+         certificate, so their cost bounds the instrumentation overhead
+         budget (<5% of a pipeline run). *)
+      (let c = Obs.Counter.make "bench_total" in
+       Test.make ~name:"obs-counter-inc" (Staged.stage (fun () -> Obs.Counter.inc c)));
+      (let h = Obs.Histogram.make "bench_seconds" in
+       Test.make ~name:"obs-histogram-observe"
+         (Staged.stage (fun () -> Obs.Histogram.observe h 3.2e-5)));
+      (let registry = Obs.Registry.create () in
+       Test.make ~name:"obs-span"
+         (Staged.stage (fun () -> Obs.Span.with_ ~registry "bench" Fun.id)));
     ]
 
 let run () =

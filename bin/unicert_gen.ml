@@ -40,11 +40,20 @@ let run_mutant field payload st_name =
   in
   emit_pem (Tlsparsers.Testgen.make mutation)
 
-let run mode count seed flawed_only field payload st =
-  match mode with
+let run mode count seed flawed_only field payload st metrics progress no_progress =
+  if progress then Obs.Progress.set_override (Some true)
+  else if no_progress then Obs.Progress.set_override (Some false);
+  (match mode with
   | "corpus" -> run_corpus count seed flawed_only
   | "mutant" -> run_mutant field payload st
-  | other -> failwith (Printf.sprintf "unknown mode %S (corpus|mutant)" other)
+  | other -> failwith (Printf.sprintf "unknown mode %S (corpus|mutant)" other));
+  Option.iter
+    (fun file ->
+      try Obs.Export.write_file Obs.Registry.default file
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write metrics: %s\n" msg;
+        exit 1)
+    metrics
 
 let mode = Arg.(value & pos 0 string "corpus" & info [] ~docv:"MODE" ~doc:"corpus or mutant")
 let count = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of corpus certificates")
@@ -53,10 +62,18 @@ let flawed_only = Arg.(value & flag & info [ "flawed" ] ~doc:"Emit only noncompl
 let field = Arg.(value & opt string "san" & info [ "field" ] ~doc:"Mutated field (cn|o|san|email|uri|crldp)")
 let payload = Arg.(value & opt string "test\x01.com" & info [ "payload" ] ~doc:"Raw payload bytes")
 let st = Arg.(value & opt string "UTF8String" & info [ "string-type" ] ~doc:"Declared ASN.1 string type for DN mutants")
+let metrics =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+       ~doc:"Write collected telemetry at exit: Prometheus text, or JSON when FILE ends in .json")
+let progress =
+  Arg.(value & flag & info [ "progress" ] ~doc:"Force progress reporting on (default: only on a TTY, and not under OBS_QUIET)")
+let no_progress =
+  Arg.(value & flag & info [ "no-progress" ] ~doc:"Force progress reporting off")
 
 let cmd =
   let doc = "generate test Unicerts (calibrated corpus samples or field mutants)" in
   Cmd.v (Cmd.info "unicert-gen" ~doc)
-    Term.(const run $ mode $ count $ seed $ flawed_only $ field $ payload $ st)
+    Term.(const run $ mode $ count $ seed $ flawed_only $ field $ payload $ st
+          $ metrics $ progress $ no_progress)
 
 let () = exit (Cmd.eval cmd)

@@ -59,9 +59,16 @@ let lint_corpus ~scale ~seed ~ignore_dates =
       end);
   Printf.printf "linted %d generated Unicerts: %d noncompliant (%.2f%%)\n" !total !nc
     (100.0 *. float_of_int !nc /. float_of_int !total);
-  Hashtbl.fold (fun k v acc -> (v, k) :: acc) counts []
-  |> List.sort compare |> List.rev
-  |> List.iter (fun (v, k) -> Printf.printf "  %-55s %d\n" k v)
+  (* Descending count, ties broken by name: deterministic across runs. *)
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+    |> List.sort (fun (ka, va) (kb, vb) ->
+           match compare vb va with 0 -> String.compare ka kb | c -> c)
+  in
+  List.iter (fun (k, v) -> Printf.printf "  %-55s %d\n" k v) rows;
+  let findings_total = List.fold_left (fun acc (_, v) -> acc + v) 0 rows in
+  Printf.printf "  %-55s %d findings across %d lints\n" "TOTAL" findings_total
+    (List.length rows)
 
 let list_rules () =
   Lint.Rulebook.render_catalogue Format.std_formatter
@@ -78,14 +85,18 @@ let json_findings path findings =
     findings;
   print_string "]}\n"
 
-let run files scale seed ignore_dates issued_str list_lints json =
+let run files corpus scale seed ignore_dates issued_str list_lints json metrics
+    progress no_progress =
+  if progress then Obs.Progress.set_override (Some true)
+  else if no_progress then Obs.Progress.set_override (Some false);
   let issued =
     match Asn1.Time.of_generalized (issued_str ^ "000000Z") with
     | Ok t -> t
     | Error _ -> Asn1.Time.make 2024 6 1
   in
   if list_lints then list_rules ()
-  else if json && files <> [] then
+  else if corpus || files = [] then lint_corpus ~scale ~seed ~ignore_dates
+  else if json then
     List.iter
       (fun path ->
         match load_cert path with
@@ -95,8 +106,14 @@ let run files scale seed ignore_dates issued_str list_lints json =
               (Lint.Registry.noncompliant ~respect_effective_dates:(not ignore_dates)
                  ~issued cert))
       files
-  else if files = [] then lint_corpus ~scale ~seed ~ignore_dates
-  else List.iter (lint_file ~issued ~ignore_dates) files
+  else List.iter (lint_file ~issued ~ignore_dates) files;
+  Option.iter
+    (fun file ->
+      try Obs.Export.write_file Obs.Registry.default file
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write metrics: %s\n" msg;
+        exit 1)
+    metrics
 
 let files = Arg.(value & pos_all file [] & info [] ~docv:"CERT" ~doc:"PEM or DER certificate files")
 let scale = Arg.(value & opt int 2000 & info [ "scale" ] ~doc:"Generated corpus size when no files are given")
@@ -108,10 +125,20 @@ let issued =
 let list_lints =
   Arg.(value & flag & info [ "list" ] ~doc:"Print the 95-rule catalogue as JSON and exit")
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON")
+let corpus =
+  Arg.(value & flag & info [ "corpus" ] ~doc:"Lint a freshly generated corpus sample (the default when no files are given)")
+let metrics =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+       ~doc:"Write collected telemetry at exit: Prometheus text, or JSON when FILE ends in .json")
+let progress =
+  Arg.(value & flag & info [ "progress" ] ~doc:"Force progress reporting on (default: only on a TTY, and not under OBS_QUIET)")
+let no_progress =
+  Arg.(value & flag & info [ "no-progress" ] ~doc:"Force progress reporting off")
 
 let cmd =
   let doc = "lint X.509 certificates against the 95 Unicert constraint rules" in
   Cmd.v (Cmd.info "unicert-lint" ~doc)
-    Term.(const run $ files $ scale $ seed $ ignore_dates $ issued $ list_lints $ json)
+    Term.(const run $ files $ corpus $ scale $ seed $ ignore_dates $ issued
+          $ list_lints $ json $ metrics $ progress $ no_progress)
 
 let () = exit (Cmd.eval cmd)

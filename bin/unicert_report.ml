@@ -2,7 +2,9 @@
 
 open Cmdliner
 
-let run id scale seed =
+let run id scale seed metrics progress no_progress =
+  if progress then Obs.Progress.set_override (Some true)
+  else if no_progress then Obs.Progress.set_override (Some false);
   let ppf = Format.std_formatter in
   let pipeline () = Unicert.Pipeline.run ~scale ~seed () in
   (match String.lowercase_ascii id with
@@ -28,14 +30,29 @@ let run id scale seed =
         "unknown experiment %S; ids: fig2 tab1 tab2 fig3 fig4 tab11 sec51 ablations \
          summary tab3 tab4 tab5 tab6 sec62 tab14 apis rules all@."
         other);
-  Format.pp_print_flush ppf ()
+  Format.pp_print_flush ppf ();
+  Option.iter
+    (fun file ->
+      try Obs.Export.write_file Obs.Registry.default file
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write metrics: %s\n" msg;
+        exit 1)
+    metrics
 
 let id = Arg.(value & pos 0 string "summary" & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id from DESIGN.md")
 let scale = Arg.(value & opt int Ctlog.Dataset.default_scale & info [ "scale" ] ~doc:"Corpus size")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Corpus seed")
+let metrics =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+       ~doc:"Write collected telemetry at exit: Prometheus text, or JSON when FILE ends in .json")
+let progress =
+  Arg.(value & flag & info [ "progress" ] ~doc:"Force progress reporting on (default: only on a TTY, and not under OBS_QUIET)")
+let no_progress =
+  Arg.(value & flag & info [ "no-progress" ] ~doc:"Force progress reporting off")
 
 let cmd =
   let doc = "regenerate one of the paper's tables or figures" in
-  Cmd.v (Cmd.info "unicert-report" ~doc) Term.(const run $ id $ scale $ seed)
+  Cmd.v (Cmd.info "unicert-report" ~doc)
+    Term.(const run $ id $ scale $ seed $ metrics $ progress $ no_progress)
 
 let () = exit (Cmd.eval cmd)

@@ -120,6 +120,12 @@ let encoding_error_fields cert =
 
 let recent_start = Asn1.Time.make 2024 1 1
 
+let obs_nc =
+  lazy
+    (Obs.Registry.counter
+       ~help:"Certificates the pipeline classified as noncompliant"
+       "unicert_pipeline_noncompliant_total")
+
 let process t (entry : Ctlog.Dataset.entry) =
   let cert = entry.Ctlog.Dataset.cert in
   let issuer = entry.Ctlog.Dataset.issuer in
@@ -132,6 +138,27 @@ let process t (entry : Ctlog.Dataset.entry) =
     && Asn1.Time.(fst cert.X509.Certificate.tbs.X509.Certificate.not_before
                   <= Ctlog.Dataset.analysis_date)
   in
+  (* Lint the certificate once, without date gating; derive all views.
+     The stage spans around lint (inside {!Lint.Registry.run}), parse
+     and classify keep per-stage wall clock visible in the exported
+     span histogram; everything that mutates [t] runs under the
+     "aggregate" span. *)
+  let findings =
+    Lint.Registry.run ~respect_effective_dates:false ~issued cert
+    |> List.filter Lint.is_noncompliant
+  in
+  let dated =
+    List.filter
+      (fun (f : Lint.finding) -> Asn1.Time.(f.Lint.lint.Lint.effective_date <= issued))
+      findings
+  in
+  let noncompliant = dated <> [] in
+  let ufields = Obs.Span.with_ "classify" (fun () -> Classify.unicode_fields cert) in
+  (* §5.1 encoding-error scan: re-parse the DER payloads. *)
+  let enc_subject, enc_san, enc_policies =
+    Obs.Span.with_ "parse" (fun () -> encoding_error_fields cert)
+  in
+  Obs.Span.with_ "aggregate" @@ fun () ->
   t.total <- t.total + 1;
   if entry.Ctlog.Dataset.is_idn then t.idncerts <- t.idncerts + 1;
   if trusted then t.trusted <- t.trusted + 1;
@@ -159,20 +186,9 @@ let process t (entry : Ctlog.Dataset.entry) =
         s
   in
   istats.total <- istats.total + 1;
-  (* Lint the certificate once, without date gating; derive all views. *)
-  let findings =
-    Lint.Registry.run ~respect_effective_dates:false ~issued cert
-    |> List.filter Lint.is_noncompliant
-  in
-  let dated =
-    List.filter
-      (fun (f : Lint.finding) -> Asn1.Time.(f.Lint.lint.Lint.effective_date <= issued))
-      findings
-  in
   if findings <> [] then t.nc_ignoring_dates <- t.nc_ignoring_dates + 1;
   if List.exists (fun (f : Lint.finding) -> not f.Lint.lint.Lint.is_new) dated then
     t.nc_old_lints_only <- t.nc_old_lints_only + 1;
-  let noncompliant = dated <> [] in
   (* Figure 4 heat map: per (issuer, field) unicode usage and deviance. *)
   List.iter
     (fun (field, beyond) ->
@@ -181,7 +197,7 @@ let process t (entry : Ctlog.Dataset.entry) =
         Hashtbl.replace t.fields (issuer.Ctlog.Dataset.org, field)
           (u + 1, if noncompliant then d + 1 else d)
       end)
-    (Classify.unicode_fields cert);
+    ufields;
   (* Validity distributions (Figure 3). *)
   let days = X509.Certificate.validity_days cert in
   let push cls =
@@ -197,8 +213,7 @@ let process t (entry : Ctlog.Dataset.entry) =
   in
   if entry.Ctlog.Dataset.is_idn then push V_idn else push V_other;
   if noncompliant then push V_noncompliant else push V_normal;
-  (* §5.1 encoding-error scan with chain verification. *)
-  let enc_subject, enc_san, enc_policies = encoding_error_fields cert in
+  (* §5.1 encoding-error impact accounting, with chain verification. *)
   if enc_subject || enc_san || enc_policies then begin
     t.encoding_error_certs <- t.encoding_error_certs + 1;
     if enc_subject then t.encoding_error_subject <- t.encoding_error_subject + 1;
@@ -209,6 +224,7 @@ let process t (entry : Ctlog.Dataset.entry) =
       t.encoding_error_verified <- t.encoding_error_verified + 1
   end;
   if noncompliant then begin
+    Obs.Counter.inc (Lazy.force obs_nc);
     t.nc_total <- t.nc_total + 1;
     (match issuer.Ctlog.Dataset.trust_at_issuance with
     | Ctlog.Dataset.Public -> t.nc_trusted <- t.nc_trusted + 1
@@ -279,7 +295,7 @@ let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1) () =
       encoding_error_policies = 0;
     }
   in
-  Ctlog.Dataset.iter ~scale ~seed (process t);
+  Obs.Span.with_ "pipeline" (fun () -> Ctlog.Dataset.iter ~scale ~seed (process t));
   t
 
 let year_range t =

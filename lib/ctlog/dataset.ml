@@ -362,14 +362,45 @@ let generate_entry g issuer =
   let cert = build_cert g issuer spec ~issued ~validity ~serial in
   { cert; issued; issuer; flaws; is_idn }
 
+(* Telemetry handles, resolved once: the per-entry path below must not
+   pay a registry lookup per certificate. *)
+let obs_certs =
+  lazy
+    (Obs.Registry.counter
+       ~help:"Certificates streamed through the corpus pipeline"
+       "unicert_pipeline_certs_total")
+
+let obs_idn =
+  lazy
+    (Obs.Registry.counter ~help:"Generated certificates that are IDNCerts"
+       "unicert_dataset_idn_total")
+
+let obs_flaws =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"flaw"
+       ~help:"Defects injected by the corpus generator"
+       "unicert_dataset_flaws_injected_total")
+
 let iter ?(scale = default_scale) ~seed f =
   let g = Ucrypto.Prng.create seed in
   let total_volume = List.fold_left (fun acc i -> acc +. i.volume) 0.0 issuers in
   let weighted = List.map (fun i -> (i, i.volume /. total_volume)) issuers in
+  let certs = Lazy.force obs_certs in
+  let idn = Lazy.force obs_idn in
+  let flaws = Lazy.force obs_flaws in
+  let progress = Obs.Progress.create ~total:scale ~label:"generate" () in
   for _ = 1 to scale do
     let issuer = Ucrypto.Prng.weighted g weighted in
-    f (generate_entry g issuer)
-  done
+    let e = Obs.Span.with_ "generate" (fun () -> generate_entry g issuer) in
+    Obs.Counter.inc certs;
+    if e.is_idn then Obs.Counter.inc idn;
+    List.iter
+      (fun fl -> Obs.Counter.inc (Obs.Counter.Labeled.get flaws (Flaws.name fl)))
+      e.flaws;
+    Obs.Progress.tick progress;
+    f e
+  done;
+  Obs.Progress.finish progress
 
 let generate ?scale ~seed () =
   let out = ref [] in

@@ -34,3 +34,24 @@ val noncompliant :
   X509.Certificate.t ->
   Types.finding list
 (** Like {!run} but keeping only [Warn]/[Fail] findings. *)
+
+(** {2 Telemetry}
+
+    Every {!run} feeds per-lint counters in {!Obs.Registry.default}
+    ([unicert_lint_invocations_total], [..._fail_total],
+    [..._warn_total], [..._na_total]) and a sampled cumulative-time
+    estimate ([unicert_lint_seconds_total]), plus the ["lint"] span
+    histogram.  Counters are process-cumulative. *)
+
+type lint_obs = {
+  lint_name : string;
+  invoked : float;      (** checks executed (non-NA) *)
+  failed : float;
+  warned : float;
+  skipped_na : float;   (** effective-date gated skips *)
+  est_seconds : float;  (** sampled wall-clock estimate *)
+}
+
+val obs_snapshot : unit -> lint_obs list
+(** Current counter values, one record per registered lint, in
+    {!all} order. *)

@@ -1,0 +1,49 @@
+(* The value lives in a one-slot float array: OCaml boxes a [mutable
+   float] field in a mixed record, which would allocate on every
+   increment — a float-array slot updates in place, keeping [inc] safe
+   for paths hit millions of times per run. *)
+type t = { name : string; help : string; cell : float array }
+
+let make ?(help = "") name = { name; help; cell = [| 0.0 |] }
+let inc t = t.cell.(0) <- t.cell.(0) +. 1.0
+
+let add t x =
+  if x < 0.0 then invalid_arg "Obs.Counter.add: negative increment";
+  t.cell.(0) <- t.cell.(0) +. x
+
+let value t = t.cell.(0)
+let name t = t.name
+let help t = t.help
+let reset t = t.cell.(0) <- 0.0
+
+let make_child = make
+
+module Labeled = struct
+  type counter = t
+
+  type t = {
+    name : string;
+    help : string;
+    label : string;
+    children : (string, counter) Hashtbl.t;
+  }
+
+  let make ?(help = "") ~label name =
+    { name; help; label; children = Hashtbl.create 16 }
+
+  let get t v =
+    match Hashtbl.find_opt t.children v with
+    | Some c -> c
+    | None ->
+        let c = make_child ~help:t.help t.name in
+        Hashtbl.replace t.children v c;
+        c
+
+  let children t =
+    Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.children []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let name t = t.name
+  let help t = t.help
+  let label t = t.label
+end

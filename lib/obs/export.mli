@@ -1,0 +1,17 @@
+(** Registry exporters: Prometheus text exposition and a JSON dump.
+    Both walk the registry in sorted-name order, so output is
+    deterministic for a deterministic run. *)
+
+val to_prometheus : Registry.t -> string
+(** Prometheus text exposition format (version 0.0.4): [# HELP] /
+    [# TYPE] headers, escaped label values, histograms expanded to
+    cumulative [_bucket{le=...}] series plus [_sum] / [_count]. *)
+
+val to_json : Registry.t -> string
+(** Equivalent JSON object: [{"counters": [...], "gauges": [...],
+    "histograms": [...]}], with labeled families flattened into one
+    sample per label value. *)
+
+val write_file : Registry.t -> string -> unit
+(** Write to a path, choosing the format by extension: [.json] gets
+    {!to_json}, anything else the Prometheus text form. *)

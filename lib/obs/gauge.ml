@@ -1,0 +1,9 @@
+type t = { name : string; help : string; mutable value : float }
+
+let make ?(help = "") name = { name; help; value = 0.0 }
+let set t v = t.value <- v
+let add t v = t.value <- t.value +. v
+let sub t v = t.value <- t.value -. v
+let value t = t.value
+let name t = t.name
+let help t = t.help

@@ -1,0 +1,12 @@
+(** Gauges: instantaneous values that can move both ways (queue depths,
+    current scale, resident set sizes). *)
+
+type t
+
+val make : ?help:string -> string -> t
+val set : t -> float -> unit
+val add : t -> float -> unit
+val sub : t -> float -> unit
+val value : t -> float
+val name : t -> string
+val help : t -> string

@@ -1,0 +1,83 @@
+(* [sum] sits in a float-array slot for the same reason as
+   {!Counter.t}: a boxed mutable float field would allocate per
+   observation. *)
+type t = {
+  name : string;
+  help : string;
+  bounds : float array;
+  counts : int array;  (* length = Array.length bounds + 1; last is +Inf *)
+  sum_cell : float array;
+  mutable count : int;
+}
+
+let log_buckets ~base ~factor ~count =
+  if base <= 0.0 || factor <= 1.0 || count < 1 then
+    invalid_arg "Obs.Histogram.log_buckets";
+  Array.init count (fun i -> base *. (factor ** float_of_int i))
+
+let default_latency_buckets = log_buckets ~base:1e-6 ~factor:4.0 ~count:14
+
+let make ?(help = "") ?(buckets = default_latency_buckets) name =
+  let n = Array.length buckets in
+  if n = 0 then invalid_arg "Obs.Histogram.make: no buckets";
+  for i = 1 to n - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Obs.Histogram.make: bounds not strictly increasing"
+  done;
+  { name; help; bounds = Array.copy buckets; counts = Array.make (n + 1) 0;
+    sum_cell = [| 0.0 |]; count = 0 }
+
+let observe t v =
+  let n = Array.length t.bounds in
+  (* Bounds are few (≤ 20); a linear scan beats binary search overhead. *)
+  let rec slot i = if i >= n || v <= t.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sum_cell.(0) <- t.sum_cell.(0) +. v;
+  t.count <- t.count + 1
+
+let sum t = t.sum_cell.(0)
+let count t = t.count
+let name t = t.name
+let help t = t.help
+let bounds t = Array.copy t.bounds
+
+let cumulative t =
+  let acc = ref 0 in
+  Array.to_list t.bounds
+  |> List.mapi (fun i b ->
+         acc := !acc + t.counts.(i);
+         (b, !acc))
+
+let make_child = make
+
+module Labeled = struct
+  type histogram = t
+
+  type t = {
+    name : string;
+    help : string;
+    label : string;
+    buckets : float array;
+    children : (string, histogram) Hashtbl.t;
+  }
+
+  let make ?(help = "") ?(buckets = default_latency_buckets) ~label name =
+    { name; help; label; buckets; children = Hashtbl.create 16 }
+
+  let get t v =
+    match Hashtbl.find_opt t.children v with
+    | Some h -> h
+    | None ->
+        let h = make_child ~help:t.help ~buckets:t.buckets t.name in
+        Hashtbl.replace t.children v h;
+        h
+
+  let children t =
+    Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.children []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let name t = t.name
+  let help t = t.help
+  let label t = t.label
+end

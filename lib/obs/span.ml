@@ -1,0 +1,24 @@
+let histogram_name = "unicert_span_seconds"
+
+let family registry =
+  Registry.labeled_histogram ?registry ~label:"span"
+    ~help:"Wall-clock time per instrumented span" histogram_name
+
+let stack : string list ref = ref []
+
+let with_ ?registry name f =
+  let hist = Histogram.Labeled.get (family registry) name in
+  stack := name :: !stack;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      Histogram.observe hist dt)
+    f
+
+let current () = !stack
+
+let child registry name = Histogram.Labeled.get (family registry) name
+let sum ?registry name = Histogram.sum (child registry name)
+let count ?registry name = Histogram.count (child registry name)

@@ -1,0 +1,20 @@
+(** Wall-clock spans.  [with_ "lint" f] times [f] and feeds the
+    duration into the per-span histogram family
+    [unicert_span_seconds{span="lint"}] of the target registry.  Spans
+    nest freely (a stack tracks the active path, see {!current}); the
+    duration is recorded even when [f] raises. *)
+
+val histogram_name : string
+(** ["unicert_span_seconds"]. *)
+
+val with_ : ?registry:Registry.t -> string -> (unit -> 'a) -> 'a
+
+val current : unit -> string list
+(** The active span stack, innermost first.  Empty outside any span. *)
+
+val sum : ?registry:Registry.t -> string -> float
+(** Accumulated wall-clock seconds recorded for a span name so far
+    (0. if the span never ran). *)
+
+val count : ?registry:Registry.t -> string -> int
+(** Number of completed executions of a span name. *)

@@ -19,6 +19,55 @@ type cell = {
   verdicts : Infer.verdict list;
 }
 
+(* --- telemetry ------------------------------------------------------ *)
+
+(* Every model decode call in the harness is routed through
+   [observe_decode]: per-library accept/reject/error counters plus a
+   decode latency histogram.  A model that raises is counted as an
+   error and treated as rejecting the input. *)
+let obs_accept =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"library"
+       ~help:"Probe payloads the parser model decoded to some text"
+       "unicert_parser_accept_total")
+
+let obs_reject =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"library"
+       ~help:"Probe payloads the parser model rejected"
+       "unicert_parser_reject_total")
+
+let obs_error =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"library"
+       ~help:"Probe payloads on which the parser model raised"
+       "unicert_parser_error_total")
+
+let obs_latency =
+  lazy
+    (Obs.Registry.labeled_histogram ~label:"library"
+       ~help:"Per-model decode latency" "unicert_parser_decode_seconds")
+
+let observe_decode (model : Model.t) f =
+  let t0 = Unix.gettimeofday () in
+  let result = try Ok (f ()) with e -> Error e in
+  Obs.Histogram.observe
+    (Obs.Histogram.Labeled.get (Lazy.force obs_latency) model.Model.name)
+    (Unix.gettimeofday () -. t0);
+  let bump family =
+    Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force family) model.Model.name)
+  in
+  match result with
+  | Ok (Some _ as r) ->
+      bump obs_accept;
+      r
+  | Ok None ->
+      bump obs_reject;
+      None
+  | Error _ ->
+      bump obs_error;
+      None
+
 (* Round each probe through a real certificate so the full encode/parse
    path is exercised, then hand the extracted raw bytes to the model —
    the moral equivalent of calling the library's parsing API on the
@@ -35,12 +84,21 @@ let observations_for (model : Model.t) scenario =
           in
           (match Testgen.raw_subject_attr cert X509.Attr.Organization_name with
           | Some (st, raw) ->
-              Some { Infer.raw; output = model.Model.decode_name_attr st raw }
+              Some
+                { Infer.raw;
+                  output =
+                    observe_decode model (fun () ->
+                        model.Model.decode_name_attr st raw) }
           | None -> None)
       | `Gn ->
           let cert = Testgen.make (Testgen.San_dns payload) in
           (match Testgen.raw_san_payloads cert with
-          | raw :: _ -> Some { Infer.raw; output = model.Model.decode_gn Model.San raw }
+          | raw :: _ ->
+              Some
+                { Infer.raw;
+                  output =
+                    observe_decode model (fun () ->
+                        model.Model.decode_gn Model.San raw) }
           | [] -> None))
     Testgen.byte_battery
 
@@ -124,7 +182,9 @@ let illegal_char_rows () =
                          (X509.Attr.Organization_name, declared, payload))
                   in
                   match Testgen.raw_subject_attr cert X509.Attr.Organization_name with
-                  | Some (st, raw) -> model.Model.decode_name_attr st raw
+                  | Some (st, raw) ->
+                      observe_decode model (fun () ->
+                          model.Model.decode_name_attr st raw)
                   | None -> None)
                 (illegal_payloads declared)
             in
@@ -143,7 +203,9 @@ let illegal_char_rows () =
                 (fun payload ->
                   let cert = Testgen.make (Testgen.San_dns payload) in
                   match Testgen.raw_san_payloads cert with
-                  | raw :: _ -> model.Model.decode_gn Model.San raw
+                  | raw :: _ ->
+                      observe_decode model (fun () ->
+                          model.Model.decode_gn Model.San raw)
                   | [] -> None)
                 (illegal_payloads Asn1.Str_type.Ia5_string)
             in

@@ -213,9 +213,64 @@ let test_ctx_helpers () =
   check Alcotest.bool "dns names include san" true (Lint.Ctx.dns_names ctx <> []);
   check Alcotest.bool "subject texts" true (List.length (Lint.Ctx.subject_texts ctx) >= 4)
 
+(* Telemetry must track behavior exactly: after a linter run, the
+   per-lint invocation counter deltas equal the number of lints whose
+   check actually executed (everything not NA-gated), and the NA
+   counters the gated remainder.  Counters are process-cumulative, so
+   compare before/after snapshots. *)
+let test_obs_instrumentation () =
+  let cert = cert_with_flaw 21 Ctlog.Flaws.Cn_not_in_san in
+  let issued = Asn1.Time.make 2016 6 1 in
+  let snapshot () =
+    Lint.Registry.obs_snapshot ()
+    |> List.map (fun (o : Lint.Registry.lint_obs) ->
+           (o.Lint.Registry.lint_name, o))
+  in
+  let before = snapshot () in
+  let findings = Lint.Registry.run ~issued cert in
+  let after = snapshot () in
+  let delta field =
+    List.fold_left2
+      (fun acc (na, a) (nb, b) ->
+        assert (na = nb);
+        acc +. (field a -. field b))
+      0.0 after before
+  in
+  (* A check may itself return Na (field absent), which still counts as
+     an invocation — so the executed/gated split comes from the
+     effective-date gate, not from finding statuses. *)
+  let gated =
+    List.length
+      (List.filter
+         (fun (l : Lint.t) -> Asn1.Time.(issued < l.Lint.effective_date))
+         Lint.Registry.all)
+  in
+  let executed = List.length Lint.Registry.all - gated in
+  check Alcotest.int "one finding per registered lint" 95 (List.length findings);
+  check (Alcotest.float 0.0) "invocation deltas = applicable lints"
+    (float_of_int executed)
+    (delta (fun o -> o.Lint.Registry.invoked));
+  check (Alcotest.float 0.0) "na deltas = date-gated lints"
+    (float_of_int gated)
+    (delta (fun o -> o.Lint.Registry.skipped_na));
+  (* Per lint the delta is exactly one invocation or one NA, never both. *)
+  List.iter2
+    (fun (name, a) (_, b) ->
+      let di = a.Lint.Registry.invoked -. b.Lint.Registry.invoked
+      and dn = a.Lint.Registry.skipped_na -. b.Lint.Registry.skipped_na in
+      if not ((di = 1.0 && dn = 0.0) || (di = 0.0 && dn = 1.0)) then
+        Alcotest.failf "lint %s: invocation delta %g, na delta %g" name di dn)
+    after before;
+  (* Fail/warn hit counters track the findings of this run. *)
+  let nc = List.filter Lint.is_noncompliant findings in
+  check (Alcotest.float 0.0) "fail+warn deltas = noncompliant findings"
+    (float_of_int (List.length nc))
+    (delta (fun o -> o.Lint.Registry.failed +. o.Lint.Registry.warned))
+
 let suite =
   [
     Alcotest.test_case "registry counts match Table 1" `Quick test_registry_counts;
+    Alcotest.test_case "telemetry tracks execution" `Quick test_obs_instrumentation;
     Alcotest.test_case "registry lookups" `Quick test_registry_lookup;
     Alcotest.test_case "per-flaw ground truth" `Slow test_flaw_ground_truth;
     Alcotest.test_case "clean cert is compliant" `Quick test_clean_cert_compliant;

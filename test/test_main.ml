@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "unicert"
     [
+      ("obs", Test_obs.suite);
       ("unicode", Test_unicode.suite);
       ("asn1", Test_asn1.suite);
       ("ucrypto", Test_ucrypto.suite);
