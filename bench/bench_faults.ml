@@ -1,0 +1,68 @@
+(* Fault-path micro-benchmark: what does the per-certificate error
+   boundary cost on a clean corpus?
+
+   Runs the full analysis pipeline min-of-5 with the boundary active
+   (the default) and again with the {!Faults.Isolation} kill-switch
+   off, and writes the wall-clock numbers to BENCH_faults.json (or the
+   path given as the first argument).  The acceptance budget is 3%
+   overhead.
+
+   Environment knobs: UNICERT_BENCH_SCALE (default 8000),
+   UNICERT_BENCH_RUNS (default 5). *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let scale = env_int "UNICERT_BENCH_SCALE" 8000
+let runs = env_int "UNICERT_BENCH_RUNS" 5
+
+let min_of_runs f =
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    best := min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_faults.json" in
+  Obs.Progress.set_override (Some false);
+  (* Warm up allocators and lazy instrument tables outside the clock. *)
+  ignore (Unicert.Pipeline.run ~scale:500 ~seed:1 ());
+  let boundary_on =
+    min_of_runs (fun () ->
+        Faults.Isolation.set true;
+        Unicert.Pipeline.run ~scale ~seed:1 ())
+  in
+  let boundary_off =
+    min_of_runs (fun () ->
+        Faults.Isolation.set false;
+        Unicert.Pipeline.run ~scale ~seed:1 ())
+  in
+  Faults.Isolation.set true;
+  let overhead_pct = (boundary_on -. boundary_off) /. boundary_off *. 100.0 in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"fault-boundary overhead, clean corpus\",\n\
+    \  \"scale\": %d,\n\
+    \  \"runs\": %d,\n\
+    \  \"aggregation\": \"min of runs, wall clock\",\n\
+    \  \"boundary_on_seconds\": %.4f,\n\
+    \  \"boundary_off_seconds\": %.4f,\n\
+    \  \"overhead_percent\": %.2f,\n\
+    \  \"budget_percent\": 3.0\n\
+     }\n"
+    scale runs boundary_on boundary_off overhead_pct;
+  close_out oc;
+  Printf.printf
+    "fault boundary: on %.4fs, off %.4fs, overhead %.2f%% (budget 3%%) -> %s\n"
+    boundary_on boundary_off overhead_pct out;
+  if overhead_pct > 3.0 then begin
+    Printf.eprintf "error: boundary overhead %.2f%% exceeds the 3%% budget\n"
+      overhead_pct;
+    exit 1
+  end

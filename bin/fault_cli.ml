@@ -1,0 +1,147 @@
+(* Shared fault-layer flags for the three binaries: corpus corruption,
+   error-budget policy, quarantine, checkpointing and fault injection.
+   Evaluating the term arms the injection harness as a side effect, so
+   a binary only has to thread [policy]/[mutator] into the pipeline. *)
+
+open Cmdliner
+
+type t = {
+  policy : Faults.Policy.t;
+  corrupt_rate : float;
+  corrupt_seed : int option;
+  corrupt_kinds : Faults.Mutator.kind list option;
+  drop : bool;
+  resume : bool;
+}
+
+let mutator ~default_seed t =
+  if t.corrupt_rate <= 0.0 then None
+  else
+    Some
+      (Faults.Mutator.plan
+         ?kinds:t.corrupt_kinds
+         ~seed:(Option.value ~default:default_seed t.corrupt_seed)
+         ~rate:t.corrupt_rate ())
+
+let arm_specs ~flag ~prefix ~mode specs =
+  List.iter
+    (fun spec ->
+      match Faults.Injector.parse_spec spec with
+      | Ok (target, every) -> Faults.Injector.arm ~mode ~every (prefix ^ target)
+      | Error msg ->
+          Printf.eprintf "error: %s: %s\n" flag msg;
+          exit 2)
+    specs
+
+let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
+    quarantine timeout checkpoint checkpoint_every resume fault_lints
+    fault_models fault_hang breaker_threshold =
+  if corrupt_rate < 0.0 || corrupt_rate > 1.0 then begin
+    Printf.eprintf "error: --corrupt-rate must be in [0,1]\n";
+    exit 2
+  end;
+  let kinds =
+    match corrupt_kinds with
+    | None -> None
+    | Some names ->
+        Some
+          (List.map
+             (fun name ->
+               match Faults.Mutator.kind_of_name name with
+               | Some k -> k
+               | None ->
+                   Printf.eprintf
+                     "error: --corrupt-kinds: unknown kind %S (known: %s)\n" name
+                     (String.concat ", "
+                        (List.map Faults.Mutator.kind_name Faults.Mutator.all_kinds));
+                   exit 2)
+             (String.split_on_char ',' names))
+  in
+  let mode = if fault_hang then Faults.Injector.Hang else Faults.Injector.Crash in
+  arm_specs ~flag:"--fault-lint" ~prefix:"" ~mode fault_lints;
+  arm_specs ~flag:"--fault-model" ~prefix:"model:" ~mode fault_models;
+  {
+    policy =
+      {
+        Faults.Policy.max_errors;
+        fail_fast;
+        quarantine_dir = quarantine;
+        timeout_seconds = timeout;
+        breaker_threshold;
+        checkpoint_file = checkpoint;
+        checkpoint_every;
+      };
+    corrupt_rate;
+    corrupt_seed;
+    corrupt_kinds = kinds;
+    drop;
+    resume;
+  }
+
+let term =
+  let corrupt_rate =
+    Arg.(value & opt float 0.0 & info [ "corrupt-rate" ] ~docv:"RATE"
+         ~doc:"Corrupt this fraction of the generated corpus (seeded, deterministic) before delivery")
+  in
+  let corrupt_seed =
+    Arg.(value & opt (some int) None & info [ "corrupt-seed" ] ~docv:"SEED"
+         ~doc:"Mutator seed (default: the corpus seed)")
+  in
+  let corrupt_kinds =
+    Arg.(value & opt (some string) None & info [ "corrupt-kinds" ] ~docv:"K1,K2"
+         ~doc:"Comma-separated mutation kinds (default: all)")
+  in
+  let drop =
+    Arg.(value & flag & info [ "drop-faulty" ]
+         ~doc:"Deliver nothing for corrupted indices instead of the corrupted bytes (A/B baseline)")
+  in
+  let max_errors =
+    Arg.(value & opt (some int) None & info [ "max-errors" ] ~docv:"N"
+         ~doc:"Abort the run after N per-certificate errors")
+  in
+  let fail_fast =
+    Arg.(value & flag & info [ "fail-fast" ]
+         ~doc:"Abort on the first per-certificate error")
+  in
+  let quarantine =
+    Arg.(value & opt (some string) None & info [ "quarantine" ] ~docv:"DIR"
+         ~doc:"Write offending certificates and their errors to a JSONL sidecar in DIR")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Per-certificate watchdog; a slow certificate counts as a timeout fault")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Save pipeline state to FILE periodically (atomic rename)")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int Faults.Policy.default.Faults.Policy.checkpoint_every
+         & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Certificates between checkpoint saves")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+         ~doc:"Continue from the --checkpoint file when it matches this run's scale and seed")
+  in
+  let fault_lints =
+    Arg.(value & opt_all string [] & info [ "fault-lint" ] ~docv:"NAME:EVERY"
+         ~doc:"Make lint NAME raise on every EVERY-th invocation (repeatable)")
+  in
+  let fault_models =
+    Arg.(value & opt_all string [] & info [ "fault-model" ] ~docv:"NAME:EVERY"
+         ~doc:"Make parser model NAME raise on every EVERY-th invocation (repeatable)")
+  in
+  let fault_hang =
+    Arg.(value & flag & info [ "fault-hang" ]
+         ~doc:"Injected faults hang (bounded busy loop) instead of raising")
+  in
+  let breaker_threshold =
+    Arg.(value & opt int Faults.Breaker.default_threshold
+         & info [ "breaker-threshold" ] ~docv:"N"
+         ~doc:"Consecutive crashes before a lint/model circuit breaker opens")
+  in
+  Term.(const make $ corrupt_rate $ corrupt_seed $ corrupt_kinds $ drop
+        $ max_errors $ fail_fast $ quarantine $ timeout $ checkpoint
+        $ checkpoint_every $ resume $ fault_lints $ fault_models $ fault_hang
+        $ breaker_threshold)

@@ -6,18 +6,45 @@ open Cmdliner
 
 let emit_pem cert = print_string (X509.Certificate.to_pem cert)
 
-let run_corpus count seed flawed_only =
-  let emitted = ref 0 in
+let run_corpus count seed flawed_only (fault : Fault_cli.t) =
+  let policy = fault.Fault_cli.policy in
+  let quarantine =
+    Option.map
+      (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
+      policy.Faults.Policy.quarantine_dir
+  in
+  let emitted = ref 0 and faulted = ref 0 in
   (* Over-generate: keep only flawed entries when asked. *)
   let scale = if flawed_only then count * 400 else count in
   (try
-     Ctlog.Dataset.iter ~scale ~seed (fun e ->
-         if !emitted < count && ((not flawed_only) || e.Ctlog.Dataset.flaws <> []) then begin
-           incr emitted;
-           emit_pem e.Ctlog.Dataset.cert
-         end;
+     Ctlog.Dataset.iter_deliveries ~scale
+       ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
+       ~drop:fault.Fault_cli.drop ~seed (fun index delivery ->
+         (match delivery with
+         | Ctlog.Dataset.Corrupt { der; error; _ } ->
+             (* A corrupted blob no longer parses, so it cannot be
+                emitted as PEM; it goes to quarantine instead. *)
+             incr faulted;
+             Faults.Error.observe error;
+             Option.iter
+               (fun q -> Faults.Quarantine.record q ~index ~error ~der)
+               quarantine
+         | Ctlog.Dataset.Entry e ->
+             if
+               !emitted < count
+               && ((not flawed_only) || e.Ctlog.Dataset.flaws <> [])
+             then begin
+               incr emitted;
+               emit_pem e.Ctlog.Dataset.cert
+             end);
          if !emitted >= count then raise Exit)
    with Exit -> ());
+  Option.iter Faults.Quarantine.close quarantine;
+  if !faulted > 0 then
+    Printf.eprintf "note: %d corrupted certificate(s) withheld%s\n" !faulted
+      (match policy.Faults.Policy.quarantine_dir with
+      | Some dir -> Printf.sprintf " and quarantined under %s" dir
+      | None -> "");
   if !emitted < count then
     Printf.eprintf "warning: only %d of %d requested certificates emitted\n" !emitted
       count
@@ -36,17 +63,22 @@ let run_mutant field payload st_name =
     | "email" -> Tlsparsers.Testgen.San_rfc822 payload
     | "uri" -> Tlsparsers.Testgen.San_uri payload
     | "crldp" -> Tlsparsers.Testgen.Crldp_uri payload
-    | other -> failwith (Printf.sprintf "unknown field %S (cn|o|san|email|uri|crldp)" other)
+    | other ->
+        Printf.eprintf "error: unknown field %S (cn|o|san|email|uri|crldp)\n" other;
+        exit 2
   in
   emit_pem (Tlsparsers.Testgen.make mutation)
 
-let run mode count seed flawed_only field payload st metrics progress no_progress =
+let run mode count seed flawed_only field payload st fault metrics progress
+    no_progress =
   if progress then Obs.Progress.set_override (Some true)
   else if no_progress then Obs.Progress.set_override (Some false);
   (match mode with
-  | "corpus" -> run_corpus count seed flawed_only
+  | "corpus" -> run_corpus count seed flawed_only fault
   | "mutant" -> run_mutant field payload st
-  | other -> failwith (Printf.sprintf "unknown mode %S (corpus|mutant)" other));
+  | other ->
+      Printf.eprintf "error: unknown mode %S (corpus|mutant)\n" other;
+      exit 2);
   Option.iter
     (fun file ->
       try Obs.Export.write_file Obs.Registry.default file
@@ -74,6 +106,6 @@ let cmd =
   let doc = "generate test Unicerts (calibrated corpus samples or field mutants)" in
   Cmd.v (Cmd.info "unicert-gen" ~doc)
     Term.(const run $ mode $ count $ seed $ flawed_only $ field $ payload $ st
-          $ metrics $ progress $ no_progress)
+          $ Fault_cli.term $ metrics $ progress $ no_progress)
 
 let () = exit (Cmd.eval cmd)

@@ -15,7 +15,8 @@ let load_cert path =
 
 let lint_file ~issued ~ignore_dates path =
   match load_cert path with
-  | Error m -> Printf.printf "%s: PARSE ERROR: %s\n" path m
+  | Error m -> Printf.printf "%s: PARSE ERROR: %s
+" path (Faults.Error.to_string m)
   | Ok cert ->
       let findings =
         Lint.Registry.noncompliant ~respect_effective_dates:(not ignore_dates)
@@ -40,25 +41,74 @@ let lint_file ~issued ~ignore_dates path =
           findings
       end
 
-let lint_corpus ~scale ~seed ~ignore_dates =
+exception Abort of string
+
+let lint_corpus ~scale ~seed ~ignore_dates (fault : Fault_cli.t) =
+  let policy = fault.Fault_cli.policy in
+  Lint.Registry.set_breaker_threshold policy.Faults.Policy.breaker_threshold;
+  let quarantine =
+    Option.map
+      (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
+      policy.Faults.Policy.quarantine_dir
+  in
   let counts = Hashtbl.create 64 in
-  let nc = ref 0 and total = ref 0 in
-  Ctlog.Dataset.iter ~scale ~seed (fun e ->
-      incr total;
-      let findings =
-        Lint.Registry.noncompliant ~respect_effective_dates:(not ignore_dates)
-          ~issued:e.Ctlog.Dataset.issued e.Ctlog.Dataset.cert
-      in
-      if findings <> [] then begin
-        incr nc;
-        List.iter
-          (fun (f : Lint.finding) ->
-            Hashtbl.replace counts f.Lint.lint.Lint.name
-              (1 + Option.value ~default:0 (Hashtbl.find_opt counts f.Lint.lint.Lint.name)))
-          findings
-      end);
+  let nc = ref 0 and total = ref 0 and faulted = ref 0 in
+  let aborted = ref None in
+  let record ~index ~der error =
+    incr faulted;
+    Faults.Error.observe error;
+    Option.iter (fun q -> Faults.Quarantine.record q ~index ~error ~der) quarantine;
+    if policy.Faults.Policy.fail_fast then
+      raise (Abort (Printf.sprintf "fail-fast: %s" (Faults.Error.to_string error)));
+    match policy.Faults.Policy.max_errors with
+    | Some m when !faulted >= m ->
+        raise (Abort (Printf.sprintf "max-errors: %d errors reached the limit" m))
+    | _ -> ()
+  in
+  (try
+     Ctlog.Dataset.iter_deliveries ~scale
+       ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
+       ~drop:fault.Fault_cli.drop ~seed (fun index delivery ->
+         match delivery with
+         | Ctlog.Dataset.Corrupt { der; error; _ } -> record ~index ~der error
+         | Ctlog.Dataset.Entry e -> (
+             incr total;
+             match
+               Lint.Registry.noncompliant
+                 ~respect_effective_dates:(not ignore_dates)
+                 ~issued:e.Ctlog.Dataset.issued e.Ctlog.Dataset.cert
+             with
+             | findings ->
+                 if findings <> [] then begin
+                   incr nc;
+                   List.iter
+                     (fun (f : Lint.finding) ->
+                       Hashtbl.replace counts f.Lint.lint.Lint.name
+                         (1 + Option.value ~default:0 (Hashtbl.find_opt counts f.Lint.lint.Lint.name)))
+                     findings
+                 end
+             | exception (Abort _ as e) -> raise e
+             | exception exn when Faults.Isolation.enabled () ->
+                 record ~index ~der:e.Ctlog.Dataset.cert.X509.Certificate.der
+                   (Faults.Error.of_exn ~stage:"lint" exn)))
+   with Abort reason -> aborted := Some reason);
+  Option.iter Faults.Quarantine.close quarantine;
   Printf.printf "linted %d generated Unicerts: %d noncompliant (%.2f%%)\n" !total !nc
     (100.0 *. float_of_int !nc /. float_of_int !total);
+  if !faulted > 0 then
+    Printf.printf "  %d faulted certificate(s)%s\n" !faulted
+      (match policy.Faults.Policy.quarantine_dir with
+      | Some dir -> Printf.sprintf " quarantined under %s" dir
+      | None -> "");
+  List.iter
+    (fun (name, crashes) ->
+      Printf.printf "  degraded lint: %s (breaker open, %d crashes)\n" name crashes)
+    (Lint.Registry.degraded ());
+  (match !aborted with
+  | Some reason ->
+      Printf.eprintf "error: run aborted: %s\n" reason;
+      exit 3
+  | None -> ());
   (* Descending count, ties broken by name: deterministic across runs. *)
   let rows =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
@@ -85,8 +135,8 @@ let json_findings path findings =
     findings;
   print_string "]}\n"
 
-let run files corpus scale seed ignore_dates issued_str list_lints json metrics
-    progress no_progress =
+let run files corpus scale seed ignore_dates issued_str list_lints json fault
+    metrics progress no_progress =
   if progress then Obs.Progress.set_override (Some true)
   else if no_progress then Obs.Progress.set_override (Some false);
   let issued =
@@ -95,12 +145,14 @@ let run files corpus scale seed ignore_dates issued_str list_lints json metrics
     | Error _ -> Asn1.Time.make 2024 6 1
   in
   if list_lints then list_rules ()
-  else if corpus || files = [] then lint_corpus ~scale ~seed ~ignore_dates
+  else if corpus || files = [] then lint_corpus ~scale ~seed ~ignore_dates fault
   else if json then
     List.iter
       (fun path ->
         match load_cert path with
-        | Error m -> Printf.printf "{\"file\": \"%s\", \"error\": \"%s\"}\n" path m
+        | Error m ->
+            Printf.printf "{\"file\": \"%s\", \"error\": \"%s\"}\n" path
+              (Faults.Error.to_string m)
         | Ok cert ->
             json_findings path
               (Lint.Registry.noncompliant ~respect_effective_dates:(not ignore_dates)
@@ -139,6 +191,7 @@ let cmd =
   let doc = "lint X.509 certificates against the 95 Unicert constraint rules" in
   Cmd.v (Cmd.info "unicert-lint" ~doc)
     Term.(const run $ files $ corpus $ scale $ seed $ ignore_dates $ issued
-          $ list_lints $ json $ metrics $ progress $ no_progress)
+          $ list_lints $ json $ Fault_cli.term $ metrics $ progress
+          $ no_progress)
 
 let () = exit (Cmd.eval cmd)

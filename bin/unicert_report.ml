@@ -2,11 +2,22 @@
 
 open Cmdliner
 
-let run id scale seed metrics progress no_progress =
+let run id scale seed (fault : Fault_cli.t) metrics progress no_progress =
   if progress then Obs.Progress.set_override (Some true)
   else if no_progress then Obs.Progress.set_override (Some false);
+  Tlsparsers.Harness.set_breaker_threshold
+    fault.Fault_cli.policy.Faults.Policy.breaker_threshold;
   let ppf = Format.std_formatter in
-  let pipeline () = Unicert.Pipeline.run ~scale ~seed () in
+  let aborted = ref None in
+  let pipeline () =
+    let t =
+      Unicert.Pipeline.run ~scale ~seed ~policy:fault.Fault_cli.policy
+        ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
+        ~drop:fault.Fault_cli.drop ~resume:fault.Fault_cli.resume ()
+    in
+    aborted := t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted;
+    t
+  in
   (match String.lowercase_ascii id with
   | "fig2" -> Unicert.Report.figure2 ppf (pipeline ())
   | "tab1" -> Unicert.Report.table1 ppf (pipeline ())
@@ -37,7 +48,12 @@ let run id scale seed metrics progress no_progress =
       with Sys_error msg ->
         Printf.eprintf "error: cannot write metrics: %s\n" msg;
         exit 1)
-    metrics
+    metrics;
+  match !aborted with
+  | Some reason ->
+      Printf.eprintf "error: run aborted: %s\n" reason;
+      exit 3
+  | None -> ()
 
 let id = Arg.(value & pos 0 string "summary" & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id from DESIGN.md")
 let scale = Arg.(value & opt int Ctlog.Dataset.default_scale & info [ "scale" ] ~doc:"Corpus size")
@@ -53,6 +69,7 @@ let no_progress =
 let cmd =
   let doc = "regenerate one of the paper's tables or figures" in
   Cmd.v (Cmd.info "unicert-report" ~doc)
-    Term.(const run $ id $ scale $ seed $ metrics $ progress $ no_progress)
+    Term.(const run $ id $ scale $ seed $ Fault_cli.term $ metrics $ progress
+          $ no_progress)
 
 let () = exit (Cmd.eval cmd)

@@ -52,7 +52,7 @@ let () =
       assert (X509.Certificate.verify
                 ~issuer_spki:(X509.Certificate.keypair_spki ca_key) reparsed);
       Printf.printf "PEM round trip and signature verification: OK\n"
-  | Error m -> failwith m);
+  | Error m -> failwith (Faults.Error.to_string m));
 
   (* 5. Lint it. *)
   let findings = Lint.Registry.noncompliant ~issued:(Asn1.Time.make 2025 1 1) cert in

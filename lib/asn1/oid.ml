@@ -51,22 +51,27 @@ let encode oid =
       Buffer.contents buf
   | [ _ ] | [] -> invalid_arg "Oid.encode: at least two arcs required"
 
+(* An arc longer than 9 base-128 bytes cannot fit a 63-bit int; the
+   old accumulator would silently overflow instead of rejecting. *)
+let max_arc_bytes = 9
+
 let decode content =
   let n = String.length content in
   if n = 0 then Error "empty OID content"
   else
-    let rec arcs i acc cur =
+    let rec arcs i acc cur len =
       if i >= n then
-        if cur = 0 && acc <> [] then Ok (List.rev acc)
-        else if i = n && cur = 0 then Ok (List.rev acc)
-        else Error "truncated OID arc"
+        if len = 0 then Ok (List.rev acc) else Error "truncated OID arc"
       else
         let b = Char.code content.[i] in
-        let cur = (cur lsl 7) lor (b land 0x7F) in
-        if b land 0x80 = 0 then arcs (i + 1) (cur :: acc) 0
-        else arcs (i + 1) acc cur
+        if len = 0 && b = 0x80 then Error "non-minimal OID arc"
+        else if len >= max_arc_bytes then Error "OID arc too long"
+        else
+          let cur = (cur lsl 7) lor (b land 0x7F) in
+          if b land 0x80 = 0 then arcs (i + 1) (cur :: acc) 0 0
+          else arcs (i + 1) acc cur (len + 1)
     in
-    match arcs 0 [] 0 with
+    match arcs 0 [] 0 0 with
     | Error _ as e -> e
     | Ok [] -> Error "empty OID"
     | Ok (first :: rest) ->

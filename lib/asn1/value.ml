@@ -103,7 +103,13 @@ and universal config depth constructed tag content coff =
       if content = "" then fail coff "empty INTEGER" else Integer content
   | 3 ->
       if content = "" then fail coff "BIT STRING missing unused-bits octet"
-      else Bit_string (Char.code content.[0], String.sub content 1 (String.length content - 1))
+      else begin
+        let unused = Char.code content.[0] in
+        if unused > 7 then fail coff "BIT STRING unused-bits octet > 7";
+        if unused > 0 && String.length content = 1 then
+          fail coff "BIT STRING with unused bits but no content";
+        Bit_string (unused, String.sub content 1 (String.length content - 1))
+      end
   | 4 -> Octet_string content
   | 5 -> if content = "" then Null else fail coff "NULL with content"
   | 6 -> (

@@ -28,6 +28,17 @@ type issuer_stats = {
 
 type validity_class = V_idn | V_other | V_noncompliant | V_normal
 
+type fault_stats = {
+  mutable fault_errors : int;       (* per-certificate failures, all classes *)
+  mutable quarantined : int;
+  by_class : (string, int) Hashtbl.t;
+  mutable lint_crashes : int;       (* lint-crash delta during this run *)
+  mutable degraded : (string * int) list;
+  mutable resumed_at : int;         (* 0 = fresh run *)
+  mutable checkpoints_saved : int;
+  mutable aborted : string option;  (* max-errors / fail-fast reason *)
+}
+
 type t = {
   scale : int;
   seed : int;
@@ -53,6 +64,7 @@ type t = {
   mutable encoding_error_subject : int;
   mutable encoding_error_san : int;
   mutable encoding_error_policies : int;
+  faults : fault_stats;
 }
 
 let fresh_year () =
@@ -266,36 +278,132 @@ let process t (entry : Ctlog.Dataset.entry) =
       Lint.all_nc_types
   end
 
-let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1) () =
-  let t =
-    {
-      scale;
-      seed;
-      total = 0;
-      idncerts = 0;
-      trusted = 0;
-      nc_total = 0;
-      nc_ignoring_dates = 0;
-      nc_old_lints_only = 0;
-      nc_trusted = 0;
-      nc_limited = 0;
-      nc_untrusted = 0;
-      nc_recent = 0;
-      nc_alive = 0;
-      years = Hashtbl.create 16;
-      types = Hashtbl.create 8;
-      lints = Hashtbl.create 128;
-      issuers = Hashtbl.create 64;
-      validity = Hashtbl.create 4;
-      fields = Hashtbl.create 256;
-      encoding_error_certs = 0;
-      encoding_error_verified = 0;
-      encoding_error_subject = 0;
-      encoding_error_san = 0;
-      encoding_error_policies = 0;
-    }
+let fresh ~scale ~seed =
+  {
+    scale;
+    seed;
+    total = 0;
+    idncerts = 0;
+    trusted = 0;
+    nc_total = 0;
+    nc_ignoring_dates = 0;
+    nc_old_lints_only = 0;
+    nc_trusted = 0;
+    nc_limited = 0;
+    nc_untrusted = 0;
+    nc_recent = 0;
+    nc_alive = 0;
+    years = Hashtbl.create 16;
+    types = Hashtbl.create 8;
+    lints = Hashtbl.create 128;
+    issuers = Hashtbl.create 64;
+    validity = Hashtbl.create 4;
+    fields = Hashtbl.create 256;
+    encoding_error_certs = 0;
+    encoding_error_verified = 0;
+    encoding_error_subject = 0;
+    encoding_error_san = 0;
+    encoding_error_policies = 0;
+    faults =
+      { fault_errors = 0; quarantined = 0; by_class = Hashtbl.create 8;
+        lint_crashes = 0; degraded = []; resumed_at = 0; checkpoints_saved = 0;
+        aborted = None };
+  }
+
+(* --- the per-certificate error boundary ----------------------------- *)
+
+exception Abort of string
+
+let record_fault t policy quarantine ~index ~der error =
+  let f = t.faults in
+  f.fault_errors <- f.fault_errors + 1;
+  bump f.by_class (Faults.Error.class_name error);
+  Faults.Error.observe error;
+  (match quarantine with
+  | Some q ->
+      Faults.Quarantine.record q ~index ~error ~der;
+      f.quarantined <- f.quarantined + 1
+  | None -> ());
+  if policy.Faults.Policy.fail_fast then
+    raise (Abort (Printf.sprintf "fail-fast: %s" (Faults.Error.to_string error)));
+  match policy.Faults.Policy.max_errors with
+  | Some m when f.fault_errors >= m ->
+      raise (Abort (Printf.sprintf "max-errors: %d errors reached the limit" m))
+  | _ -> ()
+
+let process_entry t policy quarantine index (entry : Ctlog.Dataset.entry) =
+  let guarded () =
+    match policy.Faults.Policy.timeout_seconds with
+    | Some s -> Faults.Watchdog.with_timeout ~stage:"process" ~seconds:s (fun () -> process t entry)
+    | None -> process t entry
   in
-  Obs.Span.with_ "pipeline" (fun () -> Ctlog.Dataset.iter ~scale ~seed (process t));
+  match guarded () with
+  | () -> ()
+  | exception (Abort _ as e) -> raise e
+  | exception Faults.Watchdog.Timed_out { stage; seconds } ->
+      record_fault t policy quarantine ~index
+        ~der:entry.Ctlog.Dataset.cert.X509.Certificate.der
+        (Faults.Error.Timeout { stage; seconds })
+  | exception e when Faults.Isolation.enabled () ->
+      record_fault t policy quarantine ~index
+        ~der:entry.Ctlog.Dataset.cert.X509.Certificate.der
+        (Faults.Error.of_exn ~stage:"process" e)
+
+let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1)
+    ?(policy = Faults.Policy.default) ?mutator ?(drop = false) ?(resume = false) () =
+  (* Resume only continues a checkpoint for the same run parameters; a
+     stale file for a different (scale, seed) starts fresh. *)
+  let t, start =
+    match
+      if resume then
+        Option.bind policy.Faults.Policy.checkpoint_file Faults.Checkpoint.load
+      else None
+    with
+    | Some c
+      when c.Faults.Checkpoint.scale = scale && c.Faults.Checkpoint.seed = seed ->
+        let t : t = c.Faults.Checkpoint.state in
+        t.faults.resumed_at <- c.Faults.Checkpoint.next_index;
+        t.faults.aborted <- None;
+        (t, c.Faults.Checkpoint.next_index)
+    | _ -> (fresh ~scale ~seed, 0)
+  in
+  Lint.Registry.set_breaker_threshold policy.Faults.Policy.breaker_threshold;
+  let crashes_before =
+    List.fold_left (fun acc (_, n, _) -> acc + n) 0 (Lint.Registry.fault_snapshot ())
+  in
+  let quarantine =
+    Option.map
+      (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
+      policy.Faults.Policy.quarantine_dir
+  in
+  let save_checkpoint next_index =
+    match policy.Faults.Policy.checkpoint_file with
+    | Some file ->
+        Faults.Checkpoint.save file
+          { Faults.Checkpoint.scale; seed; next_index; state = t };
+        t.faults.checkpoints_saved <- t.faults.checkpoints_saved + 1
+    | None -> ()
+  in
+  let every = max 1 policy.Faults.Policy.checkpoint_every in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Faults.Quarantine.close quarantine)
+    (fun () ->
+      try
+        Obs.Span.with_ "pipeline" (fun () ->
+            Ctlog.Dataset.iter_deliveries ~scale ~start ?mutator ~drop ~seed
+              (fun index delivery ->
+                (match delivery with
+                | Ctlog.Dataset.Entry e -> process_entry t policy quarantine index e
+                | Ctlog.Dataset.Corrupt { der; error; _ } ->
+                    record_fault t policy quarantine ~index ~der error);
+                if (index + 1) mod every = 0 then save_checkpoint (index + 1)));
+        save_checkpoint scale
+      with Abort reason -> t.faults.aborted <- Some reason);
+  let crashes_after =
+    List.fold_left (fun acc (_, n, _) -> acc + n) 0 (Lint.Registry.fault_snapshot ())
+  in
+  t.faults.lint_crashes <- crashes_after - crashes_before;
+  t.faults.degraded <- Lint.Registry.degraded ();
   t
 
 let year_range t =

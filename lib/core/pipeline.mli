@@ -32,6 +32,21 @@ type issuer_stats = {
 
 type validity_class = V_idn | V_other | V_noncompliant | V_normal
 
+type fault_stats = {
+  mutable fault_errors : int;
+      (** per-certificate failures absorbed by the boundary, all classes *)
+  mutable quarantined : int;
+  by_class : (string, int) Hashtbl.t;
+      (** {!Faults.Error.class_name} -> count *)
+  mutable lint_crashes : int;  (** lint-crash delta during this run *)
+  mutable degraded : (string * int) list;
+      (** lints whose circuit breaker opened, with total crash counts *)
+  mutable resumed_at : int;  (** first delivered index; 0 = fresh run *)
+  mutable checkpoints_saved : int;
+  mutable aborted : string option;
+      (** set when --fail-fast or --max-errors stopped the pass early *)
+}
+
 type t = {
   scale : int;
   seed : int;
@@ -59,12 +74,36 @@ type t = {
   mutable encoding_error_subject : int;
   mutable encoding_error_san : int;
   mutable encoding_error_policies : int;
+  faults : fault_stats;
 }
 
-val run : ?scale:int -> ?seed:int -> unit -> t
+val run :
+  ?scale:int ->
+  ?seed:int ->
+  ?policy:Faults.Policy.t ->
+  ?mutator:Faults.Mutator.plan ->
+  ?drop:bool ->
+  ?resume:bool ->
+  unit ->
+  t
 (** [run ()] generates the corpus (default scale
     {!Ctlog.Dataset.default_scale}, seed 1) and computes every
-    aggregate. *)
+    aggregate.
+
+    Every certificate is processed behind an error boundary: a failure
+    (decode error on a corrupted delivery, a crashing lint that trips
+    its breaker, a watchdog timeout, a resource exhaustion) is
+    classified into the {!Faults.Error.t} taxonomy, counted in
+    [t.faults], optionally written to the {!Faults.Quarantine} sidecar,
+    and the pass continues with the next certificate.  [policy]
+    controls the boundary ({!Faults.Policy.max_errors},
+    [fail_fast], [quarantine_dir], [timeout_seconds],
+    [breaker_threshold], checkpointing).  [mutator] corrupts a
+    deterministic subset of the corpus before delivery ([drop] delivers
+    nothing for those indices instead, so a corrupt run and a drop run
+    see byte-identical surviving certificates).  [resume:true] reloads
+    [policy.checkpoint_file] and continues from the saved index when
+    the checkpoint matches [scale] and [seed]. *)
 
 val year_range : t -> int * int
 val get_year : t -> int -> year_stats

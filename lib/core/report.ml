@@ -227,6 +227,41 @@ let summary ppf (t : Pipeline.t) =
           float_of_int t.Pipeline.nc_ignoring_dates /. float_of_int t.Pipeline.nc_total))
     "7.2x"
 
+(* Robustness accounting.  Prints nothing at all on a clean run: the
+   aggregate report over an uncorrupted corpus must stay byte-identical
+   to builds that predate the fault layer. *)
+let robustness ppf (t : Pipeline.t) =
+  let f = t.Pipeline.faults in
+  let quiet =
+    f.Pipeline.fault_errors = 0 && f.Pipeline.degraded = []
+    && f.Pipeline.aborted = None && f.Pipeline.resumed_at = 0
+  in
+  if not quiet then begin
+    Format.fprintf ppf "@.== Robustness ==@.";
+    Format.fprintf ppf "faulted certificates:   %d@." f.Pipeline.fault_errors;
+    let classes =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) f.Pipeline.by_class []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (cls, n) -> Format.fprintf ppf "  %-20s  %d@." cls n)
+      classes;
+    if f.Pipeline.quarantined > 0 then
+      Format.fprintf ppf "quarantined:            %d@." f.Pipeline.quarantined;
+    if f.Pipeline.lint_crashes > 0 then
+      Format.fprintf ppf "lint crashes:           %d@." f.Pipeline.lint_crashes;
+    List.iter
+      (fun (name, crashes) ->
+        Format.fprintf ppf "degraded lint:          %s (breaker open, %d crashes)@."
+          name crashes)
+      f.Pipeline.degraded;
+    if f.Pipeline.resumed_at > 0 then
+      Format.fprintf ppf "resumed at index:       %d@." f.Pipeline.resumed_at;
+    (match f.Pipeline.aborted with
+    | Some reason -> Format.fprintf ppf "run aborted:            %s@." reason
+    | None -> ())
+  end
+
 let all ppf t =
   summary ppf t;
   Format.fprintf ppf "@.";
@@ -244,4 +279,5 @@ let all ppf t =
   Format.fprintf ppf "@.";
   section51 ppf t;
   Format.fprintf ppf "@.";
-  ablations ppf t
+  ablations ppf t;
+  robustness ppf t

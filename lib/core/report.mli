@@ -31,5 +31,11 @@ val ablations : Format.formatter -> Pipeline.t -> unit
 val summary : Format.formatter -> Pipeline.t -> unit
 (** Headline numbers (abstract/§4 claims) vs the paper's values. *)
 
+val robustness : Format.formatter -> Pipeline.t -> unit
+(** Fault accounting: error counts by class, quarantined certificates,
+    degraded lints, resume point, abort reason.  Prints {e nothing} on
+    a clean run so clean-corpus reports stay byte-identical to builds
+    without the fault layer. *)
+
 val all : Format.formatter -> Pipeline.t -> unit
 (** Everything above in paper order. *)

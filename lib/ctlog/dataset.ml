@@ -381,15 +381,54 @@ let obs_flaws =
        ~help:"Defects injected by the corpus generator"
        "unicert_dataset_flaws_injected_total")
 
-let iter ?(scale = default_scale) ~seed f =
+type delivery =
+  | Entry of entry
+  | Corrupt of { der : string; kind : Faults.Mutator.kind; error : Faults.Error.t }
+
+let obs_injected =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"kind"
+       ~help:"Corpus certificates corrupted by the fault mutator"
+       "unicert_fault_injected_total")
+
+(* Corrupt until the result really fails to parse (a bit flip can land
+   in a don't-care byte); the guaranteed fallback is truncation, which
+   strict DER decoding always rejects. *)
+let corrupt_der plan index der =
+  let rec go attempt =
+    if attempt >= 8 then begin
+      let bad = String.sub der 0 (max 1 (String.length der / 2)) in
+      match X509.Certificate.parse bad with
+      | Error e -> (bad, Faults.Mutator.Truncate, e)
+      | Ok _ -> assert false
+    end
+    else
+      let bad, kind = Faults.Mutator.mutate ~attempt plan ~index der in
+      match X509.Certificate.parse bad with
+      | Error e -> (bad, kind, e)
+      | Ok _ -> go (attempt + 1)
+  in
+  go 0
+
+(* The full streaming loop.  Corruption decisions never touch [g]: the
+   mutator derives all randomness from [(plan.seed, index)], so runs
+   with and without faults generate byte-identical certificates.
+   [start] skips delivery (not generation) below an index — resuming a
+   checkpointed run replays the deterministic stream and fast-forwards.
+   [drop] delivers nothing for corrupted indices, producing the
+   clean-subset reference run the fault-smoke A/B check compares
+   against. *)
+let iter_deliveries ?(scale = default_scale) ?(start = 0) ?mutator ?(drop = false)
+    ~seed f =
   let g = Ucrypto.Prng.create seed in
   let total_volume = List.fold_left (fun acc i -> acc +. i.volume) 0.0 issuers in
   let weighted = List.map (fun i -> (i, i.volume /. total_volume)) issuers in
   let certs = Lazy.force obs_certs in
   let idn = Lazy.force obs_idn in
   let flaws = Lazy.force obs_flaws in
+  let injected = match mutator with Some _ -> Some (Lazy.force obs_injected) | None -> None in
   let progress = Obs.Progress.create ~total:scale ~label:"generate" () in
-  for _ = 1 to scale do
+  for i = 0 to scale - 1 do
     let issuer = Ucrypto.Prng.weighted g weighted in
     let e = Obs.Span.with_ "generate" (fun () -> generate_entry g issuer) in
     Obs.Counter.inc certs;
@@ -398,9 +437,26 @@ let iter ?(scale = default_scale) ~seed f =
       (fun fl -> Obs.Counter.inc (Obs.Counter.Labeled.get flaws (Flaws.name fl)))
       e.flaws;
     Obs.Progress.tick progress;
-    f e
+    if i >= start then
+      match mutator with
+      | Some plan when Faults.Mutator.hits plan i ->
+          if not drop then begin
+            let der, kind, error = corrupt_der plan i e.cert.X509.Certificate.der in
+            (match injected with
+            | Some c ->
+                Obs.Counter.inc
+                  (Obs.Counter.Labeled.get c (Faults.Mutator.kind_name kind))
+            | None -> ());
+            f i (Corrupt { der; kind; error })
+          end
+      | _ -> f i (Entry e)
   done;
   Obs.Progress.finish progress
+
+let iter ?scale ~seed f =
+  iter_deliveries ?scale ~seed (fun _ -> function
+    | Entry e -> f e
+    | Corrupt _ -> ())
 
 let generate ?scale ~seed () =
   let out = ref [] in

@@ -52,6 +52,31 @@ val iter : ?scale:int -> seed:int -> (entry -> unit) -> unit
 (** [iter ~seed f] streams [scale] corpus entries through [f] without
     materializing the corpus (constant memory). *)
 
+type delivery =
+  | Entry of entry
+  | Corrupt of { der : string; kind : Faults.Mutator.kind; error : Faults.Error.t }
+      (** a mutated DER blob that no longer parses, with the decode
+          error it produces *)
+
+val iter_deliveries :
+  ?scale:int ->
+  ?start:int ->
+  ?mutator:Faults.Mutator.plan ->
+  ?drop:bool ->
+  seed:int ->
+  (int -> delivery -> unit) ->
+  unit
+(** Fault-aware streaming.  The callback receives the corpus index.
+    With [mutator], indices selected by {!Faults.Mutator.hits} deliver
+    [Corrupt] — mutated until the bytes genuinely fail
+    [X509.Certificate.parse] (counted in
+    [unicert_fault_injected_total{kind}]).  With [drop] those indices
+    deliver nothing at all, which yields the clean-subset reference run:
+    corruption decisions consume no generator randomness, so the
+    surviving entries are byte-identical between the two modes.
+    [start] skips delivery below an index while still replaying
+    generation — checkpoint resume. *)
+
 val generate : ?scale:int -> seed:int -> unit -> entry list
 (** Materialized variant for small scales. *)
 

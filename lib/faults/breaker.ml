@@ -1,0 +1,45 @@
+type t = {
+  name : string;
+  mutable threshold : int;
+  mutable consecutive : int;
+  mutable crashes : int;
+  mutable open_ : bool;
+}
+
+let default_threshold = 5
+
+let create ?(threshold = default_threshold) name =
+  if threshold < 1 then invalid_arg "Faults.Breaker.create: threshold < 1";
+  { name; threshold; consecutive = 0; crashes = 0; open_ = false }
+
+let name t = t.name
+let threshold t = t.threshold
+
+let set_threshold t n =
+  if n < 1 then invalid_arg "Faults.Breaker.set_threshold: threshold < 1";
+  t.threshold <- n
+
+let obs_trips =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"target"
+       ~help:"Circuit breakers tripped open by consecutive crashes"
+       "unicert_fault_breaker_trips_total")
+
+let success t = if not t.open_ then t.consecutive <- 0
+
+let failure t =
+  t.crashes <- t.crashes + 1;
+  t.consecutive <- t.consecutive + 1;
+  if (not t.open_) && t.consecutive >= t.threshold then begin
+    t.open_ <- true;
+    Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_trips) t.name)
+  end
+
+let tripped t = t.open_
+let crashes t = t.crashes
+let consecutive t = t.consecutive
+
+let reset t =
+  t.consecutive <- 0;
+  t.crashes <- 0;
+  t.open_ <- false

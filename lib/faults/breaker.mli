@@ -1,0 +1,40 @@
+(** Per-component circuit breakers.
+
+    A breaker guards one named component (a lint, a parser model).
+    Consecutive failures trip it open; once open the component is
+    skipped and reported as degraded instead of crashing every
+    remaining certificate.  A success before the threshold resets the
+    consecutive count (total crash counts keep accumulating for the
+    degraded report). *)
+
+type t
+
+val default_threshold : int
+(** 5 — consecutive crashes before the circuit opens. *)
+
+val create : ?threshold:int -> string -> t
+
+val name : t -> string
+val threshold : t -> int
+val set_threshold : t -> int -> unit
+(** Adjust the trip threshold (policy wiring).  Lowering it below the
+    current consecutive count trips on the next failure, not
+    retroactively. *)
+
+val success : t -> unit
+(** Record a clean call: resets the consecutive-failure count.  No-op
+    once the breaker is open. *)
+
+val failure : t -> unit
+(** Record a crash; trips the breaker when [threshold] consecutive
+    failures accumulate (counted in
+    [unicert_fault_breaker_trips_total{target}]). *)
+
+val tripped : t -> bool
+val crashes : t -> int
+(** Total failures recorded over the breaker's lifetime. *)
+
+val consecutive : t -> int
+
+val reset : t -> unit
+(** Close the breaker and zero both counts (test support). *)

@@ -1,0 +1,26 @@
+type 'a t = { scale : int; seed : int; next_index : int; state : 'a }
+
+(* A small magic prefix lets [load] reject non-checkpoint files without
+   relying on Marshal's own (unsafe) failure modes alone. *)
+let magic = "UNICERT-CKPT1\n"
+
+let save path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc magic;
+  Marshal.to_channel oc t [];
+  close_out oc;
+  Unix.rename tmp path
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let result =
+        try
+          let buf = really_input_string ic (String.length magic) in
+          if buf <> magic then None else Some (Marshal.from_channel ic)
+        with _ -> None
+      in
+      close_in_noerr ic;
+      result)

@@ -1,0 +1,24 @@
+(** Crash-safe periodic checkpointing for long analysis runs.
+
+    A checkpoint snapshots the run parameters, the next corpus index to
+    process, and an opaque marshalled state value.  Saves are atomic
+    (write to a temp file, then [rename]) so a crash mid-save leaves
+    the previous checkpoint intact.  Because the corpus stream is a
+    pure function of [(scale, seed)], resuming only needs to replay the
+    stream and skip indices below [next_index]. *)
+
+type 'a t = {
+  scale : int;
+  seed : int;
+  next_index : int;  (** first unprocessed corpus index *)
+  state : 'a;
+}
+
+val save : string -> 'a t -> unit
+(** Atomic: the file named never holds a partial write. *)
+
+val load : string -> 'a t option
+(** [None] when the file is missing, unreadable, or not a checkpoint
+    (e.g. truncated by a crash before the first [save] finished — the
+    temp-file dance makes that impossible for [save] itself, but the
+    caller may hand us any path). *)

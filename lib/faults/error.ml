@@ -1,0 +1,67 @@
+type t =
+  | Decode_error of { offset : int option; detail : string }
+  | Lint_crash of { lint : string; exn_name : string; detail : string }
+  | Model_crash of { model : string; exn_name : string; detail : string }
+  | Timeout of { stage : string; seconds : float }
+  | Resource of { stage : string; detail : string }
+
+let class_name = function
+  | Decode_error _ -> "decode_error"
+  | Lint_crash _ -> "lint_crash"
+  | Model_crash _ -> "model_crash"
+  | Timeout _ -> "timeout"
+  | Resource _ -> "resource"
+
+let all_class_names =
+  [ "decode_error"; "lint_crash"; "model_crash"; "timeout"; "resource" ]
+
+let detail = function
+  | Decode_error { offset = Some off; detail } ->
+      Printf.sprintf "offset %d: %s" off detail
+  | Decode_error { offset = None; detail } -> detail
+  | Lint_crash { lint; exn_name; detail } ->
+      Printf.sprintf "%s raised %s: %s" lint exn_name detail
+  | Model_crash { model; exn_name; detail } ->
+      Printf.sprintf "%s raised %s: %s" model exn_name detail
+  | Timeout { stage; seconds } -> Printf.sprintf "%s exceeded %.3fs" stage seconds
+  | Resource { stage; detail } -> Printf.sprintf "%s: %s" stage detail
+
+let to_string e = class_name e ^ ": " ^ detail e
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let exn_name e =
+  match e with
+  | Failure _ -> "Failure"
+  | Invalid_argument _ -> "Invalid_argument"
+  | Not_found -> "Not_found"
+  | Stack_overflow -> "Stack_overflow"
+  | Out_of_memory -> "Out_of_memory"
+  | Division_by_zero -> "Division_by_zero"
+  | Sys_error _ -> "Sys_error"
+  | End_of_file -> "End_of_file"
+  | Exit -> "Exit"
+  | _ -> (
+      (* Constructor name without the payload. *)
+      match Printexc.exn_slot_name e with
+      | name -> name
+      | exception _ -> "<unknown exception>")
+
+let of_exn ~stage e =
+  match e with
+  | Stack_overflow -> Resource { stage; detail = "stack overflow" }
+  | Out_of_memory -> Resource { stage; detail = "out of memory" }
+  | Sys_error m -> Resource { stage; detail = m }
+  | e ->
+      Decode_error
+        { offset = None;
+          detail = Printf.sprintf "%s: %s" stage (Printexc.to_string e) }
+
+let obs_errors =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"class"
+       ~help:"Fault events recorded by error boundaries, by taxonomy class"
+       "unicert_fault_errors_total")
+
+let observe e =
+  Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_errors) (class_name e))

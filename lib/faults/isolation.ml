@@ -1,0 +1,3 @@
+let flag = ref true
+let enabled () = !flag
+let set v = flag := v

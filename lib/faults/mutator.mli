@@ -1,0 +1,38 @@
+(** The seeded, deterministic DER corpus mutator.
+
+    A {!plan} decides — as a pure function of [(seed, index)] — whether
+    the [index]-th certificate of a corpus stream gets corrupted, and
+    how.  Decisions consume no randomness from the corpus generator, so
+    a corrupted run and a clean run generate byte-identical
+    certificates; the A/B comparison behind the fault-smoke test
+    depends on this. *)
+
+type kind =
+  | Byte_flip      (** flip one random bit *)
+  | Length_lie     (** misdeclare the outer TLV length *)
+  | Truncate       (** cut the encoding short *)
+  | Tag_swap       (** rewrite a tag-looking byte to a different tag *)
+  | Dup_tlv        (** duplicate an inner TLV in place *)
+  | Del_tlv        (** delete an inner TLV *)
+  | Oversized_oid  (** blow up an OID's arc encoding *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type plan = private { seed : int; rate : float; kinds : kind list }
+
+val plan : ?kinds:kind list -> seed:int -> rate:float -> unit -> plan
+(** @raise Invalid_argument if [rate] is outside [0,1] or [kinds] is
+    empty. *)
+
+val hits : plan -> int -> bool
+(** [hits plan index] — does this plan corrupt the [index]-th
+    certificate?  Deterministic and stateless. *)
+
+val mutate : ?attempt:int -> plan -> index:int -> string -> string * kind
+(** [mutate plan ~index der] corrupts [der]; deterministic in
+    [(plan.seed, index, attempt)].  Distinct [attempt] values give
+    independent corruptions, letting callers retry until the result
+    actually fails to parse.  Never returns [der] unchanged.
+    @raise Invalid_argument on an empty input. *)

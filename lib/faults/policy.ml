@@ -1,0 +1,20 @@
+type t = {
+  max_errors : int option;
+  fail_fast : bool;
+  quarantine_dir : string option;
+  timeout_seconds : float option;
+  breaker_threshold : int;
+  checkpoint_file : string option;
+  checkpoint_every : int;
+}
+
+let default =
+  {
+    max_errors = None;
+    fail_fast = false;
+    quarantine_dir = None;
+    timeout_seconds = None;
+    breaker_threshold = Breaker.default_threshold;
+    checkpoint_file = None;
+    checkpoint_every = 5_000;
+  }

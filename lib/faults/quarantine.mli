@@ -1,0 +1,36 @@
+(** Quarantine sink: offending certificate bytes plus the structured
+    error, one JSON record per line in a sidecar file.
+
+    Records survive crashes of the writing process — each write is
+    flushed before the call returns — and the format is line-oriented
+    so a partially written final line never corrupts earlier ones. *)
+
+type t
+
+val open_ : dir:string -> run_seed:int -> t
+(** Creates [dir] when needed and opens
+    [dir]/quarantine-<run_seed>.jsonl for append.
+    @raise Sys_error when the directory cannot be created. *)
+
+val path : t -> string
+
+val record :
+  t -> index:int -> error:Error.t -> der:string -> unit
+(** Append one record ([index], error class + detail, DER bytes as
+    hex) and flush.  Counted in [unicert_quarantine_total]. *)
+
+val count : t -> int
+(** Records written through this handle. *)
+
+val close : t -> unit
+
+type entry = {
+  index : int;
+  error_class : string;
+  detail : string;
+  der : string;  (** decoded back from hex *)
+}
+
+val load : string -> entry list
+(** Re-read a quarantine file (test / triage support).  Lines that do
+    not parse — e.g. a torn final line after a crash — are skipped. *)

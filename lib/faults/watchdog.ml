@@ -1,0 +1,31 @@
+exception Timed_out of { stage : string; seconds : float }
+
+let with_timeout ?(stage = "stage") ~seconds f =
+  if seconds <= 0.0 then f ()
+  else begin
+    let fired = ref false in
+    let old_handler =
+      Sys.signal Sys.sigalrm
+        (Sys.Signal_handle
+           (fun _ ->
+             fired := true;
+             raise (Timed_out { stage; seconds })))
+    in
+    let stop () =
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.0; it_value = 0.0 });
+      Sys.set_signal Sys.sigalrm old_handler
+    in
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.0; it_value = seconds });
+    match f () with
+    | v ->
+        stop ();
+        v
+    | exception e ->
+        stop ();
+        ignore !fired;
+        raise e
+  end

@@ -1,0 +1,16 @@
+(** A wall-clock watchdog for hang containment.
+
+    [with_timeout ~seconds f] runs [f ()] under a real [ITIMER_REAL]
+    alarm; if [f] is still running when the alarm fires, the SIGALRM
+    handler raises {!Timed_out} at the next allocation or function
+    call, unwinding [f].  Pure tight loops that never allocate cannot
+    be interrupted — the lints and models this guards all allocate.
+
+    Nesting is not supported (one timer per process); the previous
+    handler and timer are restored on exit either way. *)
+
+exception Timed_out of { stage : string; seconds : float }
+
+val with_timeout : ?stage:string -> seconds:float -> (unit -> 'a) -> 'a
+(** @raise Timed_out when [f] overruns.  [seconds <= 0.] runs [f]
+    unguarded. *)

@@ -31,6 +31,7 @@ type instr = {
   na : Obs.Counter.t;
   seconds : Obs.Counter.t;      (** sampled cumulative check time *)
   mutable tick : int;
+  breaker : Faults.Breaker.t;
 }
 
 let time_sample = 8
@@ -64,27 +65,51 @@ let instruments =
      List.map
        (fun l ->
          { invocations = mk invocations l; fail = mk fail l; warn = mk warn l;
-           na = mk na l; seconds = mk seconds l; tick = 0 })
+           na = mk na l; seconds = mk seconds l; tick = 0;
+           breaker = Faults.Breaker.create l.Types.name })
        all)
 
+(* The check body, with the fault-injection hook.  [Injector.active]
+   is a single bool read when no injection campaign is armed, so the
+   clean path stays flat. *)
+let invoke (l : Types.t) ctx =
+  if Faults.Injector.active () then Faults.Injector.tick l.Types.name;
+  l.Types.check ctx
+
 let checked ins (l : Types.t) ctx =
-  ins.tick <- ins.tick + 1;
-  Obs.Counter.inc ins.invocations;
-  let status =
-    if ins.tick mod time_sample = 0 then begin
-      let t0 = Unix.gettimeofday () in
-      let status = l.Types.check ctx in
-      Obs.Counter.add ins.seconds
-        ((Unix.gettimeofday () -. t0) *. float_of_int time_sample);
-      status
-    end
-    else l.Types.check ctx
-  in
-  (match status with
-  | Types.Fail _ -> Obs.Counter.inc ins.fail
-  | Types.Warn _ -> Obs.Counter.inc ins.warn
-  | Types.Na | Types.Pass -> ());
-  status
+  if Faults.Breaker.tripped ins.breaker then Types.Na
+  else begin
+    ins.tick <- ins.tick + 1;
+    Obs.Counter.inc ins.invocations;
+    match
+      if ins.tick mod time_sample = 0 then begin
+        let t0 = Unix.gettimeofday () in
+        let status = invoke l ctx in
+        Obs.Counter.add ins.seconds
+          ((Unix.gettimeofday () -. t0) *. float_of_int time_sample);
+        status
+      end
+      else invoke l ctx
+    with
+    | status ->
+        Faults.Breaker.success ins.breaker;
+        (match status with
+        | Types.Fail _ -> Obs.Counter.inc ins.fail
+        | Types.Warn _ -> Obs.Counter.inc ins.warn
+        | Types.Na | Types.Pass -> ());
+        status
+    (* The error boundary: one crashing lint degrades to NA for this
+       certificate instead of killing the run.  Disabled only by the
+       benchmark kill-switch. *)
+    | exception e when Faults.Isolation.enabled () ->
+        Faults.Breaker.failure ins.breaker;
+        Faults.Error.observe
+          (Faults.Error.Lint_crash
+             { lint = l.Types.name;
+               exn_name = Faults.Error.exn_name e;
+               detail = Printexc.to_string e });
+        Types.Na
+  end
 
 type lint_obs = {
   lint_name : string;
@@ -132,3 +157,29 @@ let run ?(respect_effective_dates = true) ?(include_new = true) ~issued cert =
 let noncompliant ?respect_effective_dates ?include_new ~issued cert =
   run ?respect_effective_dates ?include_new ~issued cert
   |> List.filter Types.is_noncompliant
+
+(* --- fault accounting ----------------------------------------------- *)
+
+let fault_snapshot () =
+  List.filter_map
+    (fun ins ->
+      let b = ins.breaker in
+      if Faults.Breaker.crashes b > 0 then
+        Some (Faults.Breaker.name b, Faults.Breaker.crashes b, Faults.Breaker.tripped b)
+      else None)
+    (Lazy.force instruments)
+
+let degraded () =
+  List.filter_map
+    (fun ins ->
+      if Faults.Breaker.tripped ins.breaker then
+        Some (Faults.Breaker.name ins.breaker, Faults.Breaker.crashes ins.breaker)
+      else None)
+    (Lazy.force instruments)
+
+let set_breaker_threshold n =
+  List.iter (fun ins -> Faults.Breaker.set_threshold ins.breaker n)
+    (Lazy.force instruments)
+
+let reset_faults () =
+  List.iter (fun ins -> Faults.Breaker.reset ins.breaker) (Lazy.force instruments)

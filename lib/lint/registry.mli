@@ -55,3 +55,26 @@ type lint_obs = {
 val obs_snapshot : unit -> lint_obs list
 (** Current counter values, one record per registered lint, in
     {!all} order. *)
+
+(** {2 Fault isolation}
+
+    Every check runs behind an error boundary: a raising lint records a
+    [Lint_crash] and degrades to [Na] for that certificate.  A
+    per-lint circuit breaker opens after
+    {!Faults.Breaker.default_threshold} consecutive crashes, skipping
+    the lint (status [Na]) for the rest of the process and reporting it
+    degraded. *)
+
+val fault_snapshot : unit -> (string * int * bool) list
+(** [(name, total crashes, breaker open)] for every lint that has
+    crashed at least once.  Process-cumulative — callers tracking one
+    run should diff two snapshots. *)
+
+val degraded : unit -> (string * int) list
+(** Lints whose breaker is currently open, with total crash counts. *)
+
+val set_breaker_threshold : int -> unit
+(** Apply a trip threshold to every lint breaker (policy wiring). *)
+
+val reset_faults : unit -> unit
+(** Close every breaker and zero crash counts (test support). *)

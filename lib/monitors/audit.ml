@@ -16,7 +16,12 @@ type row = {
 let issuer_key = X509.Certificate.mock_keypair ~seed:"audit-ca"
 
 let cert_for ?(cn = None) domains =
-  let cn_value = match cn with Some c -> c | None -> List.hd domains in
+  let cn_value =
+    match (cn, domains) with
+    | Some c, _ -> c
+    | None, d :: _ -> d
+    | None, [] -> invalid_arg "Audit.cert_for: no CN and no domains"
+  in
   let tbs =
     X509.Certificate.make_tbs
       ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "Audit CA") ])

@@ -17,14 +17,17 @@ type cell = {
   library : string;
   inferred : (Infer.method_ * Infer.handling) option;
   verdicts : Infer.verdict list;
+  crashes : (string * int) list;
+      (** exception constructor -> probe count, [] when no crash *)
 }
 
 (* --- telemetry ------------------------------------------------------ *)
 
 (* Every model decode call in the harness is routed through
    [observe_decode]: per-library accept/reject/error counters plus a
-   decode latency histogram.  A model that raises is counted as an
-   error and treated as rejecting the input. *)
+   decode latency histogram.  A model that raises is counted exactly
+   once, as an error — never also as a reject — and the exception
+   constructor is kept so verdicts can name the crash. *)
 let obs_accept =
   lazy
     (Obs.Registry.labeled_counter ~label:"library"
@@ -48,31 +51,83 @@ let obs_latency =
     (Obs.Registry.labeled_histogram ~label:"library"
        ~help:"Per-model decode latency" "unicert_parser_decode_seconds")
 
+type decode_outcome = Decoded of string | Rejected | Crashed of string
+
+(* Per-model circuit breakers: a model that keeps raising gets disabled
+   for the rest of the process and reported degraded instead of
+   crashing every remaining probe. *)
+let breakers : (string, Faults.Breaker.t) Hashtbl.t = Hashtbl.create 16
+
+let breaker_for name =
+  match Hashtbl.find_opt breakers name with
+  | Some b -> b
+  | None ->
+      let b = Faults.Breaker.create name in
+      Hashtbl.add breakers name b;
+      b
+
+let degraded_models () =
+  Hashtbl.fold
+    (fun _ b acc ->
+      if Faults.Breaker.tripped b then
+        (Faults.Breaker.name b, Faults.Breaker.crashes b) :: acc
+      else acc)
+    breakers []
+  |> List.sort compare
+
+let set_breaker_threshold n =
+  Hashtbl.iter (fun _ b -> Faults.Breaker.set_threshold b n) breakers
+
+let reset_faults () = Hashtbl.iter (fun _ b -> Faults.Breaker.reset b) breakers
+
+(* Injection campaigns address models as "model:<name>", keeping the
+   target namespace disjoint from lint names. *)
+let injector_target name = "model:" ^ name
+
 let observe_decode (model : Model.t) f =
-  let t0 = Unix.gettimeofday () in
-  let result = try Ok (f ()) with e -> Error e in
-  Obs.Histogram.observe
-    (Obs.Histogram.Labeled.get (Lazy.force obs_latency) model.Model.name)
-    (Unix.gettimeofday () -. t0);
-  let bump family =
-    Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force family) model.Model.name)
-  in
-  match result with
-  | Ok (Some _ as r) ->
-      bump obs_accept;
-      r
-  | Ok None ->
-      bump obs_reject;
-      None
-  | Error _ ->
-      bump obs_error;
-      None
+  let b = breaker_for model.Model.name in
+  if Faults.Breaker.tripped b then Crashed "circuit_open"
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let result =
+      try
+        if Faults.Injector.active () then
+          Faults.Injector.tick (injector_target model.Model.name);
+        Ok (f ())
+      with e when Faults.Isolation.enabled () -> Error e
+    in
+    Obs.Histogram.observe
+      (Obs.Histogram.Labeled.get (Lazy.force obs_latency) model.Model.name)
+      (Unix.gettimeofday () -. t0);
+    let bump family =
+      Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force family) model.Model.name)
+    in
+    match result with
+    | Ok (Some s) ->
+        bump obs_accept;
+        Faults.Breaker.success b;
+        Decoded s
+    | Ok None ->
+        bump obs_reject;
+        Faults.Breaker.success b;
+        Rejected
+    | Error e ->
+        bump obs_error;
+        Faults.Breaker.failure b;
+        let exn_name = Faults.Error.exn_name e in
+        Faults.Error.observe
+          (Faults.Error.Model_crash
+             { model = model.Model.name; exn_name; detail = Printexc.to_string e });
+        Crashed exn_name
+  end
+
+let output_of_outcome = function Decoded s -> Some s | Rejected | Crashed _ -> None
 
 (* Round each probe through a real certificate so the full encode/parse
    path is exercised, then hand the extracted raw bytes to the model —
    the moral equivalent of calling the library's parsing API on the
    test Unicert. *)
-let observations_for (model : Model.t) scenario =
+let probe_outcomes (model : Model.t) scenario =
   List.filter_map
     (fun payload ->
       match scenario.context with
@@ -85,22 +140,32 @@ let observations_for (model : Model.t) scenario =
           (match Testgen.raw_subject_attr cert X509.Attr.Organization_name with
           | Some (st, raw) ->
               Some
-                { Infer.raw;
-                  output =
-                    observe_decode model (fun () ->
-                        model.Model.decode_name_attr st raw) }
+                ( raw,
+                  observe_decode model (fun () ->
+                      model.Model.decode_name_attr st raw) )
           | None -> None)
       | `Gn ->
           let cert = Testgen.make (Testgen.San_dns payload) in
           (match Testgen.raw_san_payloads cert with
           | raw :: _ ->
               Some
-                { Infer.raw;
-                  output =
-                    observe_decode model (fun () ->
-                        model.Model.decode_gn Model.San raw) }
+                ( raw,
+                  observe_decode model (fun () ->
+                      model.Model.decode_gn Model.San raw) )
           | [] -> None))
     Testgen.byte_battery
+
+let crash_tally outcomes =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Crashed e ->
+          Hashtbl.replace tbl e (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e))
+      | Decoded _ | Rejected -> ())
+    outcomes;
+  Hashtbl.fold (fun e n acc -> (e, n) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
 
 let decoding_matrix () =
   List.map
@@ -115,15 +180,35 @@ let decoding_matrix () =
             in
             if not supported then
               { library = model.Model.name; inferred = None;
-                verdicts = [ Infer.Unsupported ] }
+                verdicts = [ Infer.Unsupported ]; crashes = [] }
             else begin
-              let obs = observations_for model scenario in
+              let outcomes = probe_outcomes model scenario in
+              (* Crashes are excluded from inference (§3.2: complete
+                 parsing failures are analyzed separately); they count
+                 once as error above and surface as a Crashing
+                 verdict naming the exception constructor. *)
+              let obs =
+                List.filter_map
+                  (fun (raw, o) ->
+                    match o with
+                    | Decoded s -> Some { Infer.raw; output = Some s }
+                    | Rejected -> Some { Infer.raw; output = None }
+                    | Crashed _ -> None)
+                  outcomes
+              in
+              let crashes = crash_tally outcomes in
               let all_none = List.for_all (fun o -> o.Infer.output = None) obs in
               let inferred = Infer.infer obs in
               let verdicts =
-                Infer.classify ~declared:scenario.declared inferred ~all_none
+                match crashes with
+                | [] -> Infer.classify ~declared:scenario.declared inferred ~all_none
+                | (top, _) :: _ ->
+                    if obs = [] then [ Infer.Crashing top ]
+                    else
+                      Infer.classify ~declared:scenario.declared inferred ~all_none
+                      @ [ Infer.Crashing top ]
               in
-              { library = model.Model.name; inferred; verdicts }
+              { library = model.Model.name; inferred; verdicts; crashes }
             end)
           Models.all
       in
@@ -183,8 +268,9 @@ let illegal_char_rows () =
                   in
                   match Testgen.raw_subject_attr cert X509.Attr.Organization_name with
                   | Some (st, raw) ->
-                      observe_decode model (fun () ->
-                          model.Model.decode_name_attr st raw)
+                      output_of_outcome
+                        (observe_decode model (fun () ->
+                             model.Model.decode_name_attr st raw))
                   | None -> None)
                 (illegal_payloads declared)
             in
@@ -204,8 +290,9 @@ let illegal_char_rows () =
                   let cert = Testgen.make (Testgen.San_dns payload) in
                   match Testgen.raw_san_payloads cert with
                   | raw :: _ ->
-                      observe_decode model (fun () ->
-                          model.Model.decode_gn Model.San raw)
+                      output_of_outcome
+                        (observe_decode model (fun () ->
+                             model.Model.decode_gn Model.San raw))
                   | [] -> None)
                 (illegal_payloads Asn1.Str_type.Ia5_string)
             in

@@ -111,7 +111,13 @@ let infer obs =
   if List.for_all (fun o -> o.output = None) obs then None
   else List.find_opt (fun c -> consistent c obs) candidates
 
-type verdict = Compliant | Over_tolerant | Incompatible | Modified | Unsupported
+type verdict =
+  | Compliant
+  | Over_tolerant
+  | Incompatible
+  | Modified
+  | Unsupported
+  | Crashing of string  (** the model raised; payload is the exception constructor *)
 
 let verdict_name = function
   | Compliant -> "compliant"
@@ -119,6 +125,7 @@ let verdict_name = function
   | Incompatible -> "incompatible"
   | Modified -> "modified"
   | Unsupported -> "unsupported"
+  | Crashing e -> "crashing(" ^ e ^ ")"
 
 let verdict_symbol = function
   | Compliant -> "o"
@@ -126,6 +133,7 @@ let verdict_symbol = function
   | Incompatible -> "X"
   | Modified -> "(.)"
   | Unsupported -> "-"
+  | Crashing e -> "!" ^ e
 
 let standard_method stype =
   match stype with

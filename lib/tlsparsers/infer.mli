@@ -32,7 +32,16 @@ val infer : observation list -> (method_ * handling) option
     observation, or [None] (no output at all, or no consistent
     candidate). *)
 
-type verdict = Compliant | Over_tolerant | Incompatible | Modified | Unsupported
+type verdict =
+  | Compliant
+  | Over_tolerant
+  | Incompatible
+  | Modified
+  | Unsupported
+  | Crashing of string
+      (** the model raised on probe inputs; the payload is the most
+          frequent exception constructor (crashes are excluded from
+          method inference per §3.2) *)
 
 val verdict_name : verdict -> string
 val verdict_symbol : verdict -> string

@@ -174,33 +174,41 @@ let parse_tbs_fields fields =
       Ok { version; serial; sig_alg; issuer; not_before; not_after; subject; spki; extensions }
   | _ -> Error "TBSCertificate: unexpected field layout"
 
+(* Layout errors (right DER, wrong certificate shape) carry no offset;
+   DER-level errors keep the reader's offset for triage. *)
+let layout_err detail = Faults.Error.Decode_error { offset = None; detail }
+
+let der_err (e : Asn1.Value.error) =
+  Faults.Error.Decode_error { offset = Some e.offset; detail = e.reason }
+
 let parse ?(config = Asn1.Value.strict) der =
   match Asn1.Value.decode ~config der with
-  | Error e -> Error (Format.asprintf "%a" Asn1.Value.pp_error e)
+  | Error e -> Error (der_err e)
   | Ok (Asn1.Value.Sequence [ tbs_v; alg_v; Asn1.Value.Bit_string (_, signature) ]) -> (
-      parse_alg alg_v >>= fun outer_sig_alg ->
-      (match tbs_v with
-      | Asn1.Value.Sequence fields -> parse_tbs_fields fields
-      | _ -> Error "TBSCertificate must be a SEQUENCE")
-      >>= fun tbs ->
-      (* Recover the exact TBS byte span from the outer encoding. *)
-      match Asn1.Value.decode_prefix ~config der 0 with
-      | Error e -> Error (Format.asprintf "%a" Asn1.Value.pp_error e)
-      | Ok _ ->
-          (* The outer header length: find where the first child starts
-             by re-reading the outer TLV header. *)
-          let child_offset =
-            let l0 = Char.code der.[1] in
-            if l0 < 0x80 then 2 else 2 + (l0 land 0x7F)
-          in
-          (match Asn1.Value.decode_prefix ~config der child_offset with
-          | Ok (_, stop) ->
-              let tbs_der = String.sub der child_offset (stop - child_offset) in
-              Ok { tbs; tbs_der; outer_sig_alg; signature; der }
-          | Error e -> Error (Format.asprintf "%a" Asn1.Value.pp_error e)))
-  | Ok _ -> Error "Certificate must be SEQUENCE { tbs, alg, BIT STRING }"
+      Result.map_error layout_err
+        ( parse_alg alg_v >>= fun outer_sig_alg ->
+          (match tbs_v with
+          | Asn1.Value.Sequence fields -> parse_tbs_fields fields
+          | _ -> Error "TBSCertificate must be a SEQUENCE")
+          >>= fun tbs -> Ok (outer_sig_alg, tbs) )
+      >>= fun (outer_sig_alg, tbs) ->
+      (* Recover the exact TBS byte span from the outer encoding: the
+         outer header length tells us where the first child starts. *)
+      let child_offset =
+        let l0 = Char.code der.[1] in
+        if l0 < 0x80 then 2 else 2 + (l0 land 0x7F)
+      in
+      match Asn1.Value.decode_prefix ~config der child_offset with
+      | Ok (_, stop) ->
+          let tbs_der = String.sub der child_offset (stop - child_offset) in
+          Ok { tbs; tbs_der; outer_sig_alg; signature; der }
+      | Error e -> Error (der_err e))
+  | Ok _ -> Error (layout_err "Certificate must be SEQUENCE { tbs, alg, BIT STRING }")
 
-let of_pem pem = Pem.decode_certificate pem >>= parse
+let of_pem pem =
+  match Pem.decode_certificate pem with
+  | Error m -> Error (layout_err m)
+  | Ok der -> parse der
 let to_pem cert = Pem.encode_certificate cert.der
 
 let raw_signature = raw_sign

@@ -76,12 +76,14 @@ val encode_tbs : tbs -> string
 
 (** {1 Parsing and verification} *)
 
-val parse : ?config:Asn1.Value.config -> string -> (t, string) result
+val parse : ?config:Asn1.Value.config -> string -> (t, Faults.Error.t) result
 (** [parse der] decodes a certificate.  The TBS byte span is taken from
     the input, so verification works even when re-encoding would
-    differ. *)
+    differ.  Failures are typed [Faults.Error.Decode_error]s: DER-level
+    errors carry the reader's byte offset, certificate-layout errors
+    carry [None]. *)
 
-val of_pem : string -> (t, string) result
+val of_pem : string -> (t, Faults.Error.t) result
 val to_pem : t -> string
 
 val verify : issuer_spki:spki -> t -> bool

@@ -115,7 +115,7 @@ let test_dataset_structure () =
       (* Every corpus certificate parses back from its DER. *)
       (match X509.Certificate.parse cert.X509.Certificate.der with
       | Ok _ -> ()
-      | Error m -> Alcotest.failf "corpus cert does not reparse: %s" m);
+      | Error m -> Alcotest.failf "corpus cert does not reparse: %s" (Faults.Error.to_string m));
       (* And its signature binds to the issuer key. *)
       if
         not
@@ -177,7 +177,7 @@ let test_canonical_encoding_agreement () =
   Ctlog.Dataset.iter ~scale:800 ~seed:13 (fun e ->
       let cert = e.Ctlog.Dataset.cert in
       match X509.Certificate.parse cert.X509.Certificate.der with
-      | Error m -> Alcotest.fail m
+      | Error m -> Alcotest.fail (Faults.Error.to_string m)
       | Ok parsed ->
           if
             not

@@ -1,0 +1,459 @@
+(* Tests for the fault layer: ASN.1 malformation rejection, the seeded
+   corpus mutator, quarantine/checkpoint persistence, circuit breakers,
+   the injection harness, the watchdog, and the pipeline error
+   boundary (corrupt-vs-drop equality, degraded lints, resume). *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let sample_der =
+  lazy
+    (let der = ref "" in
+     Ctlog.Dataset.iter ~scale:1 ~seed:42 (fun e ->
+         der := e.Ctlog.Dataset.cert.X509.Certificate.der);
+     !der)
+
+let tmp_dir prefix =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d" prefix (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+(* --- ASN.1 malformation regressions ---------------------------------- *)
+
+let test_oid_malformations () =
+  let ok = Alcotest.(result (list int) string) in
+  check ok "valid OID decodes" (Ok [ 1; 2; 840; 10045; 4; 3; 2 ])
+    (Asn1.Oid.decode "\x2A\x86\x48\xCE\x3D\x04\x03\x02");
+  check ok "oversized arc rejected" (Error "OID arc too long")
+    (Asn1.Oid.decode (String.make 10 '\xFF' ^ "\x7F"));
+  check ok "truncated arc rejected" (Error "truncated OID arc")
+    (Asn1.Oid.decode "\x2A\x86");
+  (* A trailing continuation byte whose pending value is zero used to be
+     accepted as a complete arc. *)
+  check ok "truncated zero-valued arc rejected" (Error "truncated OID arc")
+    (Asn1.Oid.decode "\x2A\xC8");
+  check ok "non-minimal arc rejected" (Error "non-minimal OID arc")
+    (Asn1.Oid.decode "\x2A\x80\x01")
+
+let test_bit_string_malformations () =
+  let is_err der = Result.is_error (Asn1.Value.decode der) in
+  check Alcotest.bool "valid BIT STRING" false (is_err "\x03\x02\x03\xA8");
+  check Alcotest.bool "unused-bits > 7 rejected" true (is_err "\x03\x02\x08\x00");
+  check Alcotest.bool "unused bits without content rejected" true
+    (is_err "\x03\x01\x01")
+
+let test_length_malformations () =
+  let is_err der = Result.is_error (Asn1.Value.decode der) in
+  check Alcotest.bool "declared length overruns input" true
+    (is_err "\x30\x05\x02\x01\x01");
+  check Alcotest.bool "truncated long-form length" true (is_err "\x02\x81");
+  check Alcotest.bool "overlong length field" true
+    (is_err "\x02\x85\x01\x01\x01\x01\x01\x01");
+  check Alcotest.bool "huge declared length" true
+    (is_err "\x04\x84\xFF\xFF\xFF\xFF")
+
+(* --- the mutator ------------------------------------------------------ *)
+
+let test_mutator_determinism () =
+  let der = Lazy.force sample_der in
+  let plan = Faults.Mutator.plan ~seed:9 ~rate:0.5 () in
+  for index = 0 to 30 do
+    check Alcotest.bool "hits is stable" (Faults.Mutator.hits plan index)
+      (Faults.Mutator.hits plan index);
+    let a, ka = Faults.Mutator.mutate plan ~index der in
+    let b, kb = Faults.Mutator.mutate plan ~index der in
+    check Alcotest.string "mutate is stable" a b;
+    check Alcotest.string "kind is stable" (Faults.Mutator.kind_name ka)
+      (Faults.Mutator.kind_name kb);
+    check Alcotest.bool "never returns input unchanged" true (a <> der)
+  done;
+  (* Distinct attempts give independent corruptions (usually distinct). *)
+  let a, _ = Faults.Mutator.mutate ~attempt:0 plan ~index:0 der in
+  let b, _ = Faults.Mutator.mutate ~attempt:1 plan ~index:0 der in
+  check Alcotest.bool "attempts are independent streams" true (a <> b || a <> der)
+
+let test_mutator_rate () =
+  let n = 4000 in
+  let count rate =
+    let plan = Faults.Mutator.plan ~seed:3 ~rate () in
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      if Faults.Mutator.hits plan i then incr c
+    done;
+    !c
+  in
+  check Alcotest.int "rate 0 never hits" 0 (count 0.0);
+  check Alcotest.int "rate 1 always hits" n (count 1.0);
+  let c = count 0.2 in
+  check Alcotest.bool
+    (Printf.sprintf "rate 0.2 hits ~20%% (got %d/%d)" c n)
+    true
+    (c > n / 10 && c < (n * 3) / 10);
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Faults.Mutator.plan: rate must be within [0,1]")
+    (fun () -> ignore (Faults.Mutator.plan ~seed:1 ~rate:1.5 ()));
+  Alcotest.check_raises "empty kinds"
+    (Invalid_argument "Faults.Mutator.plan: kinds must be non-empty") (fun () ->
+      ignore (Faults.Mutator.plan ~kinds:[] ~seed:1 ~rate:0.5 ()))
+
+let test_mutator_kinds () =
+  let der = Lazy.force sample_der in
+  let plan =
+    Faults.Mutator.plan ~kinds:[ Faults.Mutator.Truncate ] ~seed:4 ~rate:1.0 ()
+  in
+  for index = 0 to 10 do
+    let out, kind = Faults.Mutator.mutate plan ~index der in
+    check Alcotest.string "restricted kind honoured" "truncate"
+      (Faults.Mutator.kind_name kind);
+    check Alcotest.bool "truncation shortens" true
+      (String.length out < String.length der)
+  done;
+  List.iter
+    (fun k ->
+      check
+        Alcotest.(option string)
+        "kind_name/of_name roundtrip"
+        (Some (Faults.Mutator.kind_name k))
+        (Option.map Faults.Mutator.kind_name
+           (Faults.Mutator.kind_of_name (Faults.Mutator.kind_name k))))
+    Faults.Mutator.all_kinds
+
+(* Parse totality: no mutation may make the strict parser raise; it
+   must always come back with Ok or a typed Error. *)
+let parse_totality =
+  QCheck.Test.make ~name:"certificate parse is total under mutation" ~count:300
+    QCheck.(pair (int_bound 500) (int_bound 7))
+    (fun (index, attempt) ->
+      let der = Lazy.force sample_der in
+      let plan = Faults.Mutator.plan ~seed:77 ~rate:1.0 () in
+      let corrupted, _ = Faults.Mutator.mutate ~attempt plan ~index der in
+      match X509.Certificate.parse corrupted with
+      | Ok _ | Error _ -> true)
+
+(* --- quarantine ------------------------------------------------------- *)
+
+let test_quarantine_roundtrip () =
+  let dir = tmp_dir "unicert-quarantine" in
+  let q = Faults.Quarantine.open_ ~dir ~run_seed:11 in
+  let err i =
+    Faults.Error.Decode_error { offset = Some i; detail = "test detail " ^ string_of_int i }
+  in
+  Faults.Quarantine.record q ~index:3 ~error:(err 3) ~der:"\x30\x03\x02\x01\xFF";
+  Faults.Quarantine.record q ~index:9 ~error:(err 9) ~der:"\x00\xFF";
+  check Alcotest.int "count" 2 (Faults.Quarantine.count q);
+  let path = Faults.Quarantine.path q in
+  Faults.Quarantine.close q;
+  (* A torn trailing line (crash mid-write) must not poison the load. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"index\":12,\"class\":\"dec";
+  close_out oc;
+  let entries = Faults.Quarantine.load path in
+  check Alcotest.int "torn line skipped" 2 (List.length entries);
+  let e = List.hd entries in
+  check Alcotest.int "index survives" 3 e.Faults.Quarantine.index;
+  check Alcotest.string "class survives" "decode_error" e.Faults.Quarantine.error_class;
+  check Alcotest.string "der bytes survive" "\x30\x03\x02\x01\xFF"
+    e.Faults.Quarantine.der;
+  Sys.remove path
+
+(* --- checkpoints ------------------------------------------------------ *)
+
+let test_checkpoint_roundtrip () =
+  let file = Filename.temp_file "unicert-ckpt" ".bin" in
+  let c =
+    { Faults.Checkpoint.scale = 500; seed = 3; next_index = 250;
+      state = [ ("a", 1); ("b", 2) ] }
+  in
+  Faults.Checkpoint.save file c;
+  (match Faults.Checkpoint.load file with
+  | None -> Alcotest.fail "checkpoint did not load"
+  | Some c' ->
+      check Alcotest.int "scale" 500 c'.Faults.Checkpoint.scale;
+      check Alcotest.int "next_index" 250 c'.Faults.Checkpoint.next_index;
+      check
+        Alcotest.(list (pair string int))
+        "state" [ ("a", 1); ("b", 2) ] c'.Faults.Checkpoint.state);
+  (* Garbage and missing files load as None, never raise. *)
+  let oc = open_out file in
+  output_string oc "not a checkpoint at all";
+  close_out oc;
+  check Alcotest.bool "garbage loads as None" true
+    ((Faults.Checkpoint.load file : int Faults.Checkpoint.t option) = None);
+  Sys.remove file;
+  check Alcotest.bool "missing loads as None" true
+    ((Faults.Checkpoint.load file : int Faults.Checkpoint.t option) = None)
+
+(* --- circuit breaker -------------------------------------------------- *)
+
+let test_breaker () =
+  let b = Faults.Breaker.create ~threshold:3 "test_lint" in
+  Faults.Breaker.failure b;
+  Faults.Breaker.failure b;
+  check Alcotest.bool "below threshold stays closed" false (Faults.Breaker.tripped b);
+  Faults.Breaker.success b;
+  check Alcotest.int "success resets the streak" 0 (Faults.Breaker.consecutive b);
+  Faults.Breaker.failure b;
+  Faults.Breaker.failure b;
+  Faults.Breaker.failure b;
+  check Alcotest.bool "threshold consecutive crashes trip" true
+    (Faults.Breaker.tripped b);
+  check Alcotest.int "total crashes accumulate" 5 (Faults.Breaker.crashes b);
+  Faults.Breaker.success b;
+  check Alcotest.bool "open breaker stays open" true (Faults.Breaker.tripped b);
+  Faults.Breaker.reset b;
+  check Alcotest.bool "reset closes" false (Faults.Breaker.tripped b);
+  check Alcotest.int "reset zeroes crashes" 0 (Faults.Breaker.crashes b)
+
+(* --- the injection harness -------------------------------------------- *)
+
+let test_injector () =
+  Faults.Injector.reset ();
+  check Alcotest.bool "inert before arming" false (Faults.Injector.active ());
+  Faults.Injector.arm ~every:2 "victim";
+  check Alcotest.bool "active after arming" true (Faults.Injector.active ());
+  Faults.Injector.tick "victim";
+  Alcotest.check_raises "fires on the every-th tick"
+    (Faults.Injector.Injected_crash "victim") (fun () ->
+      Faults.Injector.tick "victim");
+  Faults.Injector.tick "other";
+  Faults.Injector.disarm "victim";
+  Faults.Injector.tick "victim";
+  Faults.Injector.reset ();
+  check Alcotest.bool "reset disarms" false (Faults.Injector.active ());
+  Alcotest.check_raises "every < 1 rejected"
+    (Invalid_argument "Faults.Injector.arm: every must be >= 1") (fun () ->
+      Faults.Injector.arm ~every:0 "x")
+
+let test_injector_spec () =
+  let ok = Alcotest.(result (pair string int) string) in
+  check ok "plain spec" (Ok ("u_cn_in_san", 3))
+    (Faults.Injector.parse_spec "u_cn_in_san:3");
+  check ok "target may contain colons" (Ok ("model:OpenSSL", 2))
+    (Faults.Injector.parse_spec "model:OpenSSL:2");
+  check Alcotest.bool "missing count rejected" true
+    (Result.is_error (Faults.Injector.parse_spec "no_count"));
+  check Alcotest.bool "bad count rejected" true
+    (Result.is_error (Faults.Injector.parse_spec "t:x"))
+
+(* --- watchdog --------------------------------------------------------- *)
+
+let test_watchdog () =
+  check Alcotest.int "fast path returns the value" 41
+    (Faults.Watchdog.with_timeout ~seconds:5.0 (fun () -> 41));
+  match
+    Faults.Watchdog.with_timeout ~stage:"spin" ~seconds:0.05 (fun () ->
+        (* Allocating loop so the signal can be delivered. *)
+        let r = ref [] in
+        while true do
+          r := 1 :: !r;
+          if List.length !r > 1_000 then r := []
+        done;
+        0)
+  with
+  | _ -> Alcotest.fail "watchdog did not fire"
+  | exception Faults.Watchdog.Timed_out { stage; seconds } ->
+      check Alcotest.string "stage recorded" "spin" stage;
+      check (Alcotest.float 1e-9) "budget recorded" 0.05 seconds
+
+(* --- pipeline error boundary ------------------------------------------ *)
+
+let test_corrupt_vs_drop_equality () =
+  let scale = 300 and seed = 5 in
+  let plan = Faults.Mutator.plan ~seed:13 ~rate:0.1 () in
+  let dir = tmp_dir "unicert-pipeline-q" in
+  let policy =
+    { Faults.Policy.default with Faults.Policy.quarantine_dir = Some dir }
+  in
+  let corrupt = Unicert.Pipeline.run ~scale ~seed ~policy ~mutator:plan () in
+  let drop = Unicert.Pipeline.run ~scale ~seed ~mutator:plan ~drop:true () in
+  check Alcotest.int "same survivors" drop.Unicert.Pipeline.total
+    corrupt.Unicert.Pipeline.total;
+  check Alcotest.int "same noncompliant count" drop.Unicert.Pipeline.nc_total
+    corrupt.Unicert.Pipeline.nc_total;
+  check Alcotest.int "same IDN count" drop.Unicert.Pipeline.idncerts
+    corrupt.Unicert.Pipeline.idncerts;
+  check Alcotest.int "same trusted count" drop.Unicert.Pipeline.trusted
+    corrupt.Unicert.Pipeline.trusted;
+  check Alcotest.int "same encoding-error count"
+    drop.Unicert.Pipeline.encoding_error_certs
+    corrupt.Unicert.Pipeline.encoding_error_certs;
+  let cf = corrupt.Unicert.Pipeline.faults in
+  check Alcotest.int "every missing cert is a counted fault"
+    (scale - corrupt.Unicert.Pipeline.total)
+    cf.Unicert.Pipeline.fault_errors;
+  check Alcotest.int "every fault is quarantined" cf.Unicert.Pipeline.fault_errors
+    cf.Unicert.Pipeline.quarantined;
+  check Alcotest.bool "drop run is fault-free" true
+    (drop.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors = 0);
+  check Alcotest.bool "faults actually happened" true
+    (cf.Unicert.Pipeline.fault_errors > 0)
+
+let test_clean_run_is_silent () =
+  let t = Unicert.Pipeline.run ~scale:60 ~seed:2 () in
+  check Alcotest.int "no faults on a clean corpus" 0
+    t.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors;
+  let out = Format.asprintf "%a" Unicert.Report.robustness t in
+  check Alcotest.string "robustness section is empty on a clean run" "" out
+
+let test_degraded_lint () =
+  Faults.Injector.reset ();
+  Lint.Registry.reset_faults ();
+  let lint = "e_utf8string_invalid_byte_sequence" in
+  Faults.Injector.arm ~every:3 lint;
+  let policy =
+    { Faults.Policy.default with Faults.Policy.breaker_threshold = 1 }
+  in
+  let t = Unicert.Pipeline.run ~scale:120 ~seed:2 ~policy () in
+  Faults.Injector.reset ();
+  check Alcotest.bool "run completes with aborted unset" true
+    (t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted = None);
+  (match t.Unicert.Pipeline.faults.Unicert.Pipeline.degraded with
+  | [ (name, crashes) ] ->
+      check Alcotest.string "the injected lint degraded" lint name;
+      check Alcotest.bool "crash count recorded" true (crashes >= 1)
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one degraded lint, got %d"
+           (List.length other)));
+  check Alcotest.bool "lint crashes attributed to this run" true
+    (t.Unicert.Pipeline.faults.Unicert.Pipeline.lint_crashes >= 1);
+  let out = Format.asprintf "%a" Unicert.Report.robustness t in
+  check Alcotest.bool "report lists the degraded lint" true
+    (let re = "degraded lint:" in
+     let rec contains i =
+       i + String.length re <= String.length out
+       && (String.sub out i (String.length re) = re || contains (i + 1))
+     in
+     contains 0);
+  Lint.Registry.reset_faults ()
+
+let test_abort_policies () =
+  let plan = Faults.Mutator.plan ~seed:13 ~rate:0.1 () in
+  let t =
+    Unicert.Pipeline.run ~scale:300 ~seed:5
+      ~policy:{ Faults.Policy.default with Faults.Policy.max_errors = Some 5 }
+      ~mutator:plan ()
+  in
+  check Alcotest.bool "max-errors aborts" true
+    (t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted <> None);
+  check Alcotest.int "stopped at the budget" 5
+    t.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors;
+  let t =
+    Unicert.Pipeline.run ~scale:300 ~seed:5
+      ~policy:{ Faults.Policy.default with Faults.Policy.fail_fast = true }
+      ~mutator:plan ()
+  in
+  check Alcotest.bool "fail-fast aborts" true
+    (t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted <> None);
+  check Alcotest.int "fail-fast stops on the first error" 1
+    t.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors
+
+let test_resume () =
+  let scale = 300 and seed = 5 in
+  let plan = Faults.Mutator.plan ~seed:13 ~rate:0.1 () in
+  let file = Filename.temp_file "unicert-resume" ".bin" in
+  let ckpt m =
+    { Faults.Policy.default with
+      Faults.Policy.checkpoint_file = Some file;
+      checkpoint_every = 10;
+      max_errors = m }
+  in
+  (* A bounded run aborts mid-pass, leaving a checkpoint behind... *)
+  let partial =
+    Unicert.Pipeline.run ~scale ~seed ~policy:(ckpt (Some 15)) ~mutator:plan ()
+  in
+  check Alcotest.bool "partial run aborted" true
+    (partial.Unicert.Pipeline.faults.Unicert.Pipeline.aborted <> None);
+  check Alcotest.bool "checkpoints were saved" true
+    (partial.Unicert.Pipeline.faults.Unicert.Pipeline.checkpoints_saved > 0);
+  (* ...and the resumed run finishes with the same aggregates as one
+     uninterrupted pass. *)
+  let resumed =
+    Unicert.Pipeline.run ~scale ~seed ~policy:(ckpt None) ~mutator:plan
+      ~resume:true ()
+  in
+  let full = Unicert.Pipeline.run ~scale ~seed ~mutator:plan () in
+  check Alcotest.bool "resume skipped the done prefix" true
+    (resumed.Unicert.Pipeline.faults.Unicert.Pipeline.resumed_at > 0);
+  check Alcotest.int "same total" full.Unicert.Pipeline.total
+    resumed.Unicert.Pipeline.total;
+  check Alcotest.int "same noncompliant count" full.Unicert.Pipeline.nc_total
+    resumed.Unicert.Pipeline.nc_total;
+  check Alcotest.int "same fault count"
+    full.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors
+    resumed.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors;
+  check Alcotest.bool "resumed run completed" true
+    (resumed.Unicert.Pipeline.faults.Unicert.Pipeline.aborted = None);
+  Sys.remove file
+
+(* --- harness crash accounting ----------------------------------------- *)
+
+let test_harness_crash_accounting () =
+  Faults.Injector.reset ();
+  Tlsparsers.Harness.reset_faults ();
+  Faults.Injector.arm ~every:1 "model:OpenSSL";
+  let matrix = Tlsparsers.Harness.decoding_matrix () in
+  Faults.Injector.reset ();
+  let _, cells = List.hd matrix in
+  let openssl = List.find (fun c -> c.Tlsparsers.Harness.library = "OpenSSL") cells in
+  check Alcotest.bool "crashes recorded for the injected model" true
+    (openssl.Tlsparsers.Harness.crashes <> []);
+  check Alcotest.bool "no method inferred from crashing probes" true
+    (openssl.Tlsparsers.Harness.inferred = None);
+  check Alcotest.bool "verdict surfaces the exception constructor" true
+    (List.exists
+       (function Tlsparsers.Infer.Crashing _ -> true | _ -> false)
+       openssl.Tlsparsers.Harness.verdicts);
+  let other = List.find (fun c -> c.Tlsparsers.Harness.library = "GnuTLS") cells in
+  check
+    Alcotest.(list (pair string int))
+    "uninjected model records no crashes" [] other.Tlsparsers.Harness.crashes;
+  check Alcotest.bool "injected model reported degraded" true
+    (List.mem_assoc "OpenSSL" (Tlsparsers.Harness.degraded_models ()));
+  Tlsparsers.Harness.reset_faults ()
+
+(* --- error taxonomy --------------------------------------------------- *)
+
+let test_error_taxonomy () =
+  let open Faults.Error in
+  check Alcotest.string "decode class" "decode_error"
+    (class_name (Decode_error { offset = None; detail = "d" }));
+  check Alcotest.string "timeout class" "timeout"
+    (class_name (Timeout { stage = "s"; seconds = 1.0 }));
+  check Alcotest.string "exn constructor" "Not_found" (exn_name Not_found);
+  check Alcotest.string "failure maps to decode" "decode_error"
+    (class_name (of_exn ~stage:"x" (Failure "boom")));
+  check Alcotest.string "stack overflow maps to resource" "resource"
+    (class_name (of_exn ~stage:"x" Stack_overflow));
+  check Alcotest.string "sys_error maps to resource" "resource"
+    (class_name (of_exn ~stage:"x" (Sys_error "disk on fire")))
+
+let suite =
+  [
+    Alcotest.test_case "oid malformations" `Quick test_oid_malformations;
+    Alcotest.test_case "bit-string malformations" `Quick
+      test_bit_string_malformations;
+    Alcotest.test_case "length malformations" `Quick test_length_malformations;
+    Alcotest.test_case "mutator determinism" `Quick test_mutator_determinism;
+    Alcotest.test_case "mutator rate" `Quick test_mutator_rate;
+    Alcotest.test_case "mutator kinds" `Quick test_mutator_kinds;
+    qtest parse_totality;
+    Alcotest.test_case "quarantine roundtrip" `Quick test_quarantine_roundtrip;
+    Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "circuit breaker" `Quick test_breaker;
+    Alcotest.test_case "injector" `Quick test_injector;
+    Alcotest.test_case "injector specs" `Quick test_injector_spec;
+    Alcotest.test_case "watchdog" `Quick test_watchdog;
+    Alcotest.test_case "corrupt-vs-drop equality" `Quick
+      test_corrupt_vs_drop_equality;
+    Alcotest.test_case "clean run is silent" `Quick test_clean_run_is_silent;
+    Alcotest.test_case "degraded lint" `Quick test_degraded_lint;
+    Alcotest.test_case "abort policies" `Quick test_abort_policies;
+    Alcotest.test_case "resume" `Quick test_resume;
+    Alcotest.test_case "harness crash accounting" `Quick
+      test_harness_crash_accounting;
+    Alcotest.test_case "error taxonomy" `Quick test_error_taxonomy;
+  ]

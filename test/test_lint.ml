@@ -105,7 +105,7 @@ let test_flaw_ground_truth () =
           let cert =
             match X509.Certificate.parse cert.X509.Certificate.der with
             | Ok c -> c
-            | Error m -> Alcotest.failf "%s: reparse failed: %s" (Ctlog.Flaws.name flaw) m
+            | Error m -> Alcotest.failf "%s: reparse failed: %s" (Ctlog.Flaws.name flaw) (Faults.Error.to_string m)
           in
           let findings =
             Lint.Registry.noncompliant ~respect_effective_dates:false

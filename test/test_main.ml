@@ -17,4 +17,5 @@ let () =
       ("crl-chain", Test_crl_chain.suite);
       ("unicert", Test_unicert.suite);
       ("misc", Test_misc.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -259,7 +259,7 @@ let test_cert_roundtrip () =
       check Alcotest.string "tbs bytes" cert.X509.Certificate.tbs_der c.X509.Certificate.tbs_der;
       check Alcotest.int "extension count" 3
         (List.length c.X509.Certificate.tbs.X509.Certificate.extensions)
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Faults.Error.to_string m)
 
 let test_cert_verify_tamper () =
   let cert = make_cert (X509.Dn.of_list [ (X509.Attr.Common_name, "victim.example" ) ]) in
@@ -337,7 +337,7 @@ let test_cert_time_forms () =
       check Alcotest.bool "generalized from 2050" true
         (snd c.X509.Certificate.tbs.X509.Certificate.not_after
         = X509.Certificate.Generalized)
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Faults.Error.to_string m)
 
 let subject_text_gen =
   QCheck.make ~print:(fun s -> s)
