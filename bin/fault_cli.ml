@@ -12,6 +12,7 @@ type t = {
   corrupt_kinds : Faults.Mutator.kind list option;
   drop : bool;
   resume : bool;
+  jobs : int;
 }
 
 let mutator ~default_seed t =
@@ -35,7 +36,7 @@ let arm_specs ~flag ~prefix ~mode specs =
 
 let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
     quarantine timeout checkpoint checkpoint_every resume fault_lints
-    fault_models fault_hang breaker_threshold =
+    fault_models fault_hang breaker_threshold jobs =
   if corrupt_rate < 0.0 || corrupt_rate > 1.0 then begin
     Printf.eprintf "error: --corrupt-rate must be in [0,1]\n";
     exit 2
@@ -76,6 +77,7 @@ let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
     corrupt_kinds = kinds;
     drop;
     resume;
+    jobs = max 1 jobs;
   }
 
 let term =
@@ -141,7 +143,13 @@ let term =
          & info [ "breaker-threshold" ] ~docv:"N"
          ~doc:"Consecutive crashes before a lint/model circuit breaker opens")
   in
+  let jobs =
+    Arg.(value & opt int (Par.default_jobs ()) & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for corpus passes (default: the runtime's \
+               recommended domain count).  A completed pass produces \
+               byte-identical output for every N")
+  in
   Term.(const make $ corrupt_rate $ corrupt_seed $ corrupt_kinds $ drop
         $ max_errors $ fail_fast $ quarantine $ timeout $ checkpoint
         $ checkpoint_every $ resume $ fault_lints $ fault_models $ fault_hang
-        $ breaker_threshold)
+        $ breaker_threshold $ jobs)

@@ -6,8 +6,19 @@ open Cmdliner
 
 let emit_pem cert = print_string (X509.Certificate.to_pem cert)
 
+(* One shard's view of the stream, in index order.  Corrupted blobs no
+   longer parse, so they cannot be emitted as PEM; they go to
+   quarantine instead (written by the coordinator, in index order). *)
+type corpus_item =
+  | Qual of string                          (* PEM of a qualifying entry *)
+  | Corr of int * string * Faults.Error.t   (* index, DER, decode error *)
+
+exception Shard_done
+
 let run_corpus count seed flawed_only (fault : Fault_cli.t) =
   let policy = fault.Fault_cli.policy in
+  let jobs = fault.Fault_cli.jobs in
+  let mutator = Fault_cli.mutator ~default_seed:seed fault in
   let quarantine =
     Option.map
       (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
@@ -16,29 +27,77 @@ let run_corpus count seed flawed_only (fault : Fault_cli.t) =
   let emitted = ref 0 and faulted = ref 0 in
   (* Over-generate: keep only flawed entries when asked. *)
   let scale = if flawed_only then count * 400 else count in
-  (try
-     Ctlog.Dataset.iter_deliveries ~scale
-       ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
-       ~drop:fault.Fault_cli.drop ~seed (fun index delivery ->
-         (match delivery with
-         | Ctlog.Dataset.Corrupt { der; error; _ } ->
-             (* A corrupted blob no longer parses, so it cannot be
-                emitted as PEM; it goes to quarantine instead. *)
-             incr faulted;
-             Faults.Error.observe error;
-             Option.iter
-               (fun q -> Faults.Quarantine.record q ~index ~error ~der)
-               quarantine
-         | Ctlog.Dataset.Entry e ->
-             if
-               !emitted < count
-               && ((not flawed_only) || e.Ctlog.Dataset.flaws <> [])
-             then begin
-               incr emitted;
-               emit_pem e.Ctlog.Dataset.cert
-             end);
-         if !emitted >= count then raise Exit)
-   with Exit -> ());
+  if jobs > 1 && scale > 1 then begin
+    (* Shards collect; the coordinator replays the collected stream in
+       index order, reproducing the sequential early-stop semantics
+       (and stdout/quarantine bytes) exactly. *)
+    Ctlog.Dataset.prewarm ();
+    Faults.Error.prewarm ();
+    Faults.Quarantine.prewarm ();
+    let parts =
+      Par.map_shards ~jobs ~scale (fun ~shard:_ ~lo ~hi ->
+          let items = ref [] and quals = ref 0 in
+          (try
+             Ctlog.Dataset.iter_deliveries ~scale ~start:lo ~stop:hi ?mutator
+               ~drop:fault.Fault_cli.drop ~seed (fun index delivery ->
+                 (match delivery with
+                 | Ctlog.Dataset.Corrupt { der; error; _ } ->
+                     items := Corr (index, der, error) :: !items
+                 | Ctlog.Dataset.Entry e ->
+                     if (not flawed_only) || e.Ctlog.Dataset.flaws <> [] then begin
+                       items :=
+                         Qual (X509.Certificate.to_pem e.Ctlog.Dataset.cert)
+                         :: !items;
+                       incr quals
+                     end);
+                 (* Nothing past a shard's count-th qualifier can be
+                    emitted or counted: the global cutoff never falls
+                    later than a single shard's. *)
+                 if !quals >= count then raise Shard_done)
+           with Shard_done -> ());
+          List.rev !items)
+    in
+    try
+      List.iter
+        (fun item ->
+          match item with
+          | Qual pem ->
+              if !emitted < count then begin
+                incr emitted;
+                print_string pem
+              end;
+              if !emitted >= count then raise Exit
+          | Corr (index, der, error) ->
+              incr faulted;
+              Faults.Error.observe error;
+              Option.iter
+                (fun q -> Faults.Quarantine.record q ~index ~error ~der)
+                quarantine)
+        (List.concat parts)
+    with Exit -> ()
+  end
+  else begin
+    try
+      Ctlog.Dataset.iter_deliveries ~scale ?mutator
+        ~drop:fault.Fault_cli.drop ~seed (fun index delivery ->
+          (match delivery with
+          | Ctlog.Dataset.Corrupt { der; error; _ } ->
+              incr faulted;
+              Faults.Error.observe error;
+              Option.iter
+                (fun q -> Faults.Quarantine.record q ~index ~error ~der)
+                quarantine
+          | Ctlog.Dataset.Entry e ->
+              if
+                !emitted < count
+                && ((not flawed_only) || e.Ctlog.Dataset.flaws <> [])
+              then begin
+                incr emitted;
+                emit_pem e.Ctlog.Dataset.cert
+              end);
+          if !emitted >= count then raise Exit)
+    with Exit -> ()
+  end;
   Option.iter Faults.Quarantine.close quarantine;
   if !faulted > 0 then
     Printf.eprintf "note: %d corrupted certificate(s) withheld%s\n" !faulted

@@ -42,61 +42,159 @@ let lint_file ~issued ~ignore_dates path =
       end
 
 exception Abort of string
+exception Shard_stop
+
+type tally = {
+  counts : (string, int) Hashtbl.t;
+  mutable nc : int;
+  mutable total : int;
+  mutable faulted : int;
+}
+
+let fresh_tally () = { counts = Hashtbl.create 64; nc = 0; total = 0; faulted = 0 }
+
+let merge_tally dst src =
+  dst.nc <- dst.nc + src.nc;
+  dst.total <- dst.total + src.total;
+  dst.faulted <- dst.faulted + src.faulted;
+  Hashtbl.iter
+    (fun k v ->
+      Hashtbl.replace dst.counts k
+        (v + Option.value ~default:0 (Hashtbl.find_opt dst.counts k)))
+    src.counts
+
+(* One certificate through the linter, behind the error boundary.
+   [record] raises Abort (sequential) or Shard_stop (parallel); both
+   must pass through untouched. *)
+let lint_one ~ignore_dates t record index (e : Ctlog.Dataset.entry) =
+  t.total <- t.total + 1;
+  match
+    Lint.Registry.noncompliant ~respect_effective_dates:(not ignore_dates)
+      ~issued:e.Ctlog.Dataset.issued e.Ctlog.Dataset.cert
+  with
+  | findings ->
+      if findings <> [] then begin
+        t.nc <- t.nc + 1;
+        List.iter
+          (fun (f : Lint.finding) ->
+            Hashtbl.replace t.counts f.Lint.lint.Lint.name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts f.Lint.lint.Lint.name)))
+          findings
+      end
+  | exception (Abort _ as ex) -> raise ex
+  | exception (Shard_stop as ex) -> raise ex
+  | exception exn when Faults.Isolation.enabled () ->
+      record ~index ~der:e.Ctlog.Dataset.cert.X509.Certificate.der
+        (Faults.Error.of_exn ~stage:"lint" exn)
 
 let lint_corpus ~scale ~seed ~ignore_dates (fault : Fault_cli.t) =
   let policy = fault.Fault_cli.policy in
+  let jobs = fault.Fault_cli.jobs in
   Lint.Registry.set_breaker_threshold policy.Faults.Policy.breaker_threshold;
-  let quarantine =
-    Option.map
-      (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
-      policy.Faults.Policy.quarantine_dir
-  in
-  let counts = Hashtbl.create 64 in
-  let nc = ref 0 and total = ref 0 and faulted = ref 0 in
+  let mutator = Fault_cli.mutator ~default_seed:seed fault in
   let aborted = ref None in
-  let record ~index ~der error =
-    incr faulted;
-    Faults.Error.observe error;
-    Option.iter (fun q -> Faults.Quarantine.record q ~index ~error ~der) quarantine;
-    if policy.Faults.Policy.fail_fast then
-      raise (Abort (Printf.sprintf "fail-fast: %s" (Faults.Error.to_string error)));
-    match policy.Faults.Policy.max_errors with
-    | Some m when !faulted >= m ->
-        raise (Abort (Printf.sprintf "max-errors: %d errors reached the limit" m))
-    | _ -> ()
+  let t =
+    if jobs > 1 && scale > 1 then begin
+      (* Parallel pass: contiguous shards, per-shard tallies merged in
+         index order — same stdout as the sequential pass for every
+         jobs value (on a completed run). *)
+      Ctlog.Dataset.prewarm ();
+      Faults.Error.prewarm ();
+      Faults.Breaker.prewarm ();
+      Faults.Injector.prewarm ();
+      Faults.Quarantine.prewarm ();
+      let stop_flag = Atomic.make false in
+      let global_errors = Atomic.make 0 in
+      let abort_lock = Mutex.create () in
+      let set_abort reason =
+        Mutex.protect abort_lock (fun () ->
+            if !aborted = None then aborted := Some reason);
+        Atomic.set stop_flag true
+      in
+      let nshards = List.length (Par.shards ~jobs scale) in
+      let parts =
+        Par.map_shards ~jobs ~scale (fun ~shard ~lo ~hi ->
+            let t = fresh_tally () in
+            let quarantine =
+              Option.map
+                (fun dir -> Faults.Quarantine.open_shard ~dir ~run_seed:seed ~shard)
+                policy.Faults.Policy.quarantine_dir
+            in
+            let record ~index ~der error =
+              t.faulted <- t.faulted + 1;
+              Faults.Error.observe error;
+              Option.iter
+                (fun q -> Faults.Quarantine.record q ~index ~error ~der)
+                quarantine;
+              let seen = 1 + Atomic.fetch_and_add global_errors 1 in
+              if policy.Faults.Policy.fail_fast then begin
+                set_abort
+                  (Printf.sprintf "fail-fast: %s" (Faults.Error.to_string error));
+                raise Shard_stop
+              end;
+              match policy.Faults.Policy.max_errors with
+              | Some m when seen >= m ->
+                  set_abort
+                    (Printf.sprintf "max-errors: %d errors reached the limit" m);
+                  raise Shard_stop
+              | _ -> ()
+            in
+            Fun.protect
+              ~finally:(fun () -> Option.iter Faults.Quarantine.close quarantine)
+              (fun () ->
+                try
+                  Ctlog.Dataset.iter_deliveries ~scale ~start:lo ~stop:hi ?mutator
+                    ~drop:fault.Fault_cli.drop ~seed (fun index delivery ->
+                      if Atomic.get stop_flag then raise Shard_stop;
+                      match delivery with
+                      | Ctlog.Dataset.Corrupt { der; error; _ } ->
+                          record ~index ~der error
+                      | Ctlog.Dataset.Entry e ->
+                          lint_one ~ignore_dates t record index e)
+                with Shard_stop -> ());
+            t)
+      in
+      (match policy.Faults.Policy.quarantine_dir with
+      | Some dir ->
+          ignore (Faults.Quarantine.merge_shards ~dir ~run_seed:seed ~shards:nshards)
+      | None -> ());
+      let t = fresh_tally () in
+      List.iter (merge_tally t) parts;
+      t
+    end
+    else begin
+      let quarantine =
+        Option.map
+          (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
+          policy.Faults.Policy.quarantine_dir
+      in
+      let t = fresh_tally () in
+      let record ~index ~der error =
+        t.faulted <- t.faulted + 1;
+        Faults.Error.observe error;
+        Option.iter (fun q -> Faults.Quarantine.record q ~index ~error ~der) quarantine;
+        if policy.Faults.Policy.fail_fast then
+          raise (Abort (Printf.sprintf "fail-fast: %s" (Faults.Error.to_string error)));
+        match policy.Faults.Policy.max_errors with
+        | Some m when t.faulted >= m ->
+            raise (Abort (Printf.sprintf "max-errors: %d errors reached the limit" m))
+        | _ -> ()
+      in
+      (try
+         Ctlog.Dataset.iter_deliveries ~scale ?mutator
+           ~drop:fault.Fault_cli.drop ~seed (fun index delivery ->
+             match delivery with
+             | Ctlog.Dataset.Corrupt { der; error; _ } -> record ~index ~der error
+             | Ctlog.Dataset.Entry e -> lint_one ~ignore_dates t record index e)
+       with Abort reason -> aborted := Some reason);
+      Option.iter Faults.Quarantine.close quarantine;
+      t
+    end
   in
-  (try
-     Ctlog.Dataset.iter_deliveries ~scale
-       ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
-       ~drop:fault.Fault_cli.drop ~seed (fun index delivery ->
-         match delivery with
-         | Ctlog.Dataset.Corrupt { der; error; _ } -> record ~index ~der error
-         | Ctlog.Dataset.Entry e -> (
-             incr total;
-             match
-               Lint.Registry.noncompliant
-                 ~respect_effective_dates:(not ignore_dates)
-                 ~issued:e.Ctlog.Dataset.issued e.Ctlog.Dataset.cert
-             with
-             | findings ->
-                 if findings <> [] then begin
-                   incr nc;
-                   List.iter
-                     (fun (f : Lint.finding) ->
-                       Hashtbl.replace counts f.Lint.lint.Lint.name
-                         (1 + Option.value ~default:0 (Hashtbl.find_opt counts f.Lint.lint.Lint.name)))
-                     findings
-                 end
-             | exception (Abort _ as e) -> raise e
-             | exception exn when Faults.Isolation.enabled () ->
-                 record ~index ~der:e.Ctlog.Dataset.cert.X509.Certificate.der
-                   (Faults.Error.of_exn ~stage:"lint" exn)))
-   with Abort reason -> aborted := Some reason);
-  Option.iter Faults.Quarantine.close quarantine;
-  Printf.printf "linted %d generated Unicerts: %d noncompliant (%.2f%%)\n" !total !nc
-    (100.0 *. float_of_int !nc /. float_of_int !total);
-  if !faulted > 0 then
-    Printf.printf "  %d faulted certificate(s)%s\n" !faulted
+  Printf.printf "linted %d generated Unicerts: %d noncompliant (%.2f%%)\n" t.total t.nc
+    (100.0 *. float_of_int t.nc /. float_of_int t.total);
+  if t.faulted > 0 then
+    Printf.printf "  %d faulted certificate(s)%s\n" t.faulted
       (match policy.Faults.Policy.quarantine_dir with
       | Some dir -> Printf.sprintf " quarantined under %s" dir
       | None -> "");
@@ -111,7 +209,7 @@ let lint_corpus ~scale ~seed ~ignore_dates (fault : Fault_cli.t) =
   | None -> ());
   (* Descending count, ties broken by name: deterministic across runs. *)
   let rows =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
     |> List.sort (fun (ka, va) (kb, vb) ->
            match compare vb va with 0 -> String.compare ka kb | c -> c)
   in

@@ -13,7 +13,8 @@ let run id scale seed (fault : Fault_cli.t) metrics progress no_progress =
     let t =
       Unicert.Pipeline.run ~scale ~seed ~policy:fault.Fault_cli.policy
         ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
-        ~drop:fault.Fault_cli.drop ~resume:fault.Fault_cli.resume ()
+        ~drop:fault.Fault_cli.drop ~resume:fault.Fault_cli.resume
+        ~jobs:fault.Fault_cli.jobs ()
     in
     aborted := t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted;
     t

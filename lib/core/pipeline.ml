@@ -314,6 +314,11 @@ let fresh ~scale ~seed =
 
 exception Abort of string
 
+(* Raised inside a worker domain when another shard aborted the run (or
+   this one hit the global error budget); unwinds the shard loop so the
+   domain can be joined. *)
+exception Shard_stop
+
 let record_fault t policy quarantine ~index ~der error =
   let f = t.faults in
   f.fault_errors <- f.fault_errors + 1;
@@ -331,7 +336,11 @@ let record_fault t policy quarantine ~index ~der error =
       raise (Abort (Printf.sprintf "max-errors: %d errors reached the limit" m))
   | _ -> ()
 
-let process_entry t policy quarantine index (entry : Ctlog.Dataset.entry) =
+(* [record] is how faults reach the aggregate: the sequential path binds
+   it to {!record_fault} (raises [Abort]); each parallel shard binds a
+   closure over its own part and the shared error budget (raises
+   [Shard_stop]).  Both control exceptions must pass through untouched. *)
+let process_entry t policy ~record index (entry : Ctlog.Dataset.entry) =
   let guarded () =
     match policy.Faults.Policy.timeout_seconds with
     | Some s -> Faults.Watchdog.with_timeout ~stage:"process" ~seconds:s (fun () -> process t entry)
@@ -340,17 +349,20 @@ let process_entry t policy quarantine index (entry : Ctlog.Dataset.entry) =
   match guarded () with
   | () -> ()
   | exception (Abort _ as e) -> raise e
+  | exception (Shard_stop as e) -> raise e
   | exception Faults.Watchdog.Timed_out { stage; seconds } ->
-      record_fault t policy quarantine ~index
+      record ~index
         ~der:entry.Ctlog.Dataset.cert.X509.Certificate.der
         (Faults.Error.Timeout { stage; seconds })
   | exception e when Faults.Isolation.enabled () ->
-      record_fault t policy quarantine ~index
+      record ~index
         ~der:entry.Ctlog.Dataset.cert.X509.Certificate.der
         (Faults.Error.of_exn ~stage:"process" e)
 
-let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1)
-    ?(policy = Faults.Policy.default) ?mutator ?(drop = false) ?(resume = false) () =
+let snapshot_crashes () =
+  List.fold_left (fun acc (_, n, _) -> acc + n) 0 (Lint.Registry.fault_snapshot ())
+
+let run_sequential ~scale ~seed ~policy ~mutator ~drop ~resume =
   (* Resume only continues a checkpoint for the same run parameters; a
      stale file for a different (scale, seed) starts fresh. *)
   let t, start =
@@ -368,9 +380,7 @@ let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1)
     | _ -> (fresh ~scale ~seed, 0)
   in
   Lint.Registry.set_breaker_threshold policy.Faults.Policy.breaker_threshold;
-  let crashes_before =
-    List.fold_left (fun acc (_, n, _) -> acc + n) 0 (Lint.Registry.fault_snapshot ())
-  in
+  let crashes_before = snapshot_crashes () in
   let quarantine =
     Option.map
       (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
@@ -393,18 +403,238 @@ let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1)
             Ctlog.Dataset.iter_deliveries ~scale ~start ?mutator ~drop ~seed
               (fun index delivery ->
                 (match delivery with
-                | Ctlog.Dataset.Entry e -> process_entry t policy quarantine index e
+                | Ctlog.Dataset.Entry e ->
+                    process_entry t policy
+                      ~record:(record_fault t policy quarantine)
+                      index e
                 | Ctlog.Dataset.Corrupt { der; error; _ } ->
                     record_fault t policy quarantine ~index ~der error);
                 if (index + 1) mod every = 0 then save_checkpoint (index + 1)));
         save_checkpoint scale
       with Abort reason -> t.faults.aborted <- Some reason);
-  let crashes_after =
-    List.fold_left (fun acc (_, n, _) -> acc + n) 0 (Lint.Registry.fault_snapshot ())
-  in
-  t.faults.lint_crashes <- crashes_after - crashes_before;
+  t.faults.lint_crashes <- snapshot_crashes () - crashes_before;
   t.faults.degraded <- Lint.Registry.degraded ();
   t
+
+(* --- deterministic merge of parallel shard aggregates ---------------- *)
+
+let bump_by tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* Fold one shard's aggregate into [dst].  Every field is a sum (or a
+   bag, for validity samples), so merging shards in index order yields
+   exactly the totals a sequential pass accumulates.  [lint_crashes],
+   [degraded], [resumed_at] and [aborted] are owned by the coordinator
+   and skipped here. *)
+let merge_into dst (src : t) =
+  dst.total <- dst.total + src.total;
+  dst.idncerts <- dst.idncerts + src.idncerts;
+  dst.trusted <- dst.trusted + src.trusted;
+  dst.nc_total <- dst.nc_total + src.nc_total;
+  dst.nc_ignoring_dates <- dst.nc_ignoring_dates + src.nc_ignoring_dates;
+  dst.nc_old_lints_only <- dst.nc_old_lints_only + src.nc_old_lints_only;
+  dst.nc_trusted <- dst.nc_trusted + src.nc_trusted;
+  dst.nc_limited <- dst.nc_limited + src.nc_limited;
+  dst.nc_untrusted <- dst.nc_untrusted + src.nc_untrusted;
+  dst.nc_recent <- dst.nc_recent + src.nc_recent;
+  dst.nc_alive <- dst.nc_alive + src.nc_alive;
+  Hashtbl.iter
+    (fun y (s : year_stats) ->
+      let d = year_tbl dst y in
+      d.issued <- d.issued + s.issued;
+      d.issued_trusted <- d.issued_trusted + s.issued_trusted;
+      d.alive_in_year <- d.alive_in_year + s.alive_in_year;
+      d.nc <- d.nc + s.nc;
+      d.nc_trusted <- d.nc_trusted + s.nc_trusted)
+    src.years;
+  Hashtbl.iter
+    (fun ty (s : type_stats) ->
+      let d = type_tbl dst ty in
+      d.certs <- d.certs + s.certs;
+      d.by_new_lints <- d.by_new_lints + s.by_new_lints;
+      d.errors <- d.errors + s.errors;
+      d.warnings <- d.warnings + s.warnings;
+      d.trusted <- d.trusted + s.trusted;
+      d.recent <- d.recent + s.recent;
+      d.alive <- d.alive + s.alive)
+    src.types;
+  Hashtbl.iter (fun k v -> bump_by dst.lints k v) src.lints;
+  Hashtbl.iter
+    (fun org (s : issuer_stats) ->
+      let d =
+        match Hashtbl.find_opt dst.issuers org with
+        | Some d -> d
+        | None ->
+            let d =
+              { total = 0; nc_count = 0; nc_recent = 0; trust_now = s.trust_now;
+                trust_at_issuance = s.trust_at_issuance; region = s.region;
+                aggregate = s.aggregate }
+            in
+            Hashtbl.replace dst.issuers org d;
+            d
+      in
+      d.total <- d.total + s.total;
+      d.nc_count <- d.nc_count + s.nc_count;
+      d.nc_recent <- d.nc_recent + s.nc_recent)
+    src.issuers;
+  Hashtbl.iter
+    (fun cls l ->
+      match Hashtbl.find_opt dst.validity cls with
+      | Some d -> d := List.rev_append !l !d
+      | None -> Hashtbl.replace dst.validity cls (ref !l))
+    src.validity;
+  Hashtbl.iter
+    (fun key (u, d) ->
+      let u0, d0 = Option.value ~default:(0, 0) (Hashtbl.find_opt dst.fields key) in
+      Hashtbl.replace dst.fields key (u0 + u, d0 + d))
+    src.fields;
+  dst.encoding_error_certs <- dst.encoding_error_certs + src.encoding_error_certs;
+  dst.encoding_error_verified <- dst.encoding_error_verified + src.encoding_error_verified;
+  dst.encoding_error_subject <- dst.encoding_error_subject + src.encoding_error_subject;
+  dst.encoding_error_san <- dst.encoding_error_san + src.encoding_error_san;
+  dst.encoding_error_policies <- dst.encoding_error_policies + src.encoding_error_policies;
+  dst.faults.fault_errors <- dst.faults.fault_errors + src.faults.fault_errors;
+  dst.faults.quarantined <- dst.faults.quarantined + src.faults.quarantined;
+  dst.faults.checkpoints_saved <-
+    dst.faults.checkpoints_saved + src.faults.checkpoints_saved;
+  Hashtbl.iter (fun k v -> bump_by dst.faults.by_class k v) src.faults.by_class
+
+(* --- the parallel (sharded) pass ------------------------------------- *)
+
+(* [Lazy.force] is not domain-safe in OCaml 5: every lazy handle a
+   worker can touch must be forced on this domain before any spawn. *)
+let prewarm policy =
+  Ctlog.Dataset.prewarm ();
+  ignore (Lazy.force obs_nc);
+  (* Also forces every lint instrument. *)
+  Lint.Registry.set_breaker_threshold policy.Faults.Policy.breaker_threshold;
+  Faults.Error.prewarm ();
+  Faults.Breaker.prewarm ();
+  Faults.Injector.prewarm ();
+  Faults.Quarantine.prewarm ()
+
+let run_parallel ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs =
+  prewarm policy;
+  let crashes_before = snapshot_crashes () in
+  let ranges = Par.shards ~jobs scale in
+  let nshards = List.length ranges in
+  (* fail-fast / max-errors are run-global: the first shard to hit the
+     budget publishes the reason and every shard winds down at its next
+     delivery.  Which certificates the other shards got to before
+     noticing is timing-dependent, so an *aborted* parallel run is not
+     byte-reproducible (a completed one is). *)
+  let stop_flag = Atomic.make false in
+  let global_errors = Atomic.make 0 in
+  let abort_lock = Mutex.create () in
+  let abort_reason = ref None in
+  let set_abort reason =
+    Mutex.protect abort_lock (fun () ->
+        if !abort_reason = None then abort_reason := Some reason);
+    Atomic.set stop_flag true
+  in
+  let run_shard ~shard ~lo ~hi =
+    (* A shard cursor also re-validates its own range: after a --jobs
+       change the shard boundaries move, and a stale cursor whose range
+       does not match would double- or skip-process indices. *)
+    let part, start =
+      match
+        if resume then
+          Option.bind policy.Faults.Policy.checkpoint_file (fun file ->
+              Faults.Checkpoint.load (Faults.Checkpoint.shard_file file shard))
+        else None
+      with
+      | Some c
+        when c.Faults.Checkpoint.scale = scale
+             && c.Faults.Checkpoint.seed = seed
+             && fst c.Faults.Checkpoint.state = lo
+             && c.Faults.Checkpoint.next_index >= lo
+             && c.Faults.Checkpoint.next_index <= hi ->
+          let part : t = snd c.Faults.Checkpoint.state in
+          if c.Faults.Checkpoint.next_index > lo then
+            part.faults.resumed_at <- c.Faults.Checkpoint.next_index;
+          (part, c.Faults.Checkpoint.next_index)
+      | _ -> (fresh ~scale ~seed, lo)
+    in
+    let quarantine =
+      Option.map
+        (fun dir -> Faults.Quarantine.open_shard ~dir ~run_seed:seed ~shard)
+        policy.Faults.Policy.quarantine_dir
+    in
+    let record ~index ~der error =
+      let f = part.faults in
+      f.fault_errors <- f.fault_errors + 1;
+      bump f.by_class (Faults.Error.class_name error);
+      Faults.Error.observe error;
+      (match quarantine with
+      | Some q ->
+          Faults.Quarantine.record q ~index ~error ~der;
+          f.quarantined <- f.quarantined + 1
+      | None -> ());
+      let seen = 1 + Atomic.fetch_and_add global_errors 1 in
+      if policy.Faults.Policy.fail_fast then begin
+        set_abort (Printf.sprintf "fail-fast: %s" (Faults.Error.to_string error));
+        raise Shard_stop
+      end;
+      match policy.Faults.Policy.max_errors with
+      | Some m when seen >= m ->
+          set_abort (Printf.sprintf "max-errors: %d errors reached the limit" m);
+          raise Shard_stop
+      | _ -> ()
+    in
+    let save_checkpoint next_index =
+      match policy.Faults.Policy.checkpoint_file with
+      | Some file ->
+          Faults.Checkpoint.save
+            (Faults.Checkpoint.shard_file file shard)
+            { Faults.Checkpoint.scale; seed; next_index; state = (lo, part) };
+          part.faults.checkpoints_saved <- part.faults.checkpoints_saved + 1
+      | None -> ()
+    in
+    let every = max 1 policy.Faults.Policy.checkpoint_every in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Faults.Quarantine.close quarantine)
+      (fun () ->
+        try
+          Ctlog.Dataset.iter_deliveries ~scale ~start ~stop:hi ?mutator ~drop ~seed
+            (fun index delivery ->
+              if Atomic.get stop_flag then raise Shard_stop;
+              (match delivery with
+              | Ctlog.Dataset.Entry e -> process_entry part policy ~record index e
+              | Ctlog.Dataset.Corrupt { der; error; _ } -> record ~index ~der error);
+              if (index + 1) mod every = 0 then save_checkpoint (index + 1));
+          save_checkpoint hi
+        with Shard_stop -> ());
+    part
+  in
+  let parts =
+    Obs.Span.with_ "pipeline" (fun () ->
+        Par.map_shards ~jobs ~scale (fun ~shard ~lo ~hi -> run_shard ~shard ~lo ~hi))
+  in
+  (* Always fold shard sidecars into the main quarantine file, so an
+     aborted run still keeps every record written so far. *)
+  (match policy.Faults.Policy.quarantine_dir with
+  | Some dir ->
+      ignore (Faults.Quarantine.merge_shards ~dir ~run_seed:seed ~shards:nshards)
+  | None -> ());
+  let t = fresh ~scale ~seed in
+  List.iter (fun part -> merge_into t part) parts;
+  t.faults.resumed_at <-
+    List.fold_left
+      (fun acc (part : t) ->
+        let r = part.faults.resumed_at in
+        if r = 0 then acc else if acc = 0 then r else min acc r)
+      0 parts;
+  t.faults.aborted <- !abort_reason;
+  t.faults.lint_crashes <- snapshot_crashes () - crashes_before;
+  t.faults.degraded <- Lint.Registry.degraded ();
+  t
+
+let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1)
+    ?(policy = Faults.Policy.default) ?mutator ?(drop = false) ?(resume = false)
+    ?(jobs = 1) () =
+  if jobs > 1 && scale > 1 then
+    run_parallel ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs
+  else run_sequential ~scale ~seed ~policy ~mutator ~drop ~resume
 
 let year_range t =
   Hashtbl.fold (fun y _ (lo, hi) -> (min lo y, max hi y)) t.years (9999, 0)
@@ -437,10 +667,17 @@ let validity_cdf t cls =
         List.rev dedup
       end
 
+(* Both orderings break count ties by name: Hashtbl fold order depends
+   on insertion history, which differs between a sequential pass and a
+   shard merge, and report output must not. *)
 let top_lints t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.lints []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match compare b a with 0 -> String.compare ka kb | c -> c)
 
 let top_issuers_by_nc t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.issuers []
-  |> List.sort (fun (_, a) (_, b) -> compare b.nc_count a.nc_count)
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match compare b.nc_count a.nc_count with
+         | 0 -> String.compare ka kb
+         | c -> c)

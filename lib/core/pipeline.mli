@@ -84,11 +84,29 @@ val run :
   ?mutator:Faults.Mutator.plan ->
   ?drop:bool ->
   ?resume:bool ->
+  ?jobs:int ->
   unit ->
   t
 (** [run ()] generates the corpus (default scale
     {!Ctlog.Dataset.default_scale}, seed 1) and computes every
     aggregate.
+
+    [jobs] (default 1) selects parallel execution: the index range is
+    split into [jobs] contiguous shards, each processed on its own
+    domain (generation is pure per [(seed, index)], see
+    {!Ctlog.Dataset.generate_at}), and the per-shard aggregates are
+    merged in shard order.  A completed run's aggregate — and therefore
+    the rendered report — is byte-identical for every [jobs] value;
+    only wall-clock telemetry differs.  An *aborted* run (fail-fast /
+    max-errors) is not reproducible across [jobs]: which certificates
+    other shards reached before noticing the stop flag is
+    timing-dependent.  Checkpoints are kept per shard
+    ([file.shard<k>], see {!Faults.Checkpoint.shard_file}); resuming
+    reuses a shard cursor only when its saved range matches, so
+    changing [jobs] between runs safely restarts mismatched shards
+    from their range start.  Quarantine records go to per-shard
+    sidecars folded into the main [quarantine-<seed>.jsonl] in index
+    order when the pass ends.
 
     Every certificate is processed behind an error boundary: a failure
     (decode error on a corrupted delivery, a crashing lint that trips

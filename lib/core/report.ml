@@ -130,7 +130,10 @@ let figure4 ppf (t : Pipeline.t) =
       (fun org (s : Pipeline.issuer_stats) acc ->
         if s.Pipeline.total >= threshold then (org, s.Pipeline.total) :: acc else acc)
       t.Pipeline.issuers []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    (* Tie-break on the org name: Hashtbl fold order varies with
+       insertion history (sequential pass vs shard merge). *)
+    |> List.sort (fun (oa, a) (ob, b) ->
+           match compare b a with 0 -> String.compare oa ob | c -> c)
   in
   List.iter
     (fun (org, total) ->
@@ -138,7 +141,8 @@ let figure4 ppf (t : Pipeline.t) =
         Hashtbl.fold
           (fun (o, field) (u, d) acc -> if o = org then (field, u, d) :: acc else acc)
           t.Pipeline.fields []
-        |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+        |> List.sort (fun (fa, a, _) (fb, b, _) ->
+               match compare b a with 0 -> String.compare fa fb | c -> c)
       in
       if fields <> [] then begin
         Format.fprintf ppf "%-32s (n=%d):@." org total;

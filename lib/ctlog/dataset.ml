@@ -410,46 +410,65 @@ let corrupt_der plan index der =
   in
   go 0
 
-(* The full streaming loop.  Corruption decisions never touch [g]: the
-   mutator derives all randomness from [(plan.seed, index)], so runs
-   with and without faults generate byte-identical certificates.
-   [start] skips delivery (not generation) below an index — resuming a
-   checkpointed run replays the deterministic stream and fast-forwards.
+let issuer_weights =
+  lazy
+    (let total = List.fold_left (fun acc i -> acc +. i.volume) 0.0 issuers in
+     List.map (fun i -> (i, i.volume /. total)) issuers)
+
+(* Each corpus index draws from its own splitmix stream keyed by
+   [(seed, index)], so an entry is a pure function of the pair: any
+   contiguous sub-range of indices — a resume, a shard of a parallel
+   run — regenerates byte-identical certificates without replaying the
+   indices before it. *)
+let generate_at ~seed index =
+  let g = Ucrypto.Prng.of_pair seed index in
+  let issuer = Ucrypto.Prng.weighted g (Lazy.force issuer_weights) in
+  generate_entry g issuer
+
+let prewarm () =
+  ignore (Lazy.force issuer_weights);
+  ignore (Lazy.force obs_certs);
+  ignore (Lazy.force obs_idn);
+  ignore (Lazy.force obs_flaws);
+  ignore (Lazy.force obs_injected)
+
+(* The full streaming loop.  Corruption decisions never touch the
+   entry's generator: the mutator derives all randomness from
+   [(plan.seed, index)], so runs with and without faults generate
+   byte-identical certificates.  [start]/[stop] bound the generated
+   index range — entries outside it are neither generated nor counted,
+   which is what makes checkpoint resume and range sharding cheap.
    [drop] delivers nothing for corrupted indices, producing the
    clean-subset reference run the fault-smoke A/B check compares
    against. *)
-let iter_deliveries ?(scale = default_scale) ?(start = 0) ?mutator ?(drop = false)
-    ~seed f =
-  let g = Ucrypto.Prng.create seed in
-  let total_volume = List.fold_left (fun acc i -> acc +. i.volume) 0.0 issuers in
-  let weighted = List.map (fun i -> (i, i.volume /. total_volume)) issuers in
+let iter_deliveries ?(scale = default_scale) ?(start = 0) ?stop ?mutator
+    ?(drop = false) ~seed f =
+  let stop = match stop with Some s -> s | None -> scale in
   let certs = Lazy.force obs_certs in
   let idn = Lazy.force obs_idn in
   let flaws = Lazy.force obs_flaws in
   let injected = match mutator with Some _ -> Some (Lazy.force obs_injected) | None -> None in
-  let progress = Obs.Progress.create ~total:scale ~label:"generate" () in
-  for i = 0 to scale - 1 do
-    let issuer = Ucrypto.Prng.weighted g weighted in
-    let e = Obs.Span.with_ "generate" (fun () -> generate_entry g issuer) in
+  let progress = Obs.Progress.create ~total:(max 0 (stop - start)) ~label:"generate" () in
+  for i = start to stop - 1 do
+    let e = Obs.Span.with_ "generate" (fun () -> generate_at ~seed i) in
     Obs.Counter.inc certs;
     if e.is_idn then Obs.Counter.inc idn;
     List.iter
       (fun fl -> Obs.Counter.inc (Obs.Counter.Labeled.get flaws (Flaws.name fl)))
       e.flaws;
     Obs.Progress.tick progress;
-    if i >= start then
-      match mutator with
-      | Some plan when Faults.Mutator.hits plan i ->
-          if not drop then begin
-            let der, kind, error = corrupt_der plan i e.cert.X509.Certificate.der in
-            (match injected with
-            | Some c ->
-                Obs.Counter.inc
-                  (Obs.Counter.Labeled.get c (Faults.Mutator.kind_name kind))
-            | None -> ());
-            f i (Corrupt { der; kind; error })
-          end
-      | _ -> f i (Entry e)
+    match mutator with
+    | Some plan when Faults.Mutator.hits plan i ->
+        if not drop then begin
+          let der, kind, error = corrupt_der plan i e.cert.X509.Certificate.der in
+          (match injected with
+          | Some c ->
+              Obs.Counter.inc
+                (Obs.Counter.Labeled.get c (Faults.Mutator.kind_name kind))
+          | None -> ());
+          f i (Corrupt { der; kind; error })
+        end
+    | _ -> f i (Entry e)
   done;
   Obs.Progress.finish progress
 

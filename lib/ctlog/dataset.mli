@@ -48,6 +48,18 @@ val generate_entry : Ucrypto.Prng.t -> issuer -> entry
 (** [generate_entry g issuer] draws one certificate from the issuer's
     distribution. *)
 
+val generate_at : seed:int -> int -> entry
+(** [generate_at ~seed index] is corpus entry [index]: a pure function
+    of [(seed, index)] (each index owns a splitmix stream keyed by the
+    pair), so any contiguous index range — a shard of a parallel run, a
+    checkpoint resume — regenerates byte-identical certificates without
+    replaying earlier indices. *)
+
+val prewarm : unit -> unit
+(** Force the module's lazy state (issuer weights, telemetry handles).
+    Call once from the coordinating domain before spawning workers —
+    [Lazy.force] is not domain-safe in OCaml 5. *)
+
 val iter : ?scale:int -> seed:int -> (entry -> unit) -> unit
 (** [iter ~seed f] streams [scale] corpus entries through [f] without
     materializing the corpus (constant memory). *)
@@ -61,12 +73,14 @@ type delivery =
 val iter_deliveries :
   ?scale:int ->
   ?start:int ->
+  ?stop:int ->
   ?mutator:Faults.Mutator.plan ->
   ?drop:bool ->
   seed:int ->
   (int -> delivery -> unit) ->
   unit
-(** Fault-aware streaming.  The callback receives the corpus index.
+(** Fault-aware streaming over indices [start, stop) ([start] defaults
+    to 0, [stop] to [scale]).  The callback receives the corpus index.
     With [mutator], indices selected by {!Faults.Mutator.hits} deliver
     [Corrupt] — mutated until the bytes genuinely fail
     [X509.Certificate.parse] (counted in
@@ -74,8 +88,9 @@ val iter_deliveries :
     deliver nothing at all, which yields the clean-subset reference run:
     corruption decisions consume no generator randomness, so the
     surviving entries are byte-identical between the two modes.
-    [start] skips delivery below an index while still replaying
-    generation — checkpoint resume. *)
+    Entries are pure per-index ({!generate_at}), so a sub-range —
+    checkpoint resume, a parallel shard — generates only its own
+    indices and still yields the same bytes a full pass would. *)
 
 val generate : ?scale:int -> seed:int -> unit -> entry list
 (** Materialized variant for small scales. *)

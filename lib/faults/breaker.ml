@@ -1,23 +1,28 @@
+(* All four cells are atomics: breakers are shared process-wide (one
+   per lint / parser model) and worker domains hit [success]/[failure]
+   concurrently.  The trip decision uses a CAS on [open_] so exactly
+   one domain records the trip. *)
 type t = {
   name : string;
-  mutable threshold : int;
-  mutable consecutive : int;
-  mutable crashes : int;
-  mutable open_ : bool;
+  threshold : int Atomic.t;
+  consecutive : int Atomic.t;
+  crashes : int Atomic.t;
+  open_ : bool Atomic.t;
 }
 
 let default_threshold = 5
 
 let create ?(threshold = default_threshold) name =
   if threshold < 1 then invalid_arg "Faults.Breaker.create: threshold < 1";
-  { name; threshold; consecutive = 0; crashes = 0; open_ = false }
+  { name; threshold = Atomic.make threshold; consecutive = Atomic.make 0;
+    crashes = Atomic.make 0; open_ = Atomic.make false }
 
 let name t = t.name
-let threshold t = t.threshold
+let threshold t = Atomic.get t.threshold
 
 let set_threshold t n =
   if n < 1 then invalid_arg "Faults.Breaker.set_threshold: threshold < 1";
-  t.threshold <- n
+  Atomic.set t.threshold n
 
 let obs_trips =
   lazy
@@ -25,21 +30,23 @@ let obs_trips =
        ~help:"Circuit breakers tripped open by consecutive crashes"
        "unicert_fault_breaker_trips_total")
 
-let success t = if not t.open_ then t.consecutive <- 0
+let prewarm () = ignore (Lazy.force obs_trips)
+
+let success t = if not (Atomic.get t.open_) then Atomic.set t.consecutive 0
 
 let failure t =
-  t.crashes <- t.crashes + 1;
-  t.consecutive <- t.consecutive + 1;
-  if (not t.open_) && t.consecutive >= t.threshold then begin
-    t.open_ <- true;
-    Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_trips) t.name)
-  end
+  ignore (Atomic.fetch_and_add t.crashes 1);
+  let consecutive = 1 + Atomic.fetch_and_add t.consecutive 1 in
+  if
+    consecutive >= Atomic.get t.threshold
+    && Atomic.compare_and_set t.open_ false true
+  then Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_trips) t.name)
 
-let tripped t = t.open_
-let crashes t = t.crashes
-let consecutive t = t.consecutive
+let tripped t = Atomic.get t.open_
+let crashes t = Atomic.get t.crashes
+let consecutive t = Atomic.get t.consecutive
 
 let reset t =
-  t.consecutive <- 0;
-  t.crashes <- 0;
-  t.open_ <- false
+  Atomic.set t.consecutive 0;
+  Atomic.set t.crashes 0;
+  Atomic.set t.open_ false

@@ -38,3 +38,8 @@ val consecutive : t -> int
 
 val reset : t -> unit
 (** Close the breaker and zero both counts (test support). *)
+
+val prewarm : unit -> unit
+(** Force the module's lazy telemetry handles.  Call once from the
+    coordinating domain before spawning workers — [Lazy.force] is not
+    domain-safe in OCaml 5. *)

@@ -4,6 +4,8 @@ type 'a t = { scale : int; seed : int; next_index : int; state : 'a }
    relying on Marshal's own (unsafe) failure modes alone. *)
 let magic = "UNICERT-CKPT1\n"
 
+let shard_file path shard = Printf.sprintf "%s.shard%d" path shard
+
 let save path t =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in

@@ -14,6 +14,12 @@ type 'a t = {
   state : 'a;
 }
 
+val shard_file : string -> int -> string
+(** [shard_file path k] is the per-shard checkpoint path
+    ([path.shard<k>]) a parallel run uses: each worker domain
+    checkpoints its own index range independently, so one run keeps one
+    cursor file per shard instead of a single global cursor. *)
+
 val save : string -> 'a t -> unit
 (** Atomic: the file named never holds a partial write. *)
 

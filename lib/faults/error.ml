@@ -63,5 +63,7 @@ let obs_errors =
        ~help:"Fault events recorded by error boundaries, by taxonomy class"
        "unicert_fault_errors_total")
 
+let prewarm () = ignore (Lazy.force obs_errors)
+
 let observe e =
   Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_errors) (class_name e))

@@ -50,3 +50,8 @@ val of_exn : stage:string -> exn -> t
 val observe : t -> unit
 (** Count the event in {!Obs.Registry.default} under
     [unicert_fault_errors_total{class="..."}]. *)
+
+val prewarm : unit -> unit
+(** Force the module's lazy telemetry handles.  Call once from the
+    coordinating domain before spawning workers — [Lazy.force] is not
+    domain-safe in OCaml 5. *)

@@ -7,8 +7,13 @@ let hang_bound = 2.0
 
 type slot = { mode : mode; every : int; mutable ticks : int }
 
+(* One global mutex guards the slot table and the per-slot tick
+   counters: campaigns are rare and tick only runs when a campaign is
+   armed, so the lock is never on the clean path ([active] stays a
+   single atomic read). *)
+let lock = Mutex.create ()
 let slots : (string, slot) Hashtbl.t = Hashtbl.create 8
-let any = ref false
+let any = Atomic.make false
 
 let obs_injected =
   lazy
@@ -16,27 +21,35 @@ let obs_injected =
        ~help:"Faults fired by the injection harness"
        "unicert_fault_injections_total")
 
+let prewarm () = ignore (Lazy.force obs_injected)
+
 let arm ?(mode = Crash) ~every target =
   if every < 1 then invalid_arg "Faults.Injector.arm: every must be >= 1";
-  Hashtbl.replace slots target { mode; every; ticks = 0 };
-  any := true
+  Mutex.protect lock (fun () ->
+      Hashtbl.replace slots target { mode; every; ticks = 0 };
+      Atomic.set any true)
 
 let disarm target =
-  Hashtbl.remove slots target;
-  any := Hashtbl.length slots > 0
+  Mutex.protect lock (fun () ->
+      Hashtbl.remove slots target;
+      Atomic.set any (Hashtbl.length slots > 0))
 
 let reset () =
-  Hashtbl.reset slots;
-  any := false
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset slots;
+      Atomic.set any false)
 
-let active () = !any
+let active () = Atomic.get any
 
 let armed () =
-  Hashtbl.fold (fun k s acc -> (k, s.mode, s.every) :: acc) slots []
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun k s acc -> (k, s.mode, s.every) :: acc) slots [])
   |> List.sort compare
 
 (* An allocating busy loop: OCaml delivers pending signals at
-   allocation points, so a Watchdog alarm interrupts this "hang". *)
+   allocation points, so a Watchdog alarm interrupts this "hang" on the
+   main domain; on worker domains it expires at [hang_bound] and the
+   deadline check converts the raise. *)
 let hang target =
   let t0 = Unix.gettimeofday () in
   let sink = ref 0 in
@@ -46,16 +59,21 @@ let hang target =
   raise (Injected_hang target)
 
 let tick target =
-  match Hashtbl.find_opt slots target with
+  let due =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt slots target with
+        | None -> None
+        | Some s ->
+            s.ticks <- s.ticks + 1;
+            if s.ticks mod s.every = 0 then Some s.mode else None)
+  in
+  match due with
   | None -> ()
-  | Some s ->
-      s.ticks <- s.ticks + 1;
-      if s.ticks mod s.every = 0 then begin
-        Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_injected) target);
-        match s.mode with
-        | Crash -> raise (Injected_crash target)
-        | Hang -> hang target
-      end
+  | Some mode -> (
+      Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_injected) target);
+      match mode with
+      | Crash -> raise (Injected_crash target)
+      | Hang -> hang target)
 
 let parse_spec spec =
   match String.rindex_opt spec ':' with

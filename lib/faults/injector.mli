@@ -46,3 +46,8 @@ val tick : string -> unit
 
 val parse_spec : string -> (string * int, string) result
 (** Parse a CLI ["TARGET:EVERY"] spec (e.g. ["u_cn_in_san:3"]). *)
+
+val prewarm : unit -> unit
+(** Force the module's lazy telemetry handles.  Call once from the
+    coordinating domain before spawning workers — [Lazy.force] is not
+    domain-safe in OCaml 5. *)

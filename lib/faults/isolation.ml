@@ -1,3 +1,3 @@
-let flag = ref true
-let enabled () = !flag
-let set v = flag := v
+let flag = Atomic.make true
+let enabled () = Atomic.get flag
+let set v = Atomic.set flag v

@@ -11,15 +11,61 @@ let obs_quarantined =
        ~help:"Certificates written to the quarantine sidecar"
        "unicert_quarantine_total")
 
-let open_ ~dir ~run_seed =
+let prewarm () = ignore (Lazy.force obs_quarantined)
+
+let ensure_dir dir =
   (if not (Sys.file_exists dir) then
      try Unix.mkdir dir 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   if not (Sys.is_directory dir) then
-    raise (Sys_error (dir ^ ": not a directory"));
-  let path = Filename.concat dir (Printf.sprintf "quarantine-%d.jsonl" run_seed) in
+    raise (Sys_error (dir ^ ": not a directory"))
+
+let main_path ~dir ~run_seed =
+  Filename.concat dir (Printf.sprintf "quarantine-%d.jsonl" run_seed)
+
+let shard_path ~dir ~run_seed ~shard =
+  Filename.concat dir (Printf.sprintf "quarantine-%d.shard%d.jsonl" run_seed shard)
+
+let open_ ~dir ~run_seed =
+  ensure_dir dir;
+  let path = main_path ~dir ~run_seed in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   { path; oc; written = 0; closed = false }
+
+(* A shard sidecar is transient: truncated on open (a leftover from a
+   crashed pass must not double its records) and folded into the main
+   sidecar by [merge_shards] when the parallel pass ends. *)
+let open_shard ~dir ~run_seed ~shard =
+  ensure_dir dir;
+  let path = shard_path ~dir ~run_seed ~shard in
+  let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat ] 0o644 path in
+  { path; oc; written = 0; closed = false }
+
+let merge_shards ~dir ~run_seed ~shards =
+  ensure_dir dir;
+  let main = main_path ~dir ~run_seed in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 main in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      for shard = 0 to shards - 1 do
+        let p = shard_path ~dir ~run_seed ~shard in
+        if Sys.file_exists p then begin
+          let ic = open_in_bin p in
+          let buf = Bytes.create 65536 in
+          let rec copy () =
+            let n = input ic buf 0 (Bytes.length buf) in
+            if n > 0 then begin
+              output oc buf 0 n;
+              copy ()
+            end
+          in
+          copy ();
+          close_in ic;
+          Sys.remove p
+        end
+      done);
+  main
 
 let path t = t.path
 

@@ -12,6 +12,27 @@ val open_ : dir:string -> run_seed:int -> t
     [dir]/quarantine-<run_seed>.jsonl for append.
     @raise Sys_error when the directory cannot be created. *)
 
+val open_shard : dir:string -> run_seed:int -> shard:int -> t
+(** A per-shard sidecar ([quarantine-<run_seed>.shard<k>.jsonl]) for
+    one worker domain of a parallel pass: concurrent domains appending
+    to a single file would interleave mid-record, so each shard writes
+    its own file.  Opened truncating (a shard file is transient; a
+    leftover from a crashed pass must not double its records). *)
+
+val merge_shards : dir:string -> run_seed:int -> shards:int -> string
+(** Concatenate the shard sidecars in shard order — which is corpus
+    index order, since shards are contiguous ascending ranges — onto
+    the main [quarantine-<run_seed>.jsonl], delete them, and return the
+    main path.  The merged file is byte-identical to what a sequential
+    pass would have appended.  Missing shard files (shards with no
+    faults still write an empty file; a crash may leave none) are
+    skipped. *)
+
+val prewarm : unit -> unit
+(** Force the module's lazy telemetry handles.  Call once from the
+    coordinating domain before spawning workers — [Lazy.force] is not
+    domain-safe in OCaml 5. *)
+
 val path : t -> string
 
 val record :

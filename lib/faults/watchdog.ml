@@ -1,31 +1,51 @@
 exception Timed_out of { stage : string; seconds : float }
 
-let with_timeout ?(stage = "stage") ~seconds f =
-  if seconds <= 0.0 then f ()
-  else begin
-    let fired = ref false in
-    let old_handler =
-      Sys.signal Sys.sigalrm
-        (Sys.Signal_handle
-           (fun _ ->
-             fired := true;
-             raise (Timed_out { stage; seconds })))
-    in
-    let stop () =
-      ignore
-        (Unix.setitimer Unix.ITIMER_REAL
-           { Unix.it_interval = 0.0; it_value = 0.0 });
-      Sys.set_signal Sys.sigalrm old_handler
-    in
+(* The SIGALRM path: interrupts [f] mid-flight at its next allocation
+   point.  Only valid on the main domain — OCaml 5 delivers signals to
+   the main domain exclusively, so a worker arming the itimer would
+   never see its own alarm (and could kill an innocent main-domain
+   stage instead). *)
+let with_alarm ~stage ~seconds f =
+  let fired = ref false in
+  let old_handler =
+    Sys.signal Sys.sigalrm
+      (Sys.Signal_handle
+         (fun _ ->
+           fired := true;
+           raise (Timed_out { stage; seconds })))
+  in
+  let stop () =
     ignore
       (Unix.setitimer Unix.ITIMER_REAL
-         { Unix.it_interval = 0.0; it_value = seconds });
-    match f () with
-    | v ->
-        stop ();
-        v
-    | exception e ->
-        stop ();
-        ignore !fired;
-        raise e
-  end
+         { Unix.it_interval = 0.0; it_value = 0.0 });
+    Sys.set_signal Sys.sigalrm old_handler
+  in
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_interval = 0.0; it_value = seconds });
+  match f () with
+  | v ->
+      stop ();
+      v
+  | exception e ->
+      stop ();
+      ignore !fired;
+      raise e
+
+(* The worker-domain path: run [f] to completion, then compare wall
+   clock against the budget.  This cannot interrupt a truly unbounded
+   loop — it relies on [f] terminating (the injected hangs are bounded
+   busy loops) — but it converts every overrun, normal return or raise
+   alike, into the same [Timed_out] the alarm path produces. *)
+let with_deadline ~stage ~seconds f =
+  let t0 = Unix.gettimeofday () in
+  let overrun () = Unix.gettimeofday () -. t0 > seconds in
+  match f () with
+  | v -> if overrun () then raise (Timed_out { stage; seconds }) else v
+  | exception e ->
+      if overrun () then raise (Timed_out { stage; seconds }) else raise e
+
+let with_timeout ?(stage = "stage") ~seconds f =
+  if seconds <= 0.0 then f ()
+  else if Domain.is_main_domain () then with_alarm ~stage ~seconds f
+  else with_deadline ~stage ~seconds f

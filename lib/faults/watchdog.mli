@@ -1,13 +1,23 @@
 (** A wall-clock watchdog for hang containment.
 
-    [with_timeout ~seconds f] runs [f ()] under a real [ITIMER_REAL]
-    alarm; if [f] is still running when the alarm fires, the SIGALRM
-    handler raises {!Timed_out} at the next allocation or function
-    call, unwinding [f].  Pure tight loops that never allocate cannot
-    be interrupted — the lints and models this guards all allocate.
+    On the main domain, [with_timeout ~seconds f] runs [f ()] under a
+    real [ITIMER_REAL] alarm; if [f] is still running when the alarm
+    fires, the SIGALRM handler raises {!Timed_out} at the next
+    allocation or function call, unwinding [f].  Pure tight loops that
+    never allocate cannot be interrupted — the lints and models this
+    guards all allocate.
 
-    Nesting is not supported (one timer per process); the previous
-    handler and timer are restored on exit either way. *)
+    On worker domains the alarm is unavailable (OCaml 5 delivers
+    signals only to the main domain), so the watchdog degrades to a
+    post-hoc deadline: [f] runs to completion and an overrun — whether
+    [f] returned or raised — is converted into {!Timed_out} afterwards.
+    The accounting is identical to the alarm path; what changes is that
+    a hang must terminate on its own to be detected (the fault
+    injector's hangs are bounded busy loops for exactly this reason),
+    and a worker overrun keeps burning its core until [f] finishes.
+
+    Nesting is not supported on the alarm path (one timer per process);
+    the previous handler and timer are restored on exit either way. *)
 
 exception Timed_out of { stage : string; seconds : float }
 

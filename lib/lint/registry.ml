@@ -30,7 +30,7 @@ type instr = {
   warn : Obs.Counter.t;
   na : Obs.Counter.t;
   seconds : Obs.Counter.t;      (** sampled cumulative check time *)
-  mutable tick : int;
+  tick : int Atomic.t;
   breaker : Faults.Breaker.t;
 }
 
@@ -65,7 +65,7 @@ let instruments =
      List.map
        (fun l ->
          { invocations = mk invocations l; fail = mk fail l; warn = mk warn l;
-           na = mk na l; seconds = mk seconds l; tick = 0;
+           na = mk na l; seconds = mk seconds l; tick = Atomic.make 0;
            breaker = Faults.Breaker.create l.Types.name })
        all)
 
@@ -79,10 +79,10 @@ let invoke (l : Types.t) ctx =
 let checked ins (l : Types.t) ctx =
   if Faults.Breaker.tripped ins.breaker then Types.Na
   else begin
-    ins.tick <- ins.tick + 1;
+    let tick = 1 + Atomic.fetch_and_add ins.tick 1 in
     Obs.Counter.inc ins.invocations;
     match
-      if ins.tick mod time_sample = 0 then begin
+      if tick mod time_sample = 0 then begin
         let t0 = Unix.gettimeofday () in
         let status = invoke l ctx in
         Obs.Counter.add ins.seconds

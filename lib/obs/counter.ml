@@ -1,46 +1,59 @@
-(* The value lives in a one-slot float array: OCaml boxes a [mutable
-   float] field in a mixed record, which would allocate on every
-   increment — a float-array slot updates in place, keeping [inc] safe
-   for paths hit millions of times per run. *)
-type t = { name : string; help : string; cell : float array }
+(* The value lives in a [float Atomic.t]: hot paths increment from
+   several domains at once (the sharded pipeline), so the update must
+   be a CAS loop rather than an in-place store — a plain mutable cell
+   silently loses increments under contention.  Counts stay exact:
+   float adds of small integers are associative-enough (exact up to
+   2^53), and the CAS retries until the add lands. *)
+type t = { name : string; help : string; cell : float Atomic.t }
 
-let make ?(help = "") name = { name; help; cell = [| 0.0 |] }
-let inc t = t.cell.(0) <- t.cell.(0) +. 1.0
+let make ?(help = "") name = { name; help; cell = Atomic.make 0.0 }
+
+let rec atomic_add cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then atomic_add cell x
+
+let inc t = atomic_add t.cell 1.0
 
 let add t x =
   if x < 0.0 then invalid_arg "Obs.Counter.add: negative increment";
-  t.cell.(0) <- t.cell.(0) +. x
+  atomic_add t.cell x
 
-let value t = t.cell.(0)
+let value t = Atomic.get t.cell
 let name t = t.name
 let help t = t.help
-let reset t = t.cell.(0) <- 0.0
+let reset t = Atomic.set t.cell 0.0
 
 let make_child = make
 
 module Labeled = struct
   type counter = t
 
+  (* The children table is read far more than written; a single mutex
+     per family is enough because hot paths cache the child handle and
+     only pay the lock on first use of a label. *)
   type t = {
     name : string;
     help : string;
     label : string;
+    lock : Mutex.t;
     children : (string, counter) Hashtbl.t;
   }
 
   let make ?(help = "") ~label name =
-    { name; help; label; children = Hashtbl.create 16 }
+    { name; help; label; lock = Mutex.create (); children = Hashtbl.create 16 }
 
   let get t v =
-    match Hashtbl.find_opt t.children v with
-    | Some c -> c
-    | None ->
-        let c = make_child ~help:t.help t.name in
-        Hashtbl.replace t.children v c;
-        c
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.children v with
+        | Some c -> c
+        | None ->
+            let c = make_child ~help:t.help t.name in
+            Hashtbl.replace t.children v c;
+            c)
 
   let children t =
-    Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.children []
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.children [])
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
   let name t = t.name

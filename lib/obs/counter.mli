@@ -1,6 +1,7 @@
 (** Monotonically increasing counters (Prometheus semantics: a float
-    that only ever grows).  Construction is cheap and lock-free; the
-    single-process pipeline never contends. *)
+    that only ever grows).  Increments are atomic (CAS loop), so
+    counters stay exact when several pipeline domains share one
+    handle. *)
 
 type t
 

@@ -1,9 +1,14 @@
-type t = { name : string; help : string; mutable value : float }
+type t = { name : string; help : string; value : float Atomic.t }
 
-let make ?(help = "") name = { name; help; value = 0.0 }
-let set t v = t.value <- v
-let add t v = t.value <- t.value +. v
-let sub t v = t.value <- t.value -. v
-let value t = t.value
+let make ?(help = "") name = { name; help; value = Atomic.make 0.0 }
+let set t v = Atomic.set t.value v
+
+let rec atomic_add cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then atomic_add cell x
+
+let add t v = atomic_add t.value v
+let sub t v = atomic_add t.value (-.v)
+let value t = Atomic.get t.value
 let name t = t.name
 let help t = t.help

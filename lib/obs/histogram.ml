@@ -1,13 +1,15 @@
-(* [sum] sits in a float-array slot for the same reason as
-   {!Counter.t}: a boxed mutable float field would allocate per
-   observation. *)
+(* Buckets, sum and count are all atomics: [observe] runs on worker
+   domains concurrently, and a racy [mutable count] would drift from
+   the bucket totals.  Each observation is three independent atomic
+   updates, so a mid-flight snapshot can be off by a transient
+   observation — acceptable for telemetry, unlike lost updates. *)
 type t = {
   name : string;
   help : string;
   bounds : float array;
-  counts : int array;  (* length = Array.length bounds + 1; last is +Inf *)
-  sum_cell : float array;
-  mutable count : int;
+  counts : int Atomic.t array;  (* length = Array.length bounds + 1; last is +Inf *)
+  sum_cell : float Atomic.t;
+  count : int Atomic.t;
 }
 
 let log_buckets ~base ~factor ~count =
@@ -24,20 +26,25 @@ let make ?(help = "") ?(buckets = default_latency_buckets) name =
     if buckets.(i) <= buckets.(i - 1) then
       invalid_arg "Obs.Histogram.make: bounds not strictly increasing"
   done;
-  { name; help; bounds = Array.copy buckets; counts = Array.make (n + 1) 0;
-    sum_cell = [| 0.0 |]; count = 0 }
+  { name; help; bounds = Array.copy buckets;
+    counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+    sum_cell = Atomic.make 0.0; count = Atomic.make 0 }
+
+let rec atomic_addf cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then atomic_addf cell x
 
 let observe t v =
   let n = Array.length t.bounds in
   (* Bounds are few (≤ 20); a linear scan beats binary search overhead. *)
   let rec slot i = if i >= n || v <= t.bounds.(i) then i else slot (i + 1) in
   let i = slot 0 in
-  t.counts.(i) <- t.counts.(i) + 1;
-  t.sum_cell.(0) <- t.sum_cell.(0) +. v;
-  t.count <- t.count + 1
+  ignore (Atomic.fetch_and_add t.counts.(i) 1);
+  atomic_addf t.sum_cell v;
+  ignore (Atomic.fetch_and_add t.count 1)
 
-let sum t = t.sum_cell.(0)
-let count t = t.count
+let sum t = Atomic.get t.sum_cell
+let count t = Atomic.get t.count
 let name t = t.name
 let help t = t.help
 let bounds t = Array.copy t.bounds
@@ -46,7 +53,7 @@ let cumulative t =
   let acc = ref 0 in
   Array.to_list t.bounds
   |> List.mapi (fun i b ->
-         acc := !acc + t.counts.(i);
+         acc := !acc + Atomic.get t.counts.(i);
          (b, !acc))
 
 let make_child = make
@@ -59,22 +66,26 @@ module Labeled = struct
     help : string;
     label : string;
     buckets : float array;
+    lock : Mutex.t;
     children : (string, histogram) Hashtbl.t;
   }
 
   let make ?(help = "") ?(buckets = default_latency_buckets) ~label name =
-    { name; help; label; buckets; children = Hashtbl.create 16 }
+    { name; help; label; buckets; lock = Mutex.create ();
+      children = Hashtbl.create 16 }
 
   let get t v =
-    match Hashtbl.find_opt t.children v with
-    | Some h -> h
-    | None ->
-        let h = make_child ~help:t.help ~buckets:t.buckets t.name in
-        Hashtbl.replace t.children v h;
-        h
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.children v with
+        | Some h -> h
+        | None ->
+            let h = make_child ~help:t.help ~buckets:t.buckets t.name in
+            Hashtbl.replace t.children v h;
+            h)
 
   let children t =
-    Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.children []
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.children [])
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
   let name t = t.name

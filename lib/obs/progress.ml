@@ -10,10 +10,10 @@ type t = {
   mutable emitted : bool;
 }
 
-let override_state : bool option ref = ref None
+let override_state : bool option Atomic.t = Atomic.make None
 
-let set_override o = override_state := o
-let override () = !override_state
+let set_override o = Atomic.set override_state o
+let override () = Atomic.get override_state
 
 let auto_active () =
   let quiet =
@@ -22,7 +22,14 @@ let auto_active () =
   (not quiet) && (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
 
 let create ?total ?(out = stderr) ?(interval = 0.25) ~label () =
-  let active = match !override_state with Some b -> b | None -> auto_active () in
+  (* Only the coordinating (main) domain ever emits: concurrent worker
+     domains each run their own shard pass, and interleaved \r rewrites
+     would shred the line.  Worker meters stay inactive but still
+     count. *)
+  let active =
+    Domain.is_main_domain ()
+    && (match Atomic.get override_state with Some b -> b | None -> auto_active ())
+  in
   { label; total; out; interval; active; start = Unix.gettimeofday ();
     n = 0; last_emit = 0.0; emitted = false }
 

@@ -5,9 +5,12 @@ type metric =
   | Histogram of Histogram.t
   | Labeled_histogram of Histogram.Labeled.t
 
-type t = { table : (string, metric) Hashtbl.t }
+(* The table is mutex-guarded: [intern]'s find-or-create must be atomic
+   when several domains resolve the same metric name concurrently, or
+   two handles for one name would split the counts. *)
+type t = { lock : Mutex.t; table : (string, metric) Hashtbl.t }
 
-let create () = { table = Hashtbl.create 64 }
+let create () = { lock = Mutex.create (); table = Hashtbl.create 64 }
 let default = create ()
 
 let metric_name = function
@@ -17,15 +20,17 @@ let metric_name = function
   | Histogram h -> Histogram.name h
   | Labeled_histogram h -> Histogram.Labeled.name h
 
-let find t name = Hashtbl.find_opt t.table name
+let find t name = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table name)
 
 let metrics t =
-  Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.table []
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Idempotent lookup-or-create; a kind clash on an existing name is a
    programming error worth failing loudly on. *)
 let intern ?(registry = default) name ~extract ~build =
+  Mutex.protect registry.lock @@ fun () ->
   match Hashtbl.find_opt registry.table name with
   | Some m -> (
       match extract m with

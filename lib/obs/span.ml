@@ -4,10 +4,18 @@ let family registry =
   Registry.labeled_histogram ?registry ~label:"span"
     ~help:"Wall-clock time per instrumented span" histogram_name
 
-let stack : string list ref = ref []
+(* The nesting stack is domain-local: a global ref would interleave the
+   stacks of concurrent worker domains, corrupting [current] and the
+   pop in the [finally].  Durations still land in the shared (atomic)
+   histogram family, so per-span totals aggregate across domains. *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let with_ ?registry name f =
   let hist = Histogram.Labeled.get (family registry) name in
+  let stack = stack () in
   stack := name :: !stack;
   let t0 = Unix.gettimeofday () in
   Fun.protect
@@ -17,7 +25,7 @@ let with_ ?registry name f =
       Histogram.observe hist dt)
     f
 
-let current () = !stack
+let current () = !(stack ())
 
 let child registry name = Histogram.Labeled.get (family registry) name
 let sum ?registry name = Histogram.sum (child registry name)

@@ -1,0 +1,68 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let shards ~jobs n =
+  if n <= 0 then []
+  else begin
+    let jobs = max 1 (min jobs n) in
+    let base = n / jobs and extra = n mod jobs in
+    (* The first [extra] shards take one more element, so shard sizes
+       differ by at most one and ranges stay contiguous and ascending —
+       the deterministic-merge contract leans on that ordering. *)
+    let rec go k lo acc =
+      if k >= jobs then List.rev acc
+      else begin
+        let len = base + if k < extra then 1 else 0 in
+        go (k + 1) (lo + len) ((lo, lo + len) :: acc)
+      end
+    in
+    go 0 0 []
+  end
+
+(* Run every task, collecting results (or the exception) per task so a
+   crash in one domain never leaks the others un-joined; the first
+   failure (in task order) is re-raised after all domains finished. *)
+let collect_results thunks =
+  List.map (fun r -> match r with Ok v -> v | Error (e, bt) -> Printexc.raise_with_backtrace e bt) thunks
+
+let guarded f = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+
+let map_tasks ~jobs tasks =
+  match tasks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | tasks when jobs <= 1 -> List.map (fun f -> f ()) tasks
+  | tasks ->
+      let doms = List.map (fun f -> Domain.spawn (fun () -> guarded f)) tasks in
+      collect_results (List.map Domain.join doms)
+
+let map_shards ~jobs ~scale f =
+  let ranges = shards ~jobs scale in
+  map_tasks ~jobs:(List.length ranges)
+    (List.mapi (fun shard (lo, hi) () -> f ~shard ~lo ~hi) ranges)
+
+let run ~jobs thunks =
+  let tasks = Array.of_list thunks in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else if jobs <= 1 || n = 1 then List.map (fun f -> f ()) thunks
+  else begin
+    (* A shared work index feeds [jobs] domains; results keep the input
+       order regardless of which domain claimed which task. *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (guarded tasks.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let doms = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join doms;
+    collect_results
+      (Array.to_list
+         (Array.map (function Some r -> r | None -> assert false) results))
+  end

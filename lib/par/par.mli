@@ -1,0 +1,34 @@
+(** Domain-pool execution for the sharded pipeline.
+
+    The engine only handles the mechanics — splitting an index range
+    into contiguous shards, running one task per shard on its own
+    domain, and joining results in shard order.  Determinism is the
+    caller's contract: shard work must be a pure function of the range
+    (see {!Ucrypto.Prng.of_pair}), and merges must walk results in the
+    shard order this module returns them in. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1 — the default
+    for every [--jobs] flag. *)
+
+val shards : jobs:int -> int -> (int * int) list
+(** [shards ~jobs n] splits [[0, n)] into at most [jobs] contiguous
+    [(lo, hi)] ranges in ascending order; sizes differ by at most one.
+    Empty for [n <= 0]; never returns an empty range. *)
+
+val map_shards :
+  jobs:int -> scale:int -> (shard:int -> lo:int -> hi:int -> 'a) -> 'a list
+(** [map_shards ~jobs ~scale f] runs [f ~shard ~lo ~hi] for every shard
+    of [[0, scale)], one domain per shard ([jobs <= 1] runs inline), and
+    returns results in shard (index) order.  Every domain is joined
+    even when one raises; the first exception in shard order is then
+    re-raised. *)
+
+val map_tasks : jobs:int -> (unit -> 'a) list -> 'a list
+(** One domain per task, results in input order; same join/exception
+    discipline as {!map_shards}. *)
+
+val run : jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs thunks] executes the thunks on a pool of [jobs] domains
+    fed from a shared work queue (for task lists longer than the pool);
+    results keep the input order. *)

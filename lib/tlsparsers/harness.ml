@@ -55,30 +55,38 @@ type decode_outcome = Decoded of string | Rejected | Crashed of string
 
 (* Per-model circuit breakers: a model that keeps raising gets disabled
    for the rest of the process and reported degraded instead of
-   crashing every remaining probe. *)
+   crashing every remaining probe.  The find-or-create table is shared
+   across domains, so it sits behind a mutex (the breakers themselves
+   are atomic). *)
+let breakers_lock = Mutex.create ()
 let breakers : (string, Faults.Breaker.t) Hashtbl.t = Hashtbl.create 16
 
 let breaker_for name =
-  match Hashtbl.find_opt breakers name with
-  | Some b -> b
-  | None ->
-      let b = Faults.Breaker.create name in
-      Hashtbl.add breakers name b;
-      b
+  Mutex.protect breakers_lock (fun () ->
+      match Hashtbl.find_opt breakers name with
+      | Some b -> b
+      | None ->
+          let b = Faults.Breaker.create name in
+          Hashtbl.add breakers name b;
+          b)
 
 let degraded_models () =
-  Hashtbl.fold
-    (fun _ b acc ->
-      if Faults.Breaker.tripped b then
-        (Faults.Breaker.name b, Faults.Breaker.crashes b) :: acc
-      else acc)
-    breakers []
+  Mutex.protect breakers_lock (fun () ->
+      Hashtbl.fold
+        (fun _ b acc ->
+          if Faults.Breaker.tripped b then
+            (Faults.Breaker.name b, Faults.Breaker.crashes b) :: acc
+          else acc)
+        breakers [])
   |> List.sort compare
 
 let set_breaker_threshold n =
-  Hashtbl.iter (fun _ b -> Faults.Breaker.set_threshold b n) breakers
+  Mutex.protect breakers_lock (fun () ->
+      Hashtbl.iter (fun _ b -> Faults.Breaker.set_threshold b n) breakers)
 
-let reset_faults () = Hashtbl.iter (fun _ b -> Faults.Breaker.reset b) breakers
+let reset_faults () =
+  Mutex.protect breakers_lock (fun () ->
+      Hashtbl.iter (fun _ b -> Faults.Breaker.reset b) breakers)
 
 (* Injection campaigns address models as "model:<name>", keeping the
    target namespace disjoint from lint names. *)

@@ -9,6 +9,16 @@ let mix z =
 
 let create seed = { state = mix (Int64.of_int seed) }
 
+(* Independent stream per (seed, index) pair: the seed is mixed first,
+   then pushed [index] steps along the splitmix gamma sequence and
+   mixed again, so neighbouring indices land on unrelated points of the
+   state space.  Corpus sharding depends on this being a pure function
+   of the pair — stream i never depends on how many draws stream i-1
+   consumed. *)
+let of_pair seed index =
+  let base = mix (Int64.of_int seed) in
+  { state = mix (Int64.add base (Int64.mul gamma (Int64.of_int index))) }
+
 let bits64 g =
   g.state <- Int64.add g.state gamma;
   mix g.state

@@ -9,6 +9,13 @@ type t
 val create : int -> t
 (** [create seed] builds an independent stream. *)
 
+val of_pair : int -> int -> t
+(** [of_pair seed index] builds the stream owned by position [index] of
+    run [seed]: a pure function of the pair, statistically independent
+    across indices.  This is what makes corpus generation shardable —
+    any index range regenerates exactly the entries a full sequential
+    pass would produce. *)
+
 val split : t -> t
 (** [split g] derives a statistically independent child stream. *)
 

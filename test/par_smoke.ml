@@ -1,0 +1,69 @@
+(* @par-smoke: end-to-end determinism check for the sharded pipeline,
+   attached to @runtest.
+
+   Runs the full analysis twice — sequentially and across 4 worker
+   domains — and asserts the multicore contract: the rendered report is
+   byte-identical, and with seeded corruption the quarantine sidecar
+   folded from the per-shard files is byte-identical too. *)
+
+let scale = 400
+let seed = 6
+let rate = 0.05
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("par-smoke: FAIL: " ^ m);
+      exit 1)
+    fmt
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let report t = Format.asprintf "%a" Unicert.Report.all t
+
+let () =
+  let sequential = report (Unicert.Pipeline.run ~scale ~seed ~jobs:1 ()) in
+  let parallel = report (Unicert.Pipeline.run ~scale ~seed ~jobs:4 ()) in
+  if parallel <> sequential then
+    fail "report differs between --jobs 1 and --jobs 4";
+
+  let corrupt jobs =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "unicert-par-smoke-%d-%d" jobs (Unix.getpid ()))
+    in
+    rm_rf dir;
+    let policy =
+      { Faults.Policy.default with Faults.Policy.quarantine_dir = Some dir }
+    in
+    let plan = Faults.Mutator.plan ~seed ~rate () in
+    let t = Unicert.Pipeline.run ~scale ~seed ~policy ~mutator:plan ~jobs () in
+    (match t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted with
+    | Some reason -> fail "corrupt run (jobs=%d) aborted: %s" jobs reason
+    | None -> ());
+    let sidecar =
+      Filename.concat dir (Printf.sprintf "quarantine-%d.jsonl" seed)
+    in
+    let bytes = read_file sidecar in
+    rm_rf dir;
+    (report t, bytes)
+  in
+  let seq_report, seq_q = corrupt 1 in
+  let par_report, par_q = corrupt 4 in
+  if String.length seq_q = 0 then fail "mutator hit nothing at rate %.2f" rate;
+  if par_report <> seq_report then
+    fail "corrupted report differs between --jobs 1 and --jobs 4";
+  if par_q <> seq_q then
+    fail "quarantine sidecar differs between --jobs 1 and --jobs 4";
+  print_endline "par-smoke: OK"

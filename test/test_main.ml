@@ -18,4 +18,5 @@ let () =
       ("unicert", Test_unicert.suite);
       ("misc", Test_misc.suite);
       ("faults", Test_faults.suite);
+      ("par", Test_par.suite);
     ]
