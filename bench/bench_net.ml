@@ -1,0 +1,81 @@
+(* Fetch-path benchmark: what does transport fault tolerance cost?
+
+   Fetches the corpus off the simulated CT logs min-of-N twice — over a
+   clean transport and at a 10% injected fault rate — and writes the
+   wall-clock throughput to BENCH_net.json (or the path given as the
+   first argument).  Faults cost real work (extra handler calls,
+   checksum re-validation, backoff bookkeeping) but all waiting is
+   virtual, so the acceptance budget is a 50% retry overhead.
+
+   Environment knobs: UNICERT_BENCH_SCALE (default 8000),
+   UNICERT_BENCH_RUNS (default 5). *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let scale = env_int "UNICERT_BENCH_SCALE" 8000
+let runs = env_int "UNICERT_BENCH_RUNS" 5
+let budget_pct = 50.0
+
+let min_of_runs f =
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    best := min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let fetch ~fault_rate () =
+  let cfg =
+    { Ctlog.Fetch.default_cfg with Ctlog.Fetch.net_seed = Some 13; fault_rate }
+  in
+  let items, covs = Ctlog.Fetch.corpus ~scale ~seed:1 cfg in
+  List.iter
+    (fun c ->
+      if not (Ctlog.Fetch.coverage_complete c) then begin
+        Printf.eprintf "error: benchmark fetch left %s incomplete\n"
+          c.Ctlog.Fetch.log;
+        exit 1
+      end)
+    covs;
+  items
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_net.json" in
+  Obs.Progress.set_override (Some false);
+  (* Warm up allocators and lazy instrument tables outside the clock. *)
+  ignore (fetch ~fault_rate:0.0 ());
+  let clean = min_of_runs (fetch ~fault_rate:0.0) in
+  let faulty = min_of_runs (fetch ~fault_rate:0.1) in
+  let throughput seconds = float_of_int scale /. seconds in
+  let overhead_pct = (faulty -. clean) /. clean *. 100.0 in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"simulated CT-log fetch, clean vs 10%% fault rate\",\n\
+    \  \"scale\": %d,\n\
+    \  \"runs\": %d,\n\
+    \  \"aggregation\": \"min of runs, wall clock\",\n\
+    \  \"clean_seconds\": %.4f,\n\
+    \  \"clean_entries_per_sec\": %.0f,\n\
+    \  \"faulty_seconds\": %.4f,\n\
+    \  \"faulty_entries_per_sec\": %.0f,\n\
+    \  \"retry_overhead_percent\": %.2f,\n\
+    \  \"budget_percent\": %.1f\n\
+     }\n"
+    scale runs clean (throughput clean) faulty (throughput faulty) overhead_pct
+    budget_pct;
+  close_out oc;
+  Printf.printf
+    "net fetch: clean %.4fs (%.0f/s), 10%% faults %.4fs (%.0f/s), overhead \
+     %.2f%% (budget %.0f%%) -> %s\n"
+    clean (throughput clean) faulty (throughput faulty) overhead_pct budget_pct
+    out;
+  if overhead_pct > budget_pct then begin
+    Printf.eprintf "error: retry overhead %.2f%% exceeds the %.0f%% budget\n"
+      overhead_pct budget_pct;
+    exit 1
+  end

@@ -13,6 +13,9 @@ type t = {
   drop : bool;
   resume : bool;
   jobs : int;
+  fetch : Ctlog.Fetch.cfg option;
+      (* Some cfg when --source fetch: the corpus comes from simulated
+         CT logs over the fault-injected transport *)
 }
 
 let mutator ~default_seed t =
@@ -34,11 +37,30 @@ let arm_specs ~flag ~prefix ~mode specs =
           exit 2)
     specs
 
+(* "LOG:REQUEST:LEAF" -> (log, at_request, flip), e.g. log-03:5:10. *)
+let parse_equivocate spec =
+  match String.split_on_char ':' spec with
+  | [ log; req; leaf ] -> (
+      match (int_of_string_opt req, int_of_string_opt leaf) with
+      | Some r, Some l when r >= 0 && l >= 0 -> (log, r, l)
+      | _ ->
+          Printf.eprintf "error: --equivocate: bad spec %S (want LOG:REQUEST:LEAF)\n" spec;
+          exit 2)
+  | _ ->
+      Printf.eprintf "error: --equivocate: bad spec %S (want LOG:REQUEST:LEAF)\n" spec;
+      exit 2
+
 let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
     quarantine timeout checkpoint checkpoint_every resume fault_lints
-    fault_models fault_hang breaker_threshold jobs =
+    fault_models fault_hang breaker_threshold jobs source logs net_fault_rate
+    net_seed net_kinds net_flap_rate net_down page_cap equivocate =
   if corrupt_rate < 0.0 || corrupt_rate > 1.0 then begin
     Printf.eprintf "error: --corrupt-rate must be in [0,1]\n";
+    exit 2
+  end;
+  if jobs <= 0 then begin
+    Printf.eprintf
+      "error: --jobs must be a positive worker count (got %d)\n" jobs;
     exit 2
   end;
   let kinds =
@@ -61,6 +83,54 @@ let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
   let mode = if fault_hang then Faults.Injector.Hang else Faults.Injector.Crash in
   arm_specs ~flag:"--fault-lint" ~prefix:"" ~mode fault_lints;
   arm_specs ~flag:"--fault-model" ~prefix:"model:" ~mode fault_models;
+  let fetch =
+    match source with
+    | "generate" -> None
+    | "fetch" ->
+        if net_fault_rate < 0.0 || net_fault_rate > 1.0 then begin
+          Printf.eprintf "error: --net-fault-rate must be in [0,1]\n";
+          exit 2
+        end;
+        if logs < 1 then begin
+          Printf.eprintf "error: --logs must be >= 1\n";
+          exit 2
+        end;
+        let base = Ctlog.Fetch.default_cfg in
+        let fault_kinds =
+          match net_kinds with
+          | None -> base.Ctlog.Fetch.fault_kinds
+          | Some names ->
+              List.map
+                (fun name ->
+                  match Net.Fault.kind_of_name name with
+                  | Some k -> k
+                  | None ->
+                      Printf.eprintf
+                        "error: --net-kinds: unknown kind %S (known: %s)\n" name
+                        (String.concat ", "
+                           (List.map Net.Fault.kind_name Net.Fault.all_kinds));
+                      exit 2)
+                (String.split_on_char ',' names)
+        in
+        Some
+          { base with
+            Ctlog.Fetch.logs;
+            net_seed;
+            fault_rate = net_fault_rate;
+            fault_kinds;
+            flap_rate = net_flap_rate;
+            down =
+              (match net_down with
+              | None -> []
+              | Some names -> String.split_on_char ',' names);
+            page_cap;
+            equivocate = List.map parse_equivocate equivocate;
+          }
+    | other ->
+        Printf.eprintf "error: --source: unknown source %S (generate|fetch)\n"
+          other;
+        exit 2
+  in
   {
     policy =
       {
@@ -77,7 +147,8 @@ let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
     corrupt_kinds = kinds;
     drop;
     resume;
-    jobs = max 1 jobs;
+    jobs;
+    fetch;
   }
 
 let term =
@@ -145,11 +216,67 @@ let term =
   in
   let jobs =
     Arg.(value & opt int (Par.default_jobs ()) & info [ "jobs"; "j" ] ~docv:"N"
-         ~doc:"Worker domains for corpus passes (default: the runtime's \
-               recommended domain count).  A completed pass produces \
-               byte-identical output for every N")
+         ~doc:(Printf.sprintf
+                 "Worker domains for corpus passes; must be >= 1 (default: \
+                  the runtime's recommended domain count, %d on this \
+                  machine).  A completed pass produces byte-identical \
+                  output for every N"
+                 (Par.default_jobs ())))
+  in
+  let source =
+    Arg.(value & opt string "generate" & info [ "source" ] ~docv:"SOURCE"
+         ~doc:"Corpus source: $(b,generate) synthesizes certificates \
+               in-process (the default); $(b,fetch) retrieves them page by \
+               page from simulated CT logs over a fault-injected transport \
+               with retries, backoff, rate limiting and STH consistency \
+               verification")
+  in
+  let logs =
+    Arg.(value & opt int Ctlog.Fetch.default_cfg.Ctlog.Fetch.logs
+         & info [ "logs" ] ~docv:"N"
+         ~doc:"Number of simulated CT logs the corpus is partitioned across \
+               (fetch source)")
+  in
+  let net_fault_rate =
+    Arg.(value & opt float Ctlog.Fetch.default_cfg.Ctlog.Fetch.fault_rate
+         & info [ "net-fault-rate" ] ~docv:"RATE"
+         ~doc:"Per-request transport fault probability in [0,1] (fetch \
+               source; seeded, deterministic)")
+  in
+  let net_seed =
+    Arg.(value & opt (some int) None & info [ "net-seed" ] ~docv:"SEED"
+         ~doc:"Transport fault-plan seed (default: derived from the corpus \
+               seed)")
+  in
+  let net_kinds =
+    Arg.(value & opt (some string) None & info [ "net-kinds" ] ~docv:"K1,K2"
+         ~doc:"Comma-separated transport fault kinds (default: all)")
+  in
+  let net_flap_rate =
+    Arg.(value & opt float Ctlog.Fetch.default_cfg.Ctlog.Fetch.flap_rate
+         & info [ "net-flap-rate" ] ~docv:"RATE"
+         ~doc:"Probability a log enters a flapping window where every \
+               request resets (fetch source)")
+  in
+  let net_down =
+    Arg.(value & opt (some string) None & info [ "net-down" ] ~docv:"L1,L2"
+         ~doc:"Comma-separated names of permanently dead logs, e.g. \
+               $(b,log-03): their breakers trip and coverage degrades \
+               instead of the run aborting")
+  in
+  let page_cap =
+    Arg.(value & opt int Ctlog.Fetch.default_cfg.Ctlog.Fetch.page_cap
+         & info [ "page-cap" ] ~docv:"N"
+         ~doc:"Maximum get-entries rows a simulated log returns per page")
+  in
+  let equivocate =
+    Arg.(value & opt_all string [] & info [ "equivocate" ] ~docv:"LOG:REQ:LEAF"
+         ~doc:"Make LOG serve a forked view (leaf LEAF flipped) from its \
+               REQ-th request on — the split-view detection drill \
+               (repeatable)")
   in
   Term.(const make $ corrupt_rate $ corrupt_seed $ corrupt_kinds $ drop
         $ max_errors $ fail_fast $ quarantine $ timeout $ checkpoint
         $ checkpoint_every $ resume $ fault_lints $ fault_models $ fault_hang
-        $ breaker_threshold $ jobs)
+        $ breaker_threshold $ jobs $ source $ logs $ net_fault_rate $ net_seed
+        $ net_kinds $ net_flap_rate $ net_down $ page_cap $ equivocate)

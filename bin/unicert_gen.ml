@@ -25,8 +25,49 @@ let run_corpus count seed flawed_only (fault : Fault_cli.t) =
       policy.Faults.Policy.quarantine_dir
   in
   let emitted = ref 0 and faulted = ref 0 in
+  let degraded = ref false in
   (* Over-generate: keep only flawed entries when asked. *)
   let scale = if flawed_only then count * 400 else count in
+  (match fault.Fault_cli.fetch with
+  | Some cfg ->
+      (* Fetch source: the corpus comes off simulated CT logs; flawed
+         filtering would need over-fetching the whole partition, so it
+         stays a generate-source feature. *)
+      if flawed_only then begin
+        Printf.eprintf "error: --flawed is not supported with --source fetch\n";
+        exit 2
+      end;
+      let cfg =
+        { cfg with
+          Ctlog.Fetch.breaker_threshold =
+            policy.Faults.Policy.breaker_threshold }
+      in
+      let items, covs =
+        Ctlog.Fetch.corpus ~scale ~seed ?mutator ~drop:fault.Fault_cli.drop
+          ?checkpoint:policy.Faults.Policy.checkpoint_file
+          ~resume:fault.Fault_cli.resume ~jobs cfg
+      in
+      degraded :=
+        List.exists (fun c -> not (Ctlog.Fetch.coverage_complete c)) covs;
+      (try
+         List.iter
+           (fun item ->
+             (match item with
+             | Ctlog.Fetch.Got (_, e) ->
+                 if !emitted < count then begin
+                   incr emitted;
+                   emit_pem e.Ctlog.Dataset.cert
+                 end
+             | Ctlog.Fetch.Undecodable (index, der, error) ->
+                 incr faulted;
+                 Faults.Error.observe error;
+                 Option.iter
+                   (fun q -> Faults.Quarantine.record q ~index ~error ~der)
+                   quarantine);
+             if !emitted >= count then raise Exit)
+           items
+       with Exit -> ())
+  | None ->
   if jobs > 1 && scale > 1 then begin
     (* Shards collect; the coordinator replays the collected stream in
        index order, reproducing the sequential early-stop semantics
@@ -97,7 +138,7 @@ let run_corpus count seed flawed_only (fault : Fault_cli.t) =
               end);
           if !emitted >= count then raise Exit)
     with Exit -> ()
-  end;
+  end);
   Option.iter Faults.Quarantine.close quarantine;
   if !faulted > 0 then
     Printf.eprintf "note: %d corrupted certificate(s) withheld%s\n" !faulted
@@ -106,7 +147,12 @@ let run_corpus count seed flawed_only (fault : Fault_cli.t) =
       | None -> "");
   if !emitted < count then
     Printf.eprintf "warning: only %d of %d requested certificates emitted\n" !emitted
-      count
+      count;
+  if !degraded then begin
+    Printf.eprintf "warning: degraded coverage: not every log delivered fully\n";
+    4
+  end
+  else 0
 
 let run_mutant field payload st_name =
   let st =
@@ -132,19 +178,25 @@ let run mode count seed flawed_only field payload st fault metrics progress
     no_progress =
   if progress then Obs.Progress.set_override (Some true)
   else if no_progress then Obs.Progress.set_override (Some false);
-  (match mode with
-  | "corpus" -> run_corpus count seed flawed_only fault
-  | "mutant" -> run_mutant field payload st
-  | other ->
-      Printf.eprintf "error: unknown mode %S (corpus|mutant)\n" other;
-      exit 2);
+  let code =
+    match mode with
+    | "corpus" -> run_corpus count seed flawed_only fault
+    | "mutant" ->
+        run_mutant field payload st;
+        0
+    | other ->
+        Printf.eprintf "error: unknown mode %S (corpus|mutant)\n" other;
+        exit 2
+  in
   Option.iter
     (fun file ->
       try Obs.Export.write_file Obs.Registry.default file
       with Sys_error msg ->
         Printf.eprintf "error: cannot write metrics: %s\n" msg;
         exit 1)
-    metrics
+    metrics;
+  (* 4 = completed with degraded fetch coverage. *)
+  if code <> 0 then exit code
 
 let mode = Arg.(value & pos 0 string "corpus" & info [] ~docv:"MODE" ~doc:"corpus or mutant")
 let count = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of corpus certificates")

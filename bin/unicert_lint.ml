@@ -93,7 +93,54 @@ let lint_corpus ~scale ~seed ~ignore_dates (fault : Fault_cli.t) =
   Lint.Registry.set_breaker_threshold policy.Faults.Policy.breaker_threshold;
   let mutator = Fault_cli.mutator ~default_seed:seed fault in
   let aborted = ref None in
+  let coverage = ref [] in
   let t =
+    match fault.Fault_cli.fetch with
+    | Some cfg ->
+        (* Fetch source: retrieve the corpus from simulated CT logs
+           (parallelism lives in the fetch), then tally the delivered
+           stream in index order. *)
+        let cfg =
+          { cfg with
+            Ctlog.Fetch.breaker_threshold =
+              policy.Faults.Policy.breaker_threshold }
+        in
+        let items, covs =
+          Ctlog.Fetch.corpus ~scale ~seed ?mutator ~drop:fault.Fault_cli.drop
+            ?checkpoint:policy.Faults.Policy.checkpoint_file
+            ~resume:fault.Fault_cli.resume ~jobs cfg
+        in
+        coverage := covs;
+        let quarantine =
+          Option.map
+            (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
+            policy.Faults.Policy.quarantine_dir
+        in
+        let t = fresh_tally () in
+        let record ~index ~der error =
+          t.faulted <- t.faulted + 1;
+          Faults.Error.observe error;
+          Option.iter (fun q -> Faults.Quarantine.record q ~index ~error ~der) quarantine;
+          if policy.Faults.Policy.fail_fast then
+            raise (Abort (Printf.sprintf "fail-fast: %s" (Faults.Error.to_string error)));
+          match policy.Faults.Policy.max_errors with
+          | Some m when t.faulted >= m ->
+              raise (Abort (Printf.sprintf "max-errors: %d errors reached the limit" m))
+          | _ -> ()
+        in
+        (try
+           List.iter
+             (fun item ->
+               match item with
+               | Ctlog.Fetch.Got (index, e) ->
+                   lint_one ~ignore_dates t record index e
+               | Ctlog.Fetch.Undecodable (index, der, error) ->
+                   record ~index ~der error)
+             items
+         with Abort reason -> aborted := Some reason);
+        Option.iter Faults.Quarantine.close quarantine;
+        t
+    | None ->
     if jobs > 1 && scale > 1 then begin
       (* Parallel pass: contiguous shards, per-shard tallies merged in
          index order — same stdout as the sequential pass for every
@@ -216,7 +263,26 @@ let lint_corpus ~scale ~seed ~ignore_dates (fault : Fault_cli.t) =
   List.iter (fun (k, v) -> Printf.printf "  %-55s %d\n" k v) rows;
   let findings_total = List.fold_left (fun acc (_, v) -> acc + v) 0 rows in
   Printf.printf "  %-55s %d findings across %d lints\n" "TOTAL" findings_total
-    (List.length rows)
+    (List.length rows);
+  match !coverage with
+  | [] -> 0
+  | covs ->
+      let healthy =
+        List.length (List.filter Ctlog.Fetch.coverage_complete covs)
+      in
+      let expected =
+        List.fold_left (fun a (c : Ctlog.Fetch.coverage) -> a + c.Ctlog.Fetch.expected) 0 covs
+      in
+      let delivered =
+        List.fold_left (fun a (c : Ctlog.Fetch.coverage) -> a + c.Ctlog.Fetch.delivered) 0 covs
+      in
+      let complete = healthy = List.length covs in
+      Printf.printf "  coverage: %s %d/%d logs, %.1f%% entries\n"
+        (if complete then "complete" else "degraded")
+        healthy (List.length covs)
+        (if expected = 0 then 100.0
+         else 100.0 *. float_of_int delivered /. float_of_int expected);
+      if complete then 0 else 4
 
 let list_rules () =
   Lint.Rulebook.render_catalogue Format.std_formatter
@@ -242,8 +308,10 @@ let run files corpus scale seed ignore_dates issued_str list_lints json fault
     | Ok t -> t
     | Error _ -> Asn1.Time.make 2024 6 1
   in
+  let exit_code = ref 0 in
   if list_lints then list_rules ()
-  else if corpus || files = [] then lint_corpus ~scale ~seed ~ignore_dates fault
+  else if corpus || files = [] then
+    exit_code := lint_corpus ~scale ~seed ~ignore_dates fault
   else if json then
     List.iter
       (fun path ->
@@ -263,7 +331,12 @@ let run files corpus scale seed ignore_dates issued_str list_lints json fault
       with Sys_error msg ->
         Printf.eprintf "error: cannot write metrics: %s\n" msg;
         exit 1)
-    metrics
+    metrics;
+  (* 4 = completed with degraded fetch coverage (metrics still written). *)
+  if !exit_code <> 0 then begin
+    Printf.eprintf "warning: degraded coverage: not every log delivered fully\n";
+    exit !exit_code
+  end
 
 let files = Arg.(value & pos_all file [] & info [] ~docv:"CERT" ~doc:"PEM or DER certificate files")
 let scale = Arg.(value & opt int 2000 & info [ "scale" ] ~doc:"Generated corpus size when no files are given")

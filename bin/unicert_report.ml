@@ -9,26 +9,39 @@ let run id scale seed (fault : Fault_cli.t) metrics progress no_progress =
     fault.Fault_cli.policy.Faults.Policy.breaker_threshold;
   let ppf = Format.std_formatter in
   let aborted = ref None in
+  let degraded = ref false in
+  let source =
+    match fault.Fault_cli.fetch with
+    | Some cfg -> Unicert.Pipeline.Fetch cfg
+    | None -> Unicert.Pipeline.Generate
+  in
   let pipeline () =
     let t =
       Unicert.Pipeline.run ~scale ~seed ~policy:fault.Fault_cli.policy
         ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
         ~drop:fault.Fault_cli.drop ~resume:fault.Fault_cli.resume
-        ~jobs:fault.Fault_cli.jobs ()
+        ~jobs:fault.Fault_cli.jobs ~source ()
     in
     aborted := t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted;
+    degraded := Unicert.Pipeline.coverage_degraded t;
     t
   in
+  (* Single-table ids annotate fetch coverage after their table ("all"
+     already renders the section itself). *)
+  let with_coverage render t =
+    render ppf t;
+    Unicert.Report.coverage ppf t
+  in
   (match String.lowercase_ascii id with
-  | "fig2" -> Unicert.Report.figure2 ppf (pipeline ())
-  | "tab1" -> Unicert.Report.table1 ppf (pipeline ())
-  | "tab2" -> Unicert.Report.table2 ppf (pipeline ())
-  | "fig3" -> Unicert.Report.figure3 ppf (pipeline ())
-  | "fig4" -> Unicert.Report.figure4 ppf (pipeline ())
-  | "tab11" -> Unicert.Report.table11 ppf (pipeline ())
-  | "sec51" -> Unicert.Report.section51 ppf (pipeline ())
-  | "ablations" -> Unicert.Report.ablations ppf (pipeline ())
-  | "summary" -> Unicert.Report.summary ppf (pipeline ())
+  | "fig2" -> with_coverage Unicert.Report.figure2 (pipeline ())
+  | "tab1" -> with_coverage Unicert.Report.table1 (pipeline ())
+  | "tab2" -> with_coverage Unicert.Report.table2 (pipeline ())
+  | "fig3" -> with_coverage Unicert.Report.figure3 (pipeline ())
+  | "fig4" -> with_coverage Unicert.Report.figure4 (pipeline ())
+  | "tab11" -> with_coverage Unicert.Report.table11 (pipeline ())
+  | "sec51" -> with_coverage Unicert.Report.section51 (pipeline ())
+  | "ablations" -> with_coverage Unicert.Report.ablations (pipeline ())
+  | "summary" -> with_coverage Unicert.Report.summary (pipeline ())
   | "tab4" | "tab5" -> Tlsparsers.Harness.render ppf
   | "apis" -> Tlsparsers.Apis.render ppf
   | "rules" -> Lint.Rulebook.render_catalogue ppf
@@ -50,11 +63,18 @@ let run id scale seed (fault : Fault_cli.t) metrics progress no_progress =
         Printf.eprintf "error: cannot write metrics: %s\n" msg;
         exit 1)
     metrics;
+  (* Exit codes: 3 = the pass aborted (fail-fast / max-errors), 4 = it
+     completed but with degraded fetch coverage (abandoned log, split
+     view, page gaps) — distinguishable by callers and CI. *)
   match !aborted with
   | Some reason ->
       Printf.eprintf "error: run aborted: %s\n" reason;
       exit 3
-  | None -> ()
+  | None ->
+      if !degraded then begin
+        Printf.eprintf "warning: degraded coverage: see the Coverage section\n";
+        exit 4
+      end
 
 let id = Arg.(value & pos 0 string "summary" & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id from DESIGN.md")
 let scale = Arg.(value & opt int Ctlog.Dataset.default_scale & info [ "scale" ] ~doc:"Corpus size")

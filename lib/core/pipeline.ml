@@ -65,6 +65,8 @@ type t = {
   mutable encoding_error_san : int;
   mutable encoding_error_policies : int;
   faults : fault_stats;
+  mutable coverage : Ctlog.Fetch.coverage list;
+      (* per-log coverage when the corpus came from --source fetch *)
 }
 
 let fresh_year () =
@@ -308,6 +310,7 @@ let fresh ~scale ~seed =
       { fault_errors = 0; quarantined = 0; by_class = Hashtbl.create 8;
         lint_crashes = 0; degraded = []; resumed_at = 0; checkpoints_saved = 0;
         aborted = None };
+    coverage = [];
   }
 
 (* --- the per-certificate error boundary ----------------------------- *)
@@ -629,12 +632,142 @@ let run_parallel ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs =
   t.faults.degraded <- Lint.Registry.degraded ();
   t
 
+(* --- the fetch source ------------------------------------------------- *)
+
+(* Analysis of a fetched corpus reuses the same boundary and aggregate
+   machinery as the generate source, but iterates the materialized item
+   stream instead of regenerating entries: faults the transport already
+   classified (undecodable bytes, integrity-flagged ranges) go straight
+   through [record], everything else is linted normally. *)
+
+let analyze_item t policy ~record item =
+  match item with
+  | Ctlog.Fetch.Got (index, e) -> process_entry t policy ~record index e
+  | Ctlog.Fetch.Undecodable (index, der, error) -> record ~index ~der error
+
+let analyze_sequential ~scale ~seed ~policy items =
+  let t = fresh ~scale ~seed in
+  let quarantine =
+    Option.map
+      (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
+      policy.Faults.Policy.quarantine_dir
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Faults.Quarantine.close quarantine)
+    (fun () ->
+      try
+        Obs.Span.with_ "pipeline" (fun () ->
+            Array.iter
+              (analyze_item t policy ~record:(record_fault t policy quarantine))
+              items)
+      with Abort reason -> t.faults.aborted <- Some reason);
+  t
+
+let analyze_parallel ~scale ~seed ~policy ~jobs items =
+  let n = Array.length items in
+  let nshards = List.length (Par.shards ~jobs n) in
+  let stop_flag = Atomic.make false in
+  let global_errors = Atomic.make 0 in
+  let abort_lock = Mutex.create () in
+  let abort_reason = ref None in
+  let set_abort reason =
+    Mutex.protect abort_lock (fun () ->
+        if !abort_reason = None then abort_reason := Some reason);
+    Atomic.set stop_flag true
+  in
+  let run_shard ~shard ~lo ~hi =
+    let part = fresh ~scale ~seed in
+    let quarantine =
+      Option.map
+        (fun dir -> Faults.Quarantine.open_shard ~dir ~run_seed:seed ~shard)
+        policy.Faults.Policy.quarantine_dir
+    in
+    let record ~index ~der error =
+      let f = part.faults in
+      f.fault_errors <- f.fault_errors + 1;
+      bump f.by_class (Faults.Error.class_name error);
+      Faults.Error.observe error;
+      (match quarantine with
+      | Some q ->
+          Faults.Quarantine.record q ~index ~error ~der;
+          f.quarantined <- f.quarantined + 1
+      | None -> ());
+      let seen = 1 + Atomic.fetch_and_add global_errors 1 in
+      if policy.Faults.Policy.fail_fast then begin
+        set_abort (Printf.sprintf "fail-fast: %s" (Faults.Error.to_string error));
+        raise Shard_stop
+      end;
+      match policy.Faults.Policy.max_errors with
+      | Some m when seen >= m ->
+          set_abort (Printf.sprintf "max-errors: %d errors reached the limit" m);
+          raise Shard_stop
+      | _ -> ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Faults.Quarantine.close quarantine)
+      (fun () ->
+        try
+          for i = lo to hi - 1 do
+            if Atomic.get stop_flag then raise Shard_stop;
+            analyze_item part policy ~record items.(i)
+          done
+        with Shard_stop -> ());
+    part
+  in
+  let parts =
+    Obs.Span.with_ "pipeline" (fun () ->
+        Par.map_shards ~jobs ~scale:n (fun ~shard ~lo ~hi ->
+            run_shard ~shard ~lo ~hi))
+  in
+  (match policy.Faults.Policy.quarantine_dir with
+  | Some dir ->
+      ignore (Faults.Quarantine.merge_shards ~dir ~run_seed:seed ~shards:nshards)
+  | None -> ());
+  let t = fresh ~scale ~seed in
+  List.iter (fun part -> merge_into t part) parts;
+  t.faults.aborted <- !abort_reason;
+  t
+
+let run_fetch ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs cfg =
+  prewarm policy;
+  Ctlog.Fetch.prewarm ();
+  let crashes_before = snapshot_crashes () in
+  (* The boundary's breaker threshold also governs the per-log fetch
+     breakers, so --breaker-threshold tunes both layers. *)
+  let cfg =
+    { cfg with
+      Ctlog.Fetch.breaker_threshold = policy.Faults.Policy.breaker_threshold }
+  in
+  let items, coverage =
+    Obs.Span.with_ "fetch" (fun () ->
+        Ctlog.Fetch.corpus ~scale ~seed ?mutator ~drop
+          ?checkpoint:policy.Faults.Policy.checkpoint_file ~resume ~jobs cfg)
+  in
+  let items = Array.of_list items in
+  let t =
+    if jobs > 1 && Array.length items > 1 then
+      analyze_parallel ~scale ~seed ~policy ~jobs items
+    else analyze_sequential ~scale ~seed ~policy items
+  in
+  t.coverage <- coverage;
+  t.faults.lint_crashes <- snapshot_crashes () - crashes_before;
+  t.faults.degraded <- Lint.Registry.degraded ();
+  t
+
+let coverage_degraded t =
+  List.exists (fun c -> not (Ctlog.Fetch.coverage_complete c)) t.coverage
+
+type source = Generate | Fetch of Ctlog.Fetch.cfg
+
 let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1)
     ?(policy = Faults.Policy.default) ?mutator ?(drop = false) ?(resume = false)
-    ?(jobs = 1) () =
-  if jobs > 1 && scale > 1 then
-    run_parallel ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs
-  else run_sequential ~scale ~seed ~policy ~mutator ~drop ~resume
+    ?(jobs = 1) ?(source = Generate) () =
+  match source with
+  | Fetch cfg -> run_fetch ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs cfg
+  | Generate ->
+      if jobs > 1 && scale > 1 then
+        run_parallel ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs
+      else run_sequential ~scale ~seed ~policy ~mutator ~drop ~resume
 
 let year_range t =
   Hashtbl.fold (fun y _ (lo, hi) -> (min lo y, max hi y)) t.years (9999, 0)

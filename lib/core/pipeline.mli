@@ -75,7 +75,15 @@ type t = {
   mutable encoding_error_san : int;
   mutable encoding_error_policies : int;
   faults : fault_stats;
+  mutable coverage : Ctlog.Fetch.coverage list;
+      (** per-log fetch coverage; [[]] for the generate source *)
 }
+
+type source =
+  | Generate  (** synthesize the corpus in-process (the default) *)
+  | Fetch of Ctlog.Fetch.cfg
+      (** fetch it page by page from simulated CT logs over the
+          fault-injected transport (DESIGN.md §9) *)
 
 val run :
   ?scale:int ->
@@ -85,6 +93,7 @@ val run :
   ?drop:bool ->
   ?resume:bool ->
   ?jobs:int ->
+  ?source:source ->
   unit ->
   t
 (** [run ()] generates the corpus (default scale
@@ -121,7 +130,26 @@ val run :
     nothing for those indices instead, so a corrupt run and a drop run
     see byte-identical surviving certificates).  [resume:true] reloads
     [policy.checkpoint_file] and continues from the saved index when
-    the checkpoint matches [scale] and [seed]. *)
+    the checkpoint matches [scale] and [seed].
+
+    With [source = Fetch cfg] the corpus is not regenerated locally:
+    it is fetched page by page from [cfg.logs] simulated CT logs
+    ({!Ctlog.Fetch.corpus}) — retries, backoff, rate limiting, STH
+    consistency verification and split-view quarantine all happen in
+    that layer, and [t.coverage] records what each log actually
+    delivered.  [mutator]/[drop] corrupt the log contents before
+    serving; [policy.checkpoint_file] doubles as the base path for
+    per-log fetch cursors ({!Ctlog.Fetch.cursor_file}), so
+    [resume:true] continues a killed fetch mid-log.  A completed fetch
+    run is byte-identical across [jobs] values and reruns at the same
+    seeds; an abandoned log (dead endpoint, split view) yields a
+    degraded — but still completed — run, visible via
+    {!coverage_degraded}. *)
+
+val coverage_degraded : t -> bool
+(** True when a fetch-sourced run has at least one log with incomplete
+    coverage (abandoned, split view, or page gaps) — reports annotate
+    the result and binaries exit 4. *)
 
 val year_range : t -> int * int
 val get_year : t -> int -> year_stats

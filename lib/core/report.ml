@@ -266,6 +266,47 @@ let robustness ppf (t : Pipeline.t) =
     | None -> ())
   end
 
+(* Fetch-source coverage.  Prints nothing for the generate source, so
+   generate-sourced reports are byte-identical to pre-fetch builds. *)
+let coverage ppf (t : Pipeline.t) =
+  match t.Pipeline.coverage with
+  | [] -> ()
+  | covs ->
+      let nlogs = List.length covs in
+      let healthy =
+        List.length (List.filter Ctlog.Fetch.coverage_complete covs)
+      in
+      let expected =
+        List.fold_left (fun a (c : Ctlog.Fetch.coverage) -> a + c.Ctlog.Fetch.expected) 0 covs
+      in
+      let delivered =
+        List.fold_left (fun a (c : Ctlog.Fetch.coverage) -> a + c.Ctlog.Fetch.delivered) 0 covs
+      in
+      Format.fprintf ppf "@.== Coverage (fetch source) ==@.";
+      Format.fprintf ppf "%s: %d/%d logs, %.1f%% entries@."
+        (if healthy = nlogs then "complete" else "degraded")
+        healthy nlogs (pct delivered expected);
+      List.iter
+        (fun (c : Ctlog.Fetch.coverage) ->
+          let flags =
+            List.concat
+              [ (if c.Ctlog.Fetch.split_view then [ "SPLIT VIEW" ] else []);
+                (match c.Ctlog.Fetch.abandoned with
+                | Some reason -> [ Printf.sprintf "abandoned: %s" reason ]
+                | None -> []);
+                (if c.Ctlog.Fetch.page_gaps > 0 then
+                   [ Printf.sprintf "%d page gap(s)" c.Ctlog.Fetch.page_gaps ]
+                 else []);
+                (if c.Ctlog.Fetch.quarantined > 0 then
+                   [ Printf.sprintf "%d quarantined" c.Ctlog.Fetch.quarantined ]
+                 else []) ]
+          in
+          Format.fprintf ppf "  %-8s %7d/%-7d  requests=%-5d retries=%-4d%s@."
+            c.Ctlog.Fetch.log c.Ctlog.Fetch.delivered c.Ctlog.Fetch.expected
+            c.Ctlog.Fetch.requests c.Ctlog.Fetch.retries
+            (if flags = [] then "" else "  [" ^ String.concat "; " flags ^ "]"))
+        covs
+
 let all ppf t =
   summary ppf t;
   Format.fprintf ppf "@.";
@@ -284,4 +325,5 @@ let all ppf t =
   section51 ppf t;
   Format.fprintf ppf "@.";
   ablations ppf t;
-  robustness ppf t
+  robustness ppf t;
+  coverage ppf t

@@ -37,5 +37,11 @@ val robustness : Format.formatter -> Pipeline.t -> unit
     a clean run so clean-corpus reports stay byte-identical to builds
     without the fault layer. *)
 
+val coverage : Format.formatter -> Pipeline.t -> unit
+(** Per-log fetch coverage with a one-line
+    ["degraded: N/M logs, X% entries"] headline (or ["complete: ..."]
+    when every log delivered fully).  Prints {e nothing} for a
+    generate-sourced run. *)
+
 val all : Format.formatter -> Pipeline.t -> unit
 (** Everything above in paper order. *)

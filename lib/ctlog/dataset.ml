@@ -425,8 +425,48 @@ let generate_at ~seed index =
   let issuer = Ucrypto.Prng.weighted g (Lazy.force issuer_weights) in
   generate_entry g issuer
 
+let issuer_by_org =
+  lazy (List.map (fun i -> (i.org, i)) issuers)
+
+(* Rebuild an [entry] from bytes fetched off a log rather than from the
+   in-process generator: recover the issuer record by the certificate's
+   IssuerOrganizationName and re-derive the analysis inputs the
+   pipeline reads ([issued], [is_idn]).  [flaws] stays empty — the
+   linter rediscovers defects from the DER, which is all downstream
+   analysis consumes. *)
+let entry_of_cert (cert : X509.Certificate.t) =
+  match
+    X509.Dn.get_text cert.X509.Certificate.tbs.X509.Certificate.issuer
+      X509.Attr.Organization_name
+  with
+  | [] ->
+      Error
+        (Faults.Error.Decode_error
+           { offset = None; detail = "fetched entry: no issuer organizationName" })
+  | org :: _ -> (
+      match List.assoc_opt org (Lazy.force issuer_by_org) with
+      | None ->
+          Error
+            (Faults.Error.Decode_error
+               { offset = None;
+                 detail =
+                   Printf.sprintf "fetched entry: unknown issuer %S" org })
+      | Some issuer ->
+          let issued = fst cert.X509.Certificate.tbs.X509.Certificate.not_before in
+          let is_idn =
+            List.exists
+              (fun d ->
+                List.exists
+                  (fun label ->
+                    String.length label >= 4 && String.sub label 0 4 = "xn--")
+                  (String.split_on_char '.' d))
+              (X509.Certificate.san_dns_names cert)
+          in
+          Ok { cert; issued; issuer; flaws = []; is_idn })
+
 let prewarm () =
   ignore (Lazy.force issuer_weights);
+  ignore (Lazy.force issuer_by_org);
   ignore (Lazy.force obs_certs);
   ignore (Lazy.force obs_idn);
   ignore (Lazy.force obs_flaws);

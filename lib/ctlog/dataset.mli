@@ -55,6 +55,14 @@ val generate_at : seed:int -> int -> entry
     checkpoint resume — regenerates byte-identical certificates without
     replaying earlier indices. *)
 
+val entry_of_cert : X509.Certificate.t -> (entry, Faults.Error.t) result
+(** Rebuild an {!entry} from a certificate fetched off a CT log:
+    recovers the issuer record via the certificate's
+    IssuerOrganizationName and re-derives [issued] / [is_idn] from the
+    bytes.  [flaws] is left empty — the linter rediscovers defects from
+    the DER, which is all downstream analysis consumes.  [Error] means
+    the certificate does not belong to the calibrated corpus. *)
+
 val prewarm : unit -> unit
 (** Force the module's lazy state (issuer weights, telemetry handles).
     Call once from the coordinating domain before spawning workers —

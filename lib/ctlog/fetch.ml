@@ -1,0 +1,616 @@
+(* Resumable paged CT-log fetch over the simulated transport.
+
+   One session per log: trust-on-first-use STH, then every refreshed STH
+   is verified against the previously trusted one — equal sizes must
+   have equal roots, growth must come with a consistency proof that
+   passes [Merkle.verify_consistency].  Entries are buffered unverified
+   ([pend]) and only delivered once the window closes and the running
+   leaf tree reproduces the verified STH root; a split view quarantines
+   the whole unverified range as [Faults.Error.Integrity] and abandons
+   the log.  Request failures skip the page (a coverage gap) and feed
+   the per-log circuit breaker: past a trip budget the log is abandoned
+   and the run reports degraded coverage instead of aborting.
+
+   Everything is deterministic: per-log virtual clock, pure fault
+   sampling, and a cursor checkpoint ([FILE.fetch<k>]) carrying the
+   whole session state, so a resumed run produces byte-identical
+   results to an uninterrupted one. *)
+
+type cfg = {
+  logs : int;
+  net_seed : int option;  (* fault-plan seed; default derives from corpus seed *)
+  fault_rate : float;
+  fault_kinds : Net.Fault.kind list;
+  flap_rate : float;
+  down : string list;             (* permanently dead logs *)
+  page_cap : int;                 (* server page size, and the skip unit *)
+  policy : Net.Policy.t;
+  rate_per_sec : float;           (* token bucket rate *)
+  burst : float;
+  sth_every : int;                (* pages between mid-window STH tripwires *)
+  breaker_threshold : int;
+  breaker_cooldown : float;       (* virtual seconds before a half-open probe *)
+  max_trips : int;                (* breaker trips before the log is abandoned *)
+  equivocate : (string * int * int) list;
+      (* (log name, at_request, leaf to flip) — test/chaos hook *)
+}
+
+let default_cfg =
+  {
+    logs = 16;
+    net_seed = None;
+    fault_rate = 0.0;
+    fault_kinds = Net.Fault.all_kinds;
+    flap_rate = 0.0;
+    down = [];
+    page_cap = Server.default_page_cap;
+    policy = Net.Policy.default;
+    rate_per_sec = 200.0;
+    burst = 20.0;
+    sth_every = 8;
+    breaker_threshold = Faults.Breaker.default_threshold;
+    breaker_cooldown = 30.0;
+    max_trips = 3;
+    equivocate = [];
+  }
+
+let log_name k = Printf.sprintf "log-%02d" k
+
+type item =
+  | Got of int * Dataset.entry                   (* corpus index, entry *)
+  | Undecodable of int * string * Faults.Error.t (* corpus index, DER, error *)
+
+let item_index = function Got (i, _) -> i | Undecodable (i, _, _) -> i
+
+type coverage = {
+  log : string;
+  expected : int;      (* entries this log held *)
+  delivered : int;     (* fetched, verified and decoded *)
+  quarantined : int;   (* fetched but undecodable or integrity-flagged *)
+  spans : (int * int) list;  (* inclusive corpus-index ranges covered *)
+  page_gaps : int;     (* pages skipped after request failure *)
+  abandoned : string option;
+  split_view : bool;
+  requests : int;
+  retries : int;
+}
+
+let coverage_complete c =
+  c.abandoned = None && not c.split_view && c.page_gaps = 0
+  && c.delivered + c.quarantined >= c.expected
+
+(* --- cursor: the whole session state, checkpointable ------------------- *)
+
+type cursor = {
+  c_log : string;
+  c_next : int;                        (* next tree index to fetch *)
+  c_verified : (int * string) option;  (* trusted STH: size, root *)
+  c_tree : Merkle.t;                   (* running leaf tree *)
+  c_tree_ok : bool;                    (* false once a page gap broke it *)
+  c_refresh : int;                     (* STH refreshes so far (fault keying) *)
+  c_pend : (int * bool * string) list; (* unflushed: tree idx, precert, DER; newest first *)
+  c_raw : (int * string) list;         (* delivered: corpus idx, DER; newest first *)
+  c_quar : (int * string * Faults.Error.t) list;  (* newest first *)
+  c_gaps : int;
+  c_requests : int;
+  c_retries : int;
+}
+
+let fresh_cursor name =
+  {
+    c_log = name;
+    c_next = 0;
+    c_verified = None;
+    c_tree = Merkle.create ();
+    c_tree_ok = true;
+    c_refresh = 0;
+    c_pend = [];
+    c_raw = [];
+    c_quar = [];
+    c_gaps = 0;
+    c_requests = 0;
+    c_retries = 0;
+  }
+
+let cursor_file base k = base ^ ".fetch" ^ string_of_int k
+
+(* --- telemetry --------------------------------------------------------- *)
+
+let obs_pages =
+  lazy
+    (Obs.Registry.counter ~help:"get-entries pages fetched successfully"
+       "unicert_fetch_pages_total")
+
+let obs_entries =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"log"
+       ~help:"Log entries delivered by the fetch client"
+       "unicert_fetch_entries_total")
+
+let obs_sth =
+  lazy
+    (Obs.Registry.counter ~help:"STHs fetched and verified against the previous checkpoint"
+       "unicert_fetch_sth_verified_total")
+
+let obs_split =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"log"
+       ~help:"Split views detected (STH consistency or leaf-root mismatch)"
+       "unicert_fetch_split_views_total")
+
+let obs_abandoned =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"log"
+       ~help:"Logs abandoned before full coverage"
+       "unicert_fetch_abandoned_total")
+
+let obs_gaps =
+  lazy
+    (Obs.Registry.counter ~help:"Pages skipped after exhausting their retry budget"
+       "unicert_fetch_page_gaps_total")
+
+let prewarm () =
+  Net.Transport.prewarm ();
+  Net.Client.prewarm ();
+  Faults.Breaker.prewarm ();
+  Faults.Error.prewarm ();
+  Dataset.prewarm ();
+  ignore (Lazy.force obs_pages);
+  ignore (Lazy.force obs_entries);
+  ignore (Lazy.force obs_sth);
+  ignore (Lazy.force obs_split);
+  ignore (Lazy.force obs_abandoned);
+  ignore (Lazy.force obs_gaps)
+
+(* --- body parsing ------------------------------------------------------ *)
+
+let parse_sth lines =
+  match lines with
+  | [ l ] -> (
+      match String.split_on_char ' ' l with
+      | [ "sth"; n; root ] -> (
+          match (int_of_string_opt n, Wire.of_hex root) with
+          | Some n, Some root when n >= 0 -> Some (n, root)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let parse_consistency lines =
+  match lines with
+  | header :: hashes -> (
+      match String.split_on_char ' ' header with
+      | [ "consistency"; _; _; k ] when int_of_string_opt k = Some (List.length hashes)
+        ->
+          let decoded = List.filter_map Wire.of_hex hashes in
+          if List.length decoded = List.length hashes then Some decoded else None
+      | _ -> None)
+  | [] -> None
+
+let parse_entries lines =
+  match lines with
+  | header :: rows -> (
+      match String.split_on_char ' ' header with
+      | [ "entries"; start; count ]
+        when int_of_string_opt count = Some (List.length rows) -> (
+          match int_of_string_opt start with
+          | Some start when start >= 0 ->
+              let decoded =
+                List.filter_map
+                  (fun row ->
+                    match String.split_on_char ' ' row with
+                    | [ "0"; der ] -> Option.map (fun d -> (false, d)) (Wire.of_hex der)
+                    | [ "1"; der ] -> Option.map (fun d -> (true, d)) (Wire.of_hex der)
+                    | _ -> None)
+                  rows
+              in
+              if List.length decoded = List.length rows then Some (start, decoded)
+              else None
+          | _ -> None)
+      | _ -> None)
+  | [] -> None
+
+(* --- one log session --------------------------------------------------- *)
+
+type session = {
+  s_raw : (int * string) list;  (* ascending corpus index *)
+  s_quar : (int * string * Faults.Error.t) list;  (* ascending *)
+  s_cov : coverage;
+  s_interrupted : bool;
+}
+
+exception Stop of string     (* abandon this log *)
+exception Interrupted        (* stop_after_pages test hook *)
+exception Bad_page           (* one failed/malformed page *)
+
+(* [present.(tree_index)] is the corpus index an entry maps to, or -1
+   for entries (precertificates) the analysis must skip.  [expected] is
+   the number of mapped entries. *)
+let fetch_log ?ckpt_file ?(resume = false) ?stop_after_pages ~cfg ~scale ~seed
+    ~name ~(present : int array) ~transport ~bucket () =
+  let policy = cfg.policy in
+  let clock = Net.Transport.clock transport in
+  let expected = Array.fold_left (fun n i -> if i >= 0 then n + 1 else n) 0 present in
+  let breaker =
+    Faults.Breaker.create ~threshold:cfg.breaker_threshold
+      ~cooldown:cfg.breaker_cooldown ("fetch:" ^ name)
+  in
+  let cur =
+    match
+      if resume then Option.bind ckpt_file Faults.Checkpoint.load else None
+    with
+    | Some c
+      when c.Faults.Checkpoint.scale = scale
+           && c.Faults.Checkpoint.seed = seed
+           && (c.Faults.Checkpoint.state : cursor).c_log = name ->
+        c.Faults.Checkpoint.state
+    | _ -> fresh_cursor name
+  in
+  let next = ref cur.c_next in
+  let verified = ref cur.c_verified in
+  let tree = cur.c_tree in
+  let tree_ok = ref cur.c_tree_ok in
+  let refresh = ref cur.c_refresh in
+  let pend = ref cur.c_pend in
+  let raw = ref cur.c_raw in
+  let quar = ref cur.c_quar in
+  let gaps = ref cur.c_gaps in
+  let requests = ref cur.c_requests in
+  let retries = ref cur.c_retries in
+  let split = ref false in
+  let abandoned = ref None in
+  let interrupted = ref false in
+  let pages_this_session = ref 0 in
+  let save_ckpt () =
+    Option.iter
+      (fun file ->
+        Faults.Checkpoint.save file
+          {
+            Faults.Checkpoint.scale;
+            seed;
+            next_index = !next;
+            state =
+              {
+                c_log = name;
+                c_next = !next;
+                c_verified = !verified;
+                c_tree = tree;
+                c_tree_ok = !tree_ok;
+                c_refresh = !refresh;
+                c_pend = !pend;
+                c_raw = !raw;
+                c_quar = !quar;
+                c_gaps = !gaps;
+                c_requests = !requests;
+                c_retries = !retries;
+              };
+          })
+      ckpt_file
+  in
+  let now () = Net.Clock.now clock in
+  let attempts_of_error = function
+    | Net.Client.Attempts_exhausted { attempts; _ }
+    | Net.Client.Budget_exhausted { attempts; _ } ->
+        attempts
+  in
+  (* One client request behind the breaker.  An open breaker waits out
+     its cooldown on the virtual clock, then probes; past [max_trips]
+     the log is abandoned. *)
+  let call ?(hedge = false) ~endpoint ~page () =
+    if not (Faults.Breaker.allow ~now:(now ()) breaker) then begin
+      (match Faults.Breaker.cooldown_until breaker with
+      | Some t -> Net.Clock.advance_to clock t
+      | None -> ());
+      ignore (Faults.Breaker.allow ~now:(now ()) breaker)
+    end;
+    match
+      Net.Client.request ~policy ~bucket ~hedge ~validate:Wire.valid ~transport
+        ~log:name ~endpoint ~page ()
+    with
+    | Ok f ->
+        incr requests;
+        retries := !retries + f.Net.Client.attempts - 1;
+        Faults.Breaker.success breaker;
+        Wire.open_ f.Net.Client.body
+    | Error e ->
+        incr requests;
+        retries := !retries + attempts_of_error e - 1;
+        Faults.Breaker.failure ~now:(now ()) breaker;
+        if Faults.Breaker.trips breaker >= cfg.max_trips then
+          raise
+            (Stop
+               (Printf.sprintf "breaker open after %d trips (%s)"
+                  (Faults.Breaker.trips breaker)
+                  (Net.Client.describe e)));
+        None
+  in
+  (* Split view (or any unverifiable window): the unverified range goes
+     to quarantine as Integrity and the log is abandoned. *)
+  let quarantine_pending reason =
+    split := true;
+    Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_split) name);
+    List.iter
+      (fun (ti, precert, der) ->
+        if (not precert) && ti < Array.length present && present.(ti) >= 0 then
+          quar :=
+            (present.(ti), der, Faults.Error.Integrity { log = name; detail = reason })
+            :: !quar)
+      (List.rev !pend);
+    pend := [];
+    raise (Stop reason)
+  in
+  let get_sth () =
+    let rec go () =
+      incr refresh;
+      match call ~endpoint:"get-sth" ~page:!refresh () with
+      | Some lines -> (
+          match parse_sth lines with
+          | Some sth -> sth
+          | None ->
+              Faults.Breaker.failure ~now:(now ()) breaker;
+              if Faults.Breaker.trips breaker >= cfg.max_trips then
+                raise (Stop "breaker open (malformed STH)");
+              go ())
+      | None -> go ()
+    in
+    go ()
+  in
+  (* Verify a refreshed STH against the trusted one (the checkpointed
+     STH, on a resumed session). *)
+  let check_sth (n1, r1) =
+    (match !verified with
+    | None -> ()
+    | Some (n0, r0) ->
+        if n1 = n0 then begin
+          if not (String.equal r1 r0) then
+            quarantine_pending
+              (Printf.sprintf "split view: same size %d, different roots" n1)
+        end
+        else if n1 < n0 then
+          quarantine_pending
+            (Printf.sprintf "split view: tree shrank %d -> %d" n0 n1)
+        else begin
+          let proof =
+            let rec go tries =
+              if tries >= 3 then
+                quarantine_pending
+                  (Printf.sprintf "consistency proof %d -> %d unavailable" n0 n1)
+              else
+                match
+                  call
+                    ~endpoint:("get-consistency/" ^ string_of_int n1)
+                    ~page:n0 ()
+                with
+                | Some lines -> (
+                    match parse_consistency lines with
+                    | Some proof -> proof
+                    | None -> go (tries + 1))
+                | None -> go (tries + 1)
+            in
+            go 0
+          in
+          if
+            not
+              (Merkle.verify_consistency ~old_size:n0 ~old_root:r0 ~new_size:n1
+                 ~new_root:r1 ~proof)
+          then
+            quarantine_pending
+              (Printf.sprintf
+                 "split view: consistency proof %d -> %d failed verification" n0
+                 n1)
+        end);
+    verified := Some (n1, r1);
+    Obs.Counter.inc (Lazy.force obs_sth)
+  in
+  (* Fetch the page starting at [!next]. *)
+  let fetch_page ~tail =
+    let start = !next in
+    (match call ~hedge:tail ~endpoint:"get-entries" ~page:start () with
+    | None -> raise Bad_page
+    | Some lines -> (
+        match parse_entries lines with
+        | Some (s, rows) when s = start && rows <> [] ->
+            if !tree_ok && Merkle.size tree = start then
+              List.iter
+                (fun (precert, der) ->
+                  ignore (Merkle.append tree (Log.leaf_bytes ~precert der)))
+                rows
+            else tree_ok := false;
+            List.iteri
+              (fun i (precert, der) -> pend := (start + i, precert, der) :: !pend)
+              rows;
+            next := start + List.length rows;
+            Obs.Counter.inc (Lazy.force obs_pages)
+        | _ -> raise Bad_page));
+    incr pages_this_session;
+    if !pages_this_session mod 16 = 0 then save_ckpt ();
+    match stop_after_pages with
+    | Some k when !pages_this_session >= k -> raise Interrupted
+    | _ -> ()
+  in
+  let skip_page ~stop =
+    incr gaps;
+    tree_ok := false;
+    Obs.Counter.inc (Lazy.force obs_gaps);
+    next := min stop (!next + cfg.page_cap)
+  in
+  (* Window close: the running leaf tree must reproduce the verified
+     root (when no gap broke it), then the pending entries inside the
+     verified prefix become deliverable.  A server may serve past the
+     STH we are working against (it published again mid-window); those
+     entries stay pending until a later STH covers them. *)
+  let flush_at n root =
+    if !tree_ok && Merkle.size tree >= n && not (String.equal (Merkle.root_of_range tree n) root)
+    then
+      quarantine_pending
+        (Printf.sprintf "split view: leaf root mismatch at size %d" n);
+    let deliver, keep =
+      List.partition (fun (ti, _, _) -> ti < n) (List.rev !pend)
+    in
+    let delivered = Obs.Counter.Labeled.get (Lazy.force obs_entries) name in
+    List.iter
+      (fun (ti, precert, der) ->
+        if (not precert) && ti < Array.length present && present.(ti) >= 0 then begin
+          raw := (present.(ti), der) :: !raw;
+          Obs.Counter.inc delivered
+        end)
+      deliver;
+    pend := List.rev keep;
+    save_ckpt ()
+  in
+  (try
+     let finished = ref false in
+     while not !finished do
+       let n1, r1 = get_sth () in
+       check_sth (n1, r1);
+       if !next >= n1 && !pend = [] then finished := true
+       else begin
+         let since_tripwire = ref 0 in
+         while !next < n1 do
+           let tail = !next + cfg.page_cap >= n1 in
+           (try fetch_page ~tail with Bad_page -> skip_page ~stop:n1);
+           incr since_tripwire;
+           if !since_tripwire >= max 1 cfg.sth_every && !next < n1 then begin
+             since_tripwire := 0;
+             (* Mid-window tripwire: the published head must still be
+                consistent with what we trusted. *)
+             let sth = get_sth () in
+             check_sth sth
+           end
+         done;
+         flush_at n1 r1
+       end
+     done
+   with
+  | Stop reason ->
+      abandoned := Some reason;
+      Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_abandoned) name);
+      save_ckpt ()
+  | Interrupted ->
+      interrupted := true;
+      save_ckpt ());
+  let s_raw = List.rev !raw in
+  let s_quar = List.rev !quar in
+  let covered = List.map fst s_raw @ List.map (fun (i, _, _) -> i) s_quar in
+  let covered = List.sort_uniq compare covered in
+  (* Coalesce corpus indices into spans, treating indices adjacent in
+     [present] (this log's delivery order) as contiguous — a dropped
+     index between them is not a coverage gap. *)
+  let adjacency = Hashtbl.create (Array.length present) in
+  let last = ref (-1) in
+  Array.iter
+    (fun ci ->
+      if ci >= 0 then begin
+        if !last >= 0 then Hashtbl.replace adjacency ci !last;
+        last := ci
+      end)
+    present;
+  let spans =
+    List.rev
+      (List.fold_left
+         (fun acc ci ->
+           match acc with
+           | (lo, hi) :: rest when Hashtbl.find_opt adjacency ci = Some hi ->
+               (lo, ci) :: rest
+           | _ -> (ci, ci) :: acc)
+         [] covered)
+  in
+  {
+    s_raw;
+    s_quar;
+    s_cov =
+      {
+        log = name;
+        expected;
+        delivered = List.length s_raw;
+        quarantined = List.length s_quar;
+        spans;
+        page_gaps = !gaps;
+        abandoned = !abandoned;
+        split_view = !split;
+        requests = !requests;
+        retries = !retries;
+      };
+    s_interrupted = !interrupted;
+  }
+
+(* --- the corpus source ------------------------------------------------- *)
+
+(* Derive the fault-plan seed from the corpus seed unless pinned, so
+   "same seed" reruns replay both the data and the weather. *)
+let plan_of cfg ~seed =
+  {
+    Net.Fault.default_plan with
+    Net.Fault.seed = (match cfg.net_seed with Some s -> s | None -> seed lxor 0x7E7);
+    rate = cfg.fault_rate;
+    kinds = cfg.fault_kinds;
+    flap_rate = cfg.flap_rate;
+  }
+
+let corpus ?(scale = Dataset.default_scale) ~seed ?mutator ?(drop = false)
+    ?checkpoint ?(resume = false) ?stop_after_pages ?(jobs = 1) cfg =
+  prewarm ();
+  let parts = Par.shards ~jobs:cfg.logs scale in
+  let plan = plan_of cfg ~seed in
+  let tasks =
+    List.mapi
+      (fun k (lo, hi) () ->
+        let name = log_name k in
+        let log = Log.create ~name in
+        let present = ref [] in
+        Dataset.iter_deliveries ~scale ~start:lo ~stop:hi ?mutator ~drop ~seed
+          (fun index delivery ->
+            match delivery with
+            | Dataset.Entry e ->
+                ignore (Log.add_chain log e.Dataset.cert.X509.Certificate.der);
+                present := index :: !present
+            | Dataset.Corrupt { der; _ } ->
+                ignore (Log.add_chain log der);
+                present := index :: !present);
+        let present = Array.of_list (List.rev !present) in
+        let server = Server.create ~page_cap:cfg.page_cap ~name log in
+        List.iter
+          (fun (n, at_request, flip) ->
+            if n = name then Server.equivocate_after server ~at_request ~flip)
+          cfg.equivocate;
+        let clock = Net.Clock.create () in
+        let transport =
+          Net.Transport.create ~plan
+            ~down:(fun l -> List.mem l cfg.down)
+            ~clock (Server.handle server)
+        in
+        let bucket =
+          Net.Bucket.create ~clock ~rate:cfg.rate_per_sec ~burst:cfg.burst
+        in
+        let ckpt_file = Option.map (fun f -> cursor_file f k) checkpoint in
+        fetch_log ?ckpt_file ~resume ?stop_after_pages ~cfg ~scale ~seed ~name
+          ~present ~transport ~bucket ())
+      parts
+  in
+  let sessions = Par.run ~jobs tasks in
+  (* Per-log corpus-index ranges are contiguous and ascending, so
+     joining per-log streams in log order keeps items globally
+     ascending — the same order the generate source uses. *)
+  let items =
+    List.concat_map
+      (fun s ->
+        let rec merge raws quars =
+          match (raws, quars) with
+          | [], [] -> []
+          | (ci, der) :: rest, [] -> item_of ci der :: merge rest []
+          | [], (ci, der, e) :: rest -> Undecodable (ci, der, e) :: merge [] rest
+          | ( ((ci, der) :: rrest as rs),
+              ((qi, qder, qe) :: qrest as qs) ) ->
+              if ci <= qi then item_of ci der :: merge rrest qs
+              else Undecodable (qi, qder, qe) :: merge rs qrest
+        and item_of ci der =
+          match X509.Certificate.parse der with
+          | Error e -> Undecodable (ci, der, e)
+          | Ok cert -> (
+              match Dataset.entry_of_cert cert with
+              | Ok entry -> Got (ci, entry)
+              | Error e -> Undecodable (ci, der, e))
+        in
+        merge s.s_raw s.s_quar)
+      sessions
+  in
+  (items, List.map (fun s -> s.s_cov) sessions)

@@ -1,0 +1,118 @@
+(** Resumable paged CT-log fetch over the simulated transport.
+
+    One session per log: trust-on-first-use STH, every refreshed STH
+    verified against the previously trusted (and checkpointed) one via
+    {!Merkle.verify_consistency}; entries are buffered unverified and
+    delivered only once the running leaf tree reproduces a verified
+    root.  Split views quarantine the unverified range as
+    [Faults.Error.Integrity] and abandon the log; persistent transport
+    failure trips the per-log breaker and abandons with explicit
+    degraded coverage instead of aborting the run.
+
+    Determinism: per-log virtual clock and token bucket, pure fault
+    sampling, and contiguous per-log corpus ranges joined in log order
+    — a completed fetch is byte-identical across reruns and [--jobs]
+    values at the same seeds. *)
+
+type cfg = {
+  logs : int;                     (** corpus is partitioned across this many logs *)
+  net_seed : int option;          (** fault-plan seed; [None] derives from corpus seed *)
+  fault_rate : float;
+  fault_kinds : Net.Fault.kind list;
+  flap_rate : float;
+  down : string list;             (** permanently dead logs (by name) *)
+  page_cap : int;
+  policy : Net.Policy.t;
+  rate_per_sec : float;
+  burst : float;
+  sth_every : int;                (** pages between mid-window STH tripwires *)
+  breaker_threshold : int;
+  breaker_cooldown : float;       (** virtual seconds before a half-open probe *)
+  max_trips : int;                (** breaker trips before the log is abandoned *)
+  equivocate : (string * int * int) list;
+      (** (log name, at_request, leaf to flip): chaos hook for split views *)
+}
+
+val default_cfg : cfg
+(** 16 logs, clean transport, page cap 64, default policy, 200 req/s
+    bucket, STH tripwire every 8 pages, 30 s breaker cooldown, 3-trip
+    abandonment. *)
+
+val log_name : int -> string
+(** ["log-00"], ["log-01"], ... *)
+
+type item =
+  | Got of int * Dataset.entry
+      (** (corpus index, entry rebuilt from the fetched DER) *)
+  | Undecodable of int * string * Faults.Error.t
+      (** (corpus index, DER, error) — undecodable bytes or
+          integrity-flagged provenance; routed to quarantine *)
+
+val item_index : item -> int
+
+type coverage = {
+  log : string;
+  expected : int;
+  delivered : int;
+  quarantined : int;
+  spans : (int * int) list;  (** inclusive corpus-index ranges covered *)
+  page_gaps : int;
+  abandoned : string option;
+  split_view : bool;
+  requests : int;
+  retries : int;
+}
+
+val coverage_complete : coverage -> bool
+
+type session = {
+  s_raw : (int * string) list;
+  s_quar : (int * string * Faults.Error.t) list;
+  s_cov : coverage;
+  s_interrupted : bool;
+}
+
+val fetch_log :
+  ?ckpt_file:string ->
+  ?resume:bool ->
+  ?stop_after_pages:int ->
+  cfg:cfg ->
+  scale:int ->
+  seed:int ->
+  name:string ->
+  present:int array ->
+  transport:Net.Transport.t ->
+  bucket:Net.Bucket.t ->
+  unit ->
+  session
+(** One log session.  [present.(tree_index)] is the corpus index an
+    entry maps to ([-1] = skip, e.g. a precertificate).
+    [stop_after_pages] interrupts after that many pages this session
+    (checkpoint saved) — the resume-after-kill test hook. *)
+
+val cursor_file : string -> int -> string
+(** [cursor_file base k] is [base.fetch<k>] — the per-log checkpoint
+    path used by {!corpus} under a [--checkpoint] base path. *)
+
+val corpus :
+  ?scale:int ->
+  seed:int ->
+  ?mutator:Faults.Mutator.plan ->
+  ?drop:bool ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?stop_after_pages:int ->
+  ?jobs:int ->
+  cfg ->
+  item list * coverage list
+(** Partition the corpus across [cfg.logs] simulated logs (contiguous
+    index ranges), populate each log (the corruption [mutator] and
+    [drop] compose exactly as in the generate source), fetch every log
+    over its own clock/transport/bucket, and join the streams in log
+    order — items arrive globally ascending by corpus index.  [jobs]
+    fetches logs on parallel domains; results are independent of it. *)
+
+val prewarm : unit -> unit
+(** Force every lazy handle the fetch path touches.  Called internally
+    by {!corpus} before spawning; exposed for direct {!fetch_log}
+    users. *)

@@ -41,6 +41,7 @@ let verify_sct t ~der sct =
   in
   check precert_leaf || check cert_leaf
 
+let tree t = t.tree
 let entries t = List.rev t.stored
 let size t = Merkle.size t.tree
 let tree_head t = Merkle.root t.tree

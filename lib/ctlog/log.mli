@@ -15,6 +15,15 @@ type t
 val create : name:string -> t
 val log_id : t -> string
 
+val leaf_bytes : precert:bool -> string -> string
+(** The Merkle leaf encoding of an entry: a precert marker byte followed
+    by the DER — what {!Merkle.leaf_hash} is computed over.  Exposed so
+    fetch clients can recompute leaf hashes for root verification. *)
+
+val tree : t -> Merkle.t
+(** The log's Merkle tree (read-only use: proofs over historical
+    sizes). *)
+
 val add_chain : t -> ?precert:bool -> string -> sct
 (** [add_chain t der] appends a certificate (by its DER bytes) and
     returns its SCT. *)

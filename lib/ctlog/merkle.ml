@@ -97,6 +97,14 @@ let consistency_proof t m =
   if m < 0 || m > t.len then invalid_arg "Merkle.consistency_proof";
   if m = 0 || m = t.len then [] else subproof t.hashes m 0 t.len true
 
+(* Consistency between two historical sizes m <= n <= len: the proof a
+   log server answers for get-consistency(first=m, second=n) even after
+   the tree has grown past n. *)
+let consistency_proof_range t m n =
+  if m < 0 || m > n || n > t.len then
+    invalid_arg "Merkle.consistency_proof_range";
+  if m = 0 || m = n then [] else subproof t.hashes m 0 n true
+
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 (* RFC 9162 §2.1.4.2 verification algorithm. *)

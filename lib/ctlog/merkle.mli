@@ -34,6 +34,12 @@ val consistency_proof : t -> int -> string list
 (** [consistency_proof t m] proves the first [m] leaves are a prefix of
     the current tree (RFC 6962 §2.1.2). *)
 
+val consistency_proof_range : t -> int -> int -> string list
+(** [consistency_proof_range t m n] proves size [m] is a prefix of size
+    [n] ([m <= n <= size t]) — what a log answers for
+    get-consistency(first=m, second=n) after the tree has grown
+    past [n]. *)
+
 val verify_consistency :
   old_size:int -> old_root:string -> new_size:int -> new_root:string ->
   proof:string list -> bool

@@ -1,0 +1,44 @@
+(** A CT log front end over {!Log}: paged get-entries / get-sth /
+    get-consistency served as sealed {!Wire} bodies, plus the
+    misbehaviours the fetch client must survive — delayed publication
+    and an equivocating variant serving tree heads from a shadow tree
+    with one leaf flipped (a split view). *)
+
+type t
+
+val default_page_cap : int
+(** 64 entries per get-entries response. *)
+
+val create : ?page_cap:int -> name:string -> Log.t -> t
+(** Starts with everything currently in the log published. *)
+
+val name : t -> string
+val page_cap : t -> int
+
+val published : t -> int
+(** The visible tree size: get-sth and get-entries answer only up to
+    here. *)
+
+val requests : t -> int
+(** Requests served so far (drives schedules). *)
+
+val set_published : t -> int -> unit
+val publish_all : t -> unit
+
+val schedule_publish : t -> at_request:int -> size:int -> unit
+(** Once [at_request] requests have been served, raise the published
+    size to [size] (growing-log simulation). *)
+
+val equivocate_after : t -> at_request:int -> flip:int -> unit
+(** After [at_request] requests, serve tree heads and consistency
+    proofs from a shadow tree whose leaf [flip] is bit-flipped — a
+    split view that {!Fetch} must detect via
+    {!Merkle.verify_consistency}. *)
+
+val equivocating : t -> bool
+(** Whether the shadow view is currently being served. *)
+
+val handle : t -> Net.Transport.request -> string
+(** The transport handler.  Endpoints: ["get-sth"] (page ignored),
+    ["get-entries"] (page = start index, at most [page_cap] entries
+    returned), ["get-consistency/<second>"] (page = first). *)

@@ -4,6 +4,7 @@ type t =
   | Model_crash of { model : string; exn_name : string; detail : string }
   | Timeout of { stage : string; seconds : float }
   | Resource of { stage : string; detail : string }
+  | Integrity of { log : string; detail : string }
 
 let class_name = function
   | Decode_error _ -> "decode_error"
@@ -11,9 +12,11 @@ let class_name = function
   | Model_crash _ -> "model_crash"
   | Timeout _ -> "timeout"
   | Resource _ -> "resource"
+  | Integrity _ -> "integrity"
 
 let all_class_names =
-  [ "decode_error"; "lint_crash"; "model_crash"; "timeout"; "resource" ]
+  [ "decode_error"; "lint_crash"; "model_crash"; "timeout"; "resource";
+    "integrity" ]
 
 let detail = function
   | Decode_error { offset = Some off; detail } ->
@@ -25,6 +28,7 @@ let detail = function
       Printf.sprintf "%s raised %s: %s" model exn_name detail
   | Timeout { stage; seconds } -> Printf.sprintf "%s exceeded %.3fs" stage seconds
   | Resource { stage; detail } -> Printf.sprintf "%s: %s" stage detail
+  | Integrity { log; detail } -> Printf.sprintf "%s: %s" log detail
 
 let to_string e = class_name e ^ ": " ^ detail e
 

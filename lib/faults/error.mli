@@ -1,6 +1,6 @@
 (** The structured fault taxonomy.
 
-    Every failure a data path can hit is one of five classes; boundary
+    Every failure a data path can hit is one of six classes; boundary
     code converts raw exceptions and string errors into this type so
     sinks (quarantine, telemetry, reports) never have to re-parse
     messages.  [Invalid_argument] stays reserved for programmer errors
@@ -17,11 +17,15 @@ type t =
       (** A watchdog interrupted a hung stage. *)
   | Resource of { stage : string; detail : string }
       (** Stack/heap exhaustion or I/O failure underneath a stage. *)
+  | Integrity of { log : string; detail : string }
+      (** Entries whose log served an unverifiable view (split view /
+          root mismatch): the bytes may be fine, but their provenance
+          cannot be trusted, so they are quarantined, not ingested. *)
 
 val class_name : t -> string
 (** One of ["decode_error"], ["lint_crash"], ["model_crash"],
-    ["timeout"], ["resource"] — stable keys used for telemetry labels
-    and the quarantine sidecar. *)
+    ["timeout"], ["resource"], ["integrity"] — stable keys used for
+    telemetry labels and the quarantine sidecar. *)
 
 val all_class_names : string list
 

@@ -134,12 +134,19 @@ let concealment_demo () =
 
 type recall = { monitor : string; found : int; sampled : int }
 
-let corpus_recall ?(scale = 6000) ?(seed = 21) () =
+let corpus_recall ?(scale = 6000) ?(seed = 21) ?mutator ?(drop = false) () =
   (* Collect flawed corpus certificates (the paper samples 1K
-     noncompliant Unicerts). *)
+     noncompliant Unicerts).  Under a corruption [mutator] the mutated
+     blobs no longer parse and cannot be ingested, so recall is
+     measured over the surviving deliveries only — identical whether
+     the faulty indices deliver corrupted bytes or nothing ([drop]). *)
   let flawed = ref [] in
-  Ctlog.Dataset.iter ~scale ~seed (fun e ->
-      if e.Ctlog.Dataset.flaws <> [] then flawed := e.Ctlog.Dataset.cert :: !flawed);
+  Ctlog.Dataset.iter_deliveries ~scale ?mutator ~drop ~seed (fun _ delivery ->
+      match delivery with
+      | Ctlog.Dataset.Entry e ->
+          if e.Ctlog.Dataset.flaws <> [] then
+            flawed := e.Ctlog.Dataset.cert :: !flawed
+      | Ctlog.Dataset.Corrupt _ -> ());
   let flawed = !flawed in
   List.map
     (fun prof ->

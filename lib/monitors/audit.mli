@@ -33,11 +33,24 @@ val concealment_demo : unit -> concealment list
 
 type recall = { monitor : string; found : int; sampled : int }
 
-val corpus_recall : ?scale:int -> ?seed:int -> unit -> recall list
+val corpus_recall :
+  ?scale:int ->
+  ?seed:int ->
+  ?mutator:Faults.Mutator.plan ->
+  ?drop:bool ->
+  unit ->
+  recall list
 (** The Appendix F.2 query battery, quantified: ingest the noncompliant
     Unicerts of a generated corpus sample into each monitor, query each
     by its own primary SAN value, and count how many surface — the
     monitors that drop special characters or lack fuzzy search lose
-    certificates (the "Fail to return" column of Table 6, measured). *)
+    certificates (the "Fail to return" column of Table 6, measured).
+
+    [mutator] corrupts a deterministic subset of the corpus before
+    delivery; corrupted blobs never parse, so they are excluded and
+    recall is computed over the survivors only.  [drop] delivers
+    nothing for those indices instead ([--drop-faulty] semantics) —
+    the survivor set, and therefore every recall number, is identical
+    between the two modes. *)
 
 val render : Format.formatter -> unit

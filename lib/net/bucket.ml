@@ -1,0 +1,49 @@
+(* Per-log token bucket on the virtual clock.  [acquire] blocks
+   (virtually) until a token is available; [penalize] honours a
+   simulated Retry-After header by pushing the earliest next grant
+   forward.  All waiting advances the shared virtual clock, so rate
+   limiting costs accounted time, not wall time. *)
+
+type t = {
+  clock : Clock.t;
+  rate : float;              (* tokens per virtual second *)
+  burst : float;             (* bucket capacity *)
+  mutable tokens : float;
+  mutable updated : float;   (* clock instant of the last refill *)
+  mutable blocked_until : float;  (* Retry-After embargo *)
+}
+
+let create ~clock ~rate ~burst =
+  {
+    clock;
+    rate = Float.max 1e-9 rate;
+    burst = Float.max 1.0 burst;
+    tokens = Float.max 1.0 burst;
+    updated = Clock.now clock;
+    blocked_until = 0.0;
+  }
+
+let refill t =
+  let now = Clock.now t.clock in
+  if now > t.updated then begin
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.updated) *. t.rate));
+    t.updated <- now
+  end
+
+(* Take one token, advancing the virtual clock as far as needed; returns
+   the seconds (virtually) waited. *)
+let acquire t =
+  let start = Clock.now t.clock in
+  if t.blocked_until > start then Clock.advance_to t.clock t.blocked_until;
+  refill t;
+  if t.tokens < 1.0 then begin
+    let wait = (1.0 -. t.tokens) /. t.rate in
+    Clock.advance t.clock wait;
+    refill t
+  end;
+  t.tokens <- t.tokens -. 1.0;
+  Clock.now t.clock -. start
+
+let penalize t ~seconds =
+  let until = Clock.now t.clock +. Float.max 0.0 seconds in
+  if until > t.blocked_until then t.blocked_until <- until

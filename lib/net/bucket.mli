@@ -1,0 +1,15 @@
+(** Token-bucket rate limiter on the virtual clock. *)
+
+type t
+
+val create : clock:Clock.t -> rate:float -> burst:float -> t
+(** [rate] tokens per virtual second, up to [burst] banked. *)
+
+val acquire : t -> float
+(** Take one token, advancing the virtual clock until one is available
+    (and past any Retry-After embargo).  Returns the virtual seconds
+    waited. *)
+
+val penalize : t -> seconds:float -> unit
+(** Honour a Retry-After: no token is granted until [seconds] of virtual
+    time from now have passed. *)

@@ -1,0 +1,15 @@
+(* Virtual clock for the simulated transport.  Every latency, backoff
+   sleep and rate-limiter wait advances this clock instead of the wall
+   clock, so a faulty fetch run finishes in real milliseconds while the
+   accounted time stays deterministic and byte-identical across reruns. *)
+
+type t = { mutable now : float }
+
+let create ?(at = 0.0) () = { now = at }
+let now t = t.now
+
+let advance t seconds =
+  if seconds > 0.0 then t.now <- t.now +. seconds
+
+(* Move the clock forward to an absolute instant; never rewinds. *)
+let advance_to t instant = if instant > t.now then t.now <- instant

@@ -1,0 +1,15 @@
+(** Virtual clock: all simulated waiting (latency, backoff, rate
+    limiting) advances this clock, never the wall clock, keeping fetch
+    runs fast and their time accounting deterministic. *)
+
+type t
+
+val create : ?at:float -> unit -> t
+val now : t -> float
+
+val advance : t -> float -> unit
+(** [advance t s] moves the clock [s] seconds forward (no-op for
+    [s <= 0]). *)
+
+val advance_to : t -> float -> unit
+(** Move to an absolute instant; never rewinds. *)

@@ -1,0 +1,109 @@
+(* Seeded transport fault model.  Every decision is a pure function of
+   (seed, log, endpoint, page, attempt): retrying the same page samples
+   a fresh outcome per attempt, while rerunning the whole fetch at the
+   same seed replays the exact same fault schedule — the property the
+   byte-identical-rerun acceptance tests lean on. *)
+
+type kind =
+  | Slow           (* 25x latency, still succeeds *)
+  | Timeout        (* latency exceeds the per-attempt deadline *)
+  | Reset          (* connection reset mid-transfer *)
+  | Rate_limit     (* HTTP 429 with a Retry-After penalty *)
+  | Server_error   (* HTTP 500/503 *)
+  | Truncate       (* body cut short (checksum line lost) *)
+  | Corrupt_body   (* one byte of the body flipped *)
+
+let all_kinds = [ Slow; Timeout; Reset; Rate_limit; Server_error; Truncate; Corrupt_body ]
+
+let kind_name = function
+  | Slow -> "slow"
+  | Timeout -> "timeout"
+  | Reset -> "reset"
+  | Rate_limit -> "rate_limit"
+  | Server_error -> "server_error"
+  | Truncate -> "truncate"
+  | Corrupt_body -> "corrupt_body"
+
+let kind_of_name = function
+  | "slow" -> Some Slow
+  | "timeout" -> Some Timeout
+  | "reset" -> Some Reset
+  | "rate_limit" -> Some Rate_limit
+  | "server_error" -> Some Server_error
+  | "truncate" -> Some Truncate
+  | "corrupt_body" -> Some Corrupt_body
+  | _ -> None
+
+type plan = {
+  seed : int;
+  rate : float;                (* per-attempt fault probability *)
+  kinds : kind list;           (* kinds drawn from, uniformly *)
+  base_latency : float;        (* seconds, minimum per request *)
+  latency_jitter : float;      (* seconds, uniform extra latency *)
+  flap_rate : float;           (* probability a page window is in outage *)
+  flap_window : int;           (* pages per flap window *)
+}
+
+let default_plan =
+  {
+    seed = 0;
+    rate = 0.0;
+    kinds = all_kinds;
+    base_latency = 0.02;
+    latency_jitter = 0.03;
+    flap_rate = 0.0;
+    flap_window = 8;
+  }
+
+type outcome = {
+  latency : float;
+  fault : kind option;
+  retry_after : float;  (* meaningful when [fault = Some Rate_limit] *)
+  frac : float;         (* body position fraction for Truncate/Corrupt_body *)
+  status : int;         (* HTTP status for Server_error: 500 or 503 *)
+}
+
+(* FNV-1a over the log/endpoint names: a stable string hash (unlike
+   [Hashtbl.hash]) so fault schedules survive compiler upgrades. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  (* Land in OCaml's positive int range. *)
+  Int64.to_int (Int64.logand !h 0x3fffffffffffffffL)
+
+let stream plan ~log ~endpoint ~page ~attempt =
+  let key = fnv1a (log ^ "\x00" ^ endpoint) in
+  Ucrypto.Prng.of_pair
+    (plan.seed lxor key lxor (page * 0x9E3779B9))
+    attempt
+
+(* A flapping endpoint is down for whole page windows, but only for the
+   first couple of attempts inside the window: the outage is transient,
+   so a client with a sane retry budget recovers. *)
+let flapping plan ~log ~page ~attempt =
+  plan.flap_rate > 0.0 && attempt < 2
+  &&
+  let window = page / max 1 plan.flap_window in
+  let g =
+    Ucrypto.Prng.of_pair
+      (plan.seed lxor fnv1a (log ^ "\x00flap"))
+      window
+  in
+  Ucrypto.Prng.float g < plan.flap_rate
+
+let sample plan ~log ~endpoint ~page ~attempt =
+  let g = stream plan ~log ~endpoint ~page ~attempt in
+  let latency = plan.base_latency +. (Ucrypto.Prng.float g *. plan.latency_jitter) in
+  let faulted = plan.rate > 0.0 && Ucrypto.Prng.float g < plan.rate in
+  let fault =
+    if flapping plan ~log ~page ~attempt then Some Reset
+    else if faulted && plan.kinds <> [] then Some (Ucrypto.Prng.pick_list g plan.kinds)
+    else None
+  in
+  let retry_after = 0.2 +. (Ucrypto.Prng.float g *. 1.8) in
+  let frac = Ucrypto.Prng.float g in
+  let status = if Ucrypto.Prng.float g < 0.5 then 500 else 503 in
+  { latency; fault; retry_after; frac; status }

@@ -1,0 +1,50 @@
+(** Seeded transport fault model.
+
+    Outcomes are a pure function of [(plan.seed, log, endpoint, page,
+    attempt)]: each retry of a page draws a fresh outcome, while a rerun
+    of the whole fetch at the same seed replays the identical fault
+    schedule.  This purity is what makes faulty fetch runs byte-identical
+    across reruns and [--jobs] values. *)
+
+type kind =
+  | Slow           (** 25x latency, still succeeds *)
+  | Timeout        (** latency exceeds the per-attempt deadline *)
+  | Reset          (** connection reset mid-transfer *)
+  | Rate_limit     (** HTTP 429 with a Retry-After penalty *)
+  | Server_error   (** HTTP 500/503 *)
+  | Truncate       (** body cut short (checksum line lost) *)
+  | Corrupt_body   (** one byte of the body flipped *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type plan = {
+  seed : int;
+  rate : float;                (** per-attempt fault probability *)
+  kinds : kind list;           (** kinds drawn from, uniformly *)
+  base_latency : float;        (** seconds, minimum per request *)
+  latency_jitter : float;      (** seconds, uniform extra latency *)
+  flap_rate : float;           (** probability a page window is in outage *)
+  flap_window : int;           (** pages per flap window *)
+}
+
+val default_plan : plan
+(** Clean transport: [rate = 0.0], [flap_rate = 0.0], 20–50 ms latency. *)
+
+type outcome = {
+  latency : float;
+  fault : kind option;
+  retry_after : float;  (** meaningful when [fault = Some Rate_limit] *)
+  frac : float;         (** body position fraction for Truncate/Corrupt_body *)
+  status : int;         (** HTTP status for Server_error: 500 or 503 *)
+}
+
+val sample :
+  plan -> log:string -> endpoint:string -> page:int -> attempt:int -> outcome
+(** Pure: same arguments, same outcome.  Flapping outages affect whole
+    page windows but clear after two attempts, so retries recover. *)
+
+val fnv1a : string -> int
+(** Stable (compiler-independent) string hash used to key per-log fault
+    streams; exposed for the client's backoff stream derivation. *)

@@ -1,0 +1,32 @@
+(* Retry policy: capped exponential backoff with decorrelated jitter
+   (the AWS formula: sleep = min(cap, U(base, 3 * previous sleep))),
+   a per-attempt deadline, and a per-request virtual-time budget. *)
+
+type t = {
+  max_attempts : int;        (* total attempts per request, >= 1 *)
+  base_delay : float;        (* backoff floor, seconds *)
+  max_delay : float;         (* backoff cap, seconds *)
+  attempt_deadline : float;  (* per-attempt timeout, seconds *)
+  request_budget : float;    (* total virtual seconds a request may burn *)
+  hedge_after : float;       (* primary latency that triggers a hedge, seconds *)
+}
+
+let default =
+  {
+    max_attempts = 5;
+    base_delay = 0.1;
+    max_delay = 5.0;
+    attempt_deadline = 1.0;
+    request_budget = 30.0;
+    hedge_after = 0.25;
+  }
+
+(* [backoff p g ~prev] draws the next sleep from [g]: uniform in
+   [base_delay, max(base_delay, 3*prev)], capped at [max_delay].
+   Decorrelated jitter spreads concurrent clients apart while keeping
+   every draw inside [base_delay, max_delay] — the bounds test_net
+   checks. *)
+let backoff p g ~prev =
+  let hi = Float.max p.base_delay (3.0 *. prev) in
+  let d = p.base_delay +. (Ucrypto.Prng.float g *. (hi -. p.base_delay)) in
+  Float.min p.max_delay d

@@ -1,0 +1,20 @@
+(** Retry policy: capped exponential backoff with decorrelated jitter,
+    per-attempt deadlines and a per-request time budget. *)
+
+type t = {
+  max_attempts : int;        (** total attempts per request, >= 1 *)
+  base_delay : float;        (** backoff floor, seconds *)
+  max_delay : float;         (** backoff cap, seconds *)
+  attempt_deadline : float;  (** per-attempt timeout, seconds *)
+  request_budget : float;    (** total virtual seconds a request may burn *)
+  hedge_after : float;       (** primary latency that triggers a hedge *)
+}
+
+val default : t
+(** 5 attempts, 0.1 s floor, 5 s cap, 1 s attempt deadline, 30 s budget,
+    hedge past 250 ms. *)
+
+val backoff : t -> Ucrypto.Prng.t -> prev:float -> float
+(** Next sleep: uniform in [[base_delay, max(base_delay, 3*prev)]],
+    capped at [max_delay] (decorrelated jitter).  Always within
+    [[base_delay, max_delay]]. *)

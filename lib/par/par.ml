@@ -26,20 +26,6 @@ let collect_results thunks =
 
 let guarded f = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
 
-let map_tasks ~jobs tasks =
-  match tasks with
-  | [] -> []
-  | [ f ] -> [ f () ]
-  | tasks when jobs <= 1 -> List.map (fun f -> f ()) tasks
-  | tasks ->
-      let doms = List.map (fun f -> Domain.spawn (fun () -> guarded f)) tasks in
-      collect_results (List.map Domain.join doms)
-
-let map_shards ~jobs ~scale f =
-  let ranges = shards ~jobs scale in
-  map_tasks ~jobs:(List.length ranges)
-    (List.mapi (fun shard (lo, hi) () -> f ~shard ~lo ~hi) ranges)
-
 let run ~jobs thunks =
   let tasks = Array.of_list thunks in
   let n = Array.length tasks in
@@ -66,3 +52,21 @@ let run ~jobs thunks =
       (Array.to_list
          (Array.map (function Some r -> r | None -> assert false) results))
   end
+
+let map_tasks ~jobs tasks =
+  match tasks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | tasks when jobs <= 1 -> List.map (fun f -> f ()) tasks
+  | tasks when List.length tasks <= jobs ->
+      let doms = List.map (fun f -> Domain.spawn (fun () -> guarded f)) tasks in
+      collect_results (List.map Domain.join doms)
+  | tasks ->
+      (* More tasks than the domain budget: feed them through the shared
+         work index above so at most [jobs] domains ever exist at once. *)
+      run ~jobs tasks
+
+let map_shards ~jobs ~scale f =
+  let ranges = shards ~jobs scale in
+  map_tasks ~jobs:(List.length ranges)
+    (List.mapi (fun shard (lo, hi) () -> f ~shard ~lo ~hi) ranges)

@@ -25,8 +25,10 @@ val map_shards :
     re-raised. *)
 
 val map_tasks : jobs:int -> (unit -> 'a) list -> 'a list
-(** One domain per task, results in input order; same join/exception
-    discipline as {!map_shards}. *)
+(** Run the tasks on at most [jobs] domains: one domain per task while
+    the list fits the budget, the shared work queue of {!run} beyond it
+    — never more than [jobs] live domains either way.  Results keep the
+    input order; same join/exception discipline as {!map_shards}. *)
 
 val run : jobs:int -> (unit -> 'a) list -> 'a list
 (** [run ~jobs thunks] executes the thunks on a pool of [jobs] domains

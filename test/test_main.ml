@@ -19,4 +19,5 @@ let () =
       ("misc", Test_misc.suite);
       ("faults", Test_faults.suite);
       ("par", Test_par.suite);
+      ("net", Test_net.suite);
     ]

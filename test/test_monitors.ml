@@ -156,6 +156,31 @@ let test_corpus_recall () =
   check Alcotest.bool "sslmate recall <= crtsh recall" true
     ((get "SSLMate Spotter").Monitors.Audit.found <= (get "Crt.sh").Monitors.Audit.found)
 
+let test_corpus_recall_corrupted () =
+  (* Recall over a corrupted corpus: mutated blobs never parse, so they
+     are excluded and every number is computed over the survivors only
+     — identical whether the faulty indices deliver corrupted bytes or
+     nothing at all (--drop-faulty semantics). *)
+  let scale = 3000 and seed = 5 in
+  let clean = Monitors.Audit.corpus_recall ~scale ~seed () in
+  let m = Faults.Mutator.plan ~seed:17 ~rate:0.2 () in
+  let corrupted = Monitors.Audit.corpus_recall ~scale ~seed ~mutator:m () in
+  let dropped =
+    Monitors.Audit.corpus_recall ~scale ~seed ~mutator:m ~drop:true ()
+  in
+  check Alcotest.bool "corrupt == drop" true (corrupted = dropped);
+  List.iter2
+    (fun (c : Monitors.Audit.recall) (r : Monitors.Audit.recall) ->
+      check Alcotest.string "same monitor order" c.Monitors.Audit.monitor
+        r.Monitors.Audit.monitor;
+      check Alcotest.bool
+        (r.Monitors.Audit.monitor ^ " survivors are a strict subset") true
+        (r.Monitors.Audit.sampled > 0
+        && r.Monitors.Audit.sampled < c.Monitors.Audit.sampled);
+      check Alcotest.bool "found <= sampled" true
+        (r.Monitors.Audit.found <= r.Monitors.Audit.sampled))
+    clean corrupted
+
 let suite =
   [
     Alcotest.test_case "exact and case handling" `Quick test_exact_and_case;
@@ -168,4 +193,6 @@ let suite =
     Alcotest.test_case "table 6 matches paper" `Quick test_table6_matches_paper;
     Alcotest.test_case "concealment demo" `Quick test_concealment;
     Alcotest.test_case "corpus recall (F.2)" `Slow test_corpus_recall;
+    Alcotest.test_case "corpus recall over corrupted corpus" `Slow
+      test_corpus_recall_corrupted;
   ]

@@ -330,6 +330,33 @@ let test_worker_watchdog () =
   check Alcotest.(list string) "worker overrun detected post-hoc"
     [ "timed_out:par"; "completed" ] results
 
+(* Regression: map_tasks once spawned one domain per task no matter
+   what [jobs] said — 32 tasks meant 32 live domains.  Count the tasks
+   in flight at once and hold the pool to its budget. *)
+let test_map_tasks_cap () =
+  let jobs = 2 and tasks = 32 in
+  let in_flight = Atomic.make 0 in
+  let peak = Atomic.make 0 in
+  let rec bump_peak n =
+    let p = Atomic.get peak in
+    if n > p && not (Atomic.compare_and_set peak p n) then bump_peak n
+  in
+  let task i () =
+    let n = 1 + Atomic.fetch_and_add in_flight 1 in
+    bump_peak n;
+    ignore (busy_for 0.002);
+    ignore (Atomic.fetch_and_add in_flight (-1));
+    i
+  in
+  let results = Par.map_tasks ~jobs (List.init tasks task) in
+  check Alcotest.(list int) "results keep input order" (List.init tasks Fun.id)
+    results;
+  if Atomic.get peak > jobs then
+    Alcotest.failf "%d tasks ran concurrently on a %d-domain budget"
+      (Atomic.get peak) jobs;
+  check Alcotest.bool "the pool actually ran work in parallel" true
+    (Atomic.get peak >= 1)
+
 let suite =
   [
     Alcotest.test_case "shard arithmetic" `Quick test_shards;
@@ -343,4 +370,6 @@ let suite =
     Alcotest.test_case "span stacks are domain-local" `Quick test_span_isolation;
     Alcotest.test_case "watchdog deadline on worker domains" `Quick
       test_worker_watchdog;
+    Alcotest.test_case "map_tasks honours the jobs budget" `Quick
+      test_map_tasks_cap;
   ]
