@@ -1,0 +1,139 @@
+(* Per-stage speed baseline: decompose the sequential pipeline's wall
+   clock into generate/decode/lint/classify/aggregate seconds and
+   record certs/sec — the gate ROADMAP item 3 ("hot-path speed:
+   zero-copy ASN.1 and fused analysis passes") optimizes against.
+
+   The decomposition reads the unicert_span_seconds histogram deltas
+   around the best run: "parse" is the DER re-decode stage (reported
+   as "decode"), the remainder up to the "pipeline" span is the
+   iteration/boundary overhead.  Traced passes (in-memory ring,
+   default sampling) are interleaved with the untraced ones to record
+   the tracing overhead DESIGN.md §10 budgets at <= 5%.
+
+   Writes BENCH_speed.json (or the path given as the first argument).
+   Environment knobs: UNICERT_BENCH_SCALE (default 8000),
+   UNICERT_BENCH_RUNS (default 3). *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let scale = env_int "UNICERT_BENCH_SCALE" 8000
+let runs = env_int "UNICERT_BENCH_RUNS" 3
+
+(* (internal span name, reported stage name) *)
+let stages =
+  [ ("generate", "generate"); ("parse", "decode"); ("lint", "lint");
+    ("classify", "classify"); ("aggregate", "aggregate") ]
+
+let snap () = List.map (fun (s, _) -> Obs.Span.sum s) stages
+
+(* One full pass: wall clock plus this pass's per-stage histogram
+   deltas. *)
+let one_pass () =
+  let before = snap () in
+  let t0 = Unix.gettimeofday () in
+  let t = Sys.opaque_identity (Unicert.Pipeline.run ~scale ~seed:1 ()) in
+  let wall = Unix.gettimeofday () -. t0 in
+  let after = snap () in
+  if t.Unicert.Pipeline.total <> scale then begin
+    Printf.eprintf "error: pipeline processed %d of %d certificates\n"
+      t.Unicert.Pipeline.total scale;
+    exit 1
+  end;
+  let stage_seconds =
+    List.map2
+      (fun (_, reported) (b, a) -> (reported, a -. b))
+      stages
+      (List.combine before after)
+  in
+  (wall, stage_seconds)
+
+(* Min-of-[runs] untraced wall (with the best pass's stage deltas) and
+   min traced wall, interleaved untraced/traced so that host-load
+   drift during the benchmark hits both arms equally — on a shared
+   box the drift otherwise dwarfs the tracing overhead being
+   measured. *)
+let measure () =
+  let best = ref infinity and best_stages = ref [] and best_traced = ref infinity in
+  for _ = 1 to runs do
+    let wall, stage_seconds = one_pass () in
+    if wall < !best then begin
+      best := wall;
+      best_stages := stage_seconds
+    end;
+    (* Fresh ring per traced pass: default sampling, no file. *)
+    Obs.Trace.enable ();
+    let traced, _ = one_pass () in
+    Obs.Trace.disable ();
+    if traced < !best_traced then best_traced := traced
+  done;
+  (!best, !best_stages, !best_traced)
+
+let () =
+  let out =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_speed.json"
+  in
+  Obs.Progress.set_override (Some false);
+  (* Warm up allocators and lazy instrument tables outside the clock. *)
+  ignore (Unicert.Pipeline.run ~scale:500 ~seed:1 ());
+  let wall, stage_seconds, wall_traced = measure () in
+  let certs_per_sec = float_of_int scale /. wall in
+  let stage_of name = List.assoc name stage_seconds in
+  let staged_total = List.fold_left (fun a (_, s) -> a +. s) 0. stage_seconds in
+  let decode_lint = stage_of "decode" +. stage_of "lint" in
+  let share s = 100. *. s /. wall in
+  let overhead_pct = 100. *. (wall_traced -. wall) /. wall in
+  let cores = Domain.recommended_domain_count () in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"per-stage wall-clock decomposition, sequential full pass\",\n\
+    \  \"scale\": %d,\n\
+    \  \"runs\": %d,\n\
+    \  \"aggregation\": \"min of runs, wall clock; stage seconds from the unicert_span_seconds deltas of the best run\",\n\
+    \  \"recommended_domain_count\": %d,\n\
+    \  \"wall_seconds\": %.4f,\n\
+    \  \"certs_per_sec\": %.1f,\n\
+    \  \"stage_seconds\": {\n\
+    \    \"generate\": %.4f,\n\
+    \    \"decode\": %.4f,\n\
+    \    \"lint\": %.4f,\n\
+    \    \"classify\": %.4f,\n\
+    \    \"aggregate\": %.4f,\n\
+    \    \"other\": %.4f\n\
+    \  },\n\
+    \  \"stage_share_pct\": {\n\
+    \    \"generate\": %.1f,\n\
+    \    \"decode\": %.1f,\n\
+    \    \"lint\": %.1f,\n\
+    \    \"classify\": %.1f,\n\
+    \    \"aggregate\": %.1f\n\
+    \  },\n\
+    \  \"decode_lint_share_pct\": %.1f,\n\
+    \  \"optimization_target\": \"decode+lint: the ROADMAP item 3 rewrite (zero-copy ASN.1, fused analysis passes) is gated on moving this share\",\n\
+    \  \"traced_wall_seconds\": %.4f,\n\
+    \  \"trace_overhead_pct\": %.2f,\n\
+    \  \"trace_overhead_budget_pct\": 5.0\n\
+     }\n"
+    scale runs cores wall certs_per_sec (stage_of "generate")
+    (stage_of "decode") (stage_of "lint") (stage_of "classify")
+    (stage_of "aggregate")
+    (Float.max 0. (wall -. staged_total))
+    (share (stage_of "generate"))
+    (share (stage_of "decode"))
+    (share (stage_of "lint"))
+    (share (stage_of "classify"))
+    (share (stage_of "aggregate"))
+    (share decode_lint) wall_traced overhead_pct;
+  close_out oc;
+  Printf.printf
+    "per-stage: %.4fs (%.0f certs/sec) on %d core(s); decode+lint %.1f%%; \
+     tracing overhead %.2f%% -> %s\n"
+    wall certs_per_sec cores (share decode_lint) overhead_pct out;
+  if overhead_pct > 5.0 then begin
+    Printf.eprintf
+      "warning: tracing overhead %.2f%% exceeds the 5%% budget on this host\n"
+      overhead_pct
+  end

@@ -16,6 +16,9 @@ type t = {
   fetch : Ctlog.Fetch.cfg option;
       (* Some cfg when --source fetch: the corpus comes from simulated
          CT logs over the fault-injected transport *)
+  trace : string option;
+      (* --trace FILE: record a Chrome-trace timeline of the run *)
+  profile : bool;  (* --profile: GC attribution + slow-cert log *)
 }
 
 let mutator ~default_seed t =
@@ -53,7 +56,8 @@ let parse_equivocate spec =
 let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
     quarantine timeout checkpoint checkpoint_every resume fault_lints
     fault_models fault_hang breaker_threshold jobs source logs net_fault_rate
-    net_seed net_kinds net_flap_rate net_down page_cap equivocate =
+    net_seed net_kinds net_flap_rate net_down page_cap equivocate trace
+    trace_sample trace_ring profile =
   if corrupt_rate < 0.0 || corrupt_rate > 1.0 then begin
     Printf.eprintf "error: --corrupt-rate must be in [0,1]\n";
     exit 2
@@ -83,6 +87,21 @@ let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
   let mode = if fault_hang then Faults.Injector.Hang else Faults.Injector.Crash in
   arm_specs ~flag:"--fault-lint" ~prefix:"" ~mode fault_lints;
   arm_specs ~flag:"--fault-model" ~prefix:"model:" ~mode fault_models;
+  (* Arm tracing/profiling here so every code path of every binary is
+     covered without further threading; when the flags are absent the
+     instrumented paths stay on their disabled fast path. *)
+  if trace_sample < 1 then begin
+    Printf.eprintf "error: --trace-sample must be >= 1\n";
+    exit 2
+  end;
+  if trace_ring < 16 then begin
+    Printf.eprintf "error: --trace-ring must be >= 16\n";
+    exit 2
+  end;
+  (match trace with
+  | None -> ()
+  | Some file -> Obs.Trace.enable ~ring:trace_ring ~sample:trace_sample ~file ());
+  if profile then Obs.Profile.enable ();
   let fetch =
     match source with
     | "generate" -> None
@@ -149,6 +168,8 @@ let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
     resume;
     jobs;
     fetch;
+    trace;
+    profile;
   }
 
 let term =
@@ -275,8 +296,35 @@ let term =
                REQ-th request on — the split-view detection drill \
                (repeatable)")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a structured trace of the run to FILE: Chrome \
+               trace_event JSON (open in Perfetto or chrome://tracing), or \
+               one event per line when FILE ends in $(b,.jsonl)")
+  in
+  let trace_sample =
+    Arg.(value & opt int Obs.Trace.default_sample
+         & info [ "trace-sample" ] ~docv:"N"
+         ~doc:"Trace every N-th per-lint / per-parser-model invocation \
+               (1 traces all; pipeline, shard, net and fetch spans are \
+               never sampled)")
+  in
+  let trace_ring =
+    Arg.(value & opt int Obs.Trace.default_ring
+         & info [ "trace-ring" ] ~docv:"N"
+         ~doc:"Trace ring-buffer capacity in events; when full the oldest \
+               events are evicted (the exporter keeps begin/end pairing \
+               balanced)")
+  in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+         ~doc:"Attribute GC work (minor/major words, collections) to the \
+               span it happened in and log the slowest certificates with \
+               their dominant stage")
+  in
   Term.(const make $ corrupt_rate $ corrupt_seed $ corrupt_kinds $ drop
         $ max_errors $ fail_fast $ quarantine $ timeout $ checkpoint
         $ checkpoint_every $ resume $ fault_lints $ fault_models $ fault_hang
         $ breaker_threshold $ jobs $ source $ logs $ net_fault_rate $ net_seed
-        $ net_kinds $ net_flap_rate $ net_down $ page_cap $ equivocate)
+        $ net_kinds $ net_flap_rate $ net_down $ page_cap $ equivocate $ trace
+        $ trace_sample $ trace_ring $ profile)

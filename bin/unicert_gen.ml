@@ -195,6 +195,11 @@ let run mode count seed flawed_only field payload st fault metrics progress
         Printf.eprintf "error: cannot write metrics: %s\n" msg;
         exit 1)
     metrics;
+  (try Obs.Trace.flush ()
+   with Sys_error msg ->
+     Printf.eprintf "error: cannot write trace: %s\n" msg;
+     exit 1);
+  if fault.Fault_cli.profile then Obs.Profile.print_top stderr;
   (* 4 = completed with degraded fetch coverage. *)
   if code <> 0 then exit code
 

@@ -68,11 +68,19 @@ let merge_tally dst src =
    must pass through untouched. *)
 let lint_one ~ignore_dates t record index (e : Ctlog.Dataset.entry) =
   t.total <- t.total + 1;
+  (* This path runs the linter only, so the slow-cert log's dominating
+     stage is always "lint" here. *)
+  let profiling = Obs.Profile.enabled () in
+  let t0 = if profiling then Unix.gettimeofday () else 0. in
   match
     Lint.Registry.noncompliant ~respect_effective_dates:(not ignore_dates)
       ~issued:e.Ctlog.Dataset.issued e.Ctlog.Dataset.cert
   with
   | findings ->
+      if profiling then
+        Obs.Profile.note_slow ~index
+          ~seconds:(Unix.gettimeofday () -. t0)
+          ~stage:"lint";
       if findings <> [] then begin
         t.nc <- t.nc + 1;
         List.iter
@@ -332,6 +340,11 @@ let run files corpus scale seed ignore_dates issued_str list_lints json fault
         Printf.eprintf "error: cannot write metrics: %s\n" msg;
         exit 1)
     metrics;
+  (try Obs.Trace.flush ()
+   with Sys_error msg ->
+     Printf.eprintf "error: cannot write trace: %s\n" msg;
+     exit 1);
+  if fault.Fault_cli.profile then Obs.Profile.print_top stderr;
   (* 4 = completed with degraded fetch coverage (metrics still written). *)
   if !exit_code <> 0 then begin
     Printf.eprintf "warning: degraded coverage: not every log delivered fully\n";

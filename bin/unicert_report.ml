@@ -63,6 +63,13 @@ let run id scale seed (fault : Fault_cli.t) metrics progress no_progress =
         Printf.eprintf "error: cannot write metrics: %s\n" msg;
         exit 1)
     metrics;
+  (* Flush the trace explicitly so a write failure is a visible error
+     here, not just an at_exit warning. *)
+  (try Obs.Trace.flush ()
+   with Sys_error msg ->
+     Printf.eprintf "error: cannot write trace: %s\n" msg;
+     exit 1);
+  if fault.Fault_cli.profile then Obs.Profile.print_top stderr;
   (* Exit codes: 3 = the pass aborted (fail-fast / max-errors), 4 = it
      completed but with degraded fetch coverage (abandoned log, split
      view, page gaps) — distinguishable by callers and CI. *)

@@ -140,7 +140,30 @@ let obs_nc =
        ~help:"Certificates the pipeline classified as noncompliant"
        "unicert_pipeline_noncompliant_total")
 
-let process t (entry : Ctlog.Dataset.entry) =
+let process t ~index (entry : Ctlog.Dataset.entry) =
+  (* Under --profile, each stage is additionally timed with a plain
+     gettimeofday pair (NOT another Span: lint opens its own span
+     inside {!Lint.Registry.run}, and double-counting the histogram
+     would skew the exported per-stage totals).  The per-certificate
+     total and its most expensive stage feed the top-K slow-cert
+     log. *)
+  let profiling = Obs.Profile.enabled () in
+  let cert_t0 = if profiling then Unix.gettimeofday () else 0. in
+  let worst_stage = ref "lint" in
+  let worst_dt = ref neg_infinity in
+  let timed stage f =
+    if not profiling then f ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt > !worst_dt then begin
+        worst_dt := dt;
+        worst_stage := stage
+      end;
+      r
+    end
+  in
   let cert = entry.Ctlog.Dataset.cert in
   let issuer = entry.Ctlog.Dataset.issuer in
   let issued = entry.Ctlog.Dataset.issued in
@@ -158,7 +181,8 @@ let process t (entry : Ctlog.Dataset.entry) =
      span histogram; everything that mutates [t] runs under the
      "aggregate" span. *)
   let findings =
-    Lint.Registry.run ~respect_effective_dates:false ~issued cert
+    timed "lint" (fun () ->
+        Lint.Registry.run ~respect_effective_dates:false ~issued cert)
     |> List.filter Lint.is_noncompliant
   in
   let dated =
@@ -167,11 +191,16 @@ let process t (entry : Ctlog.Dataset.entry) =
       findings
   in
   let noncompliant = dated <> [] in
-  let ufields = Obs.Span.with_ "classify" (fun () -> Classify.unicode_fields cert) in
+  let ufields =
+    timed "classify" (fun () ->
+        Obs.Span.with_ "classify" (fun () -> Classify.unicode_fields cert))
+  in
   (* §5.1 encoding-error scan: re-parse the DER payloads. *)
   let enc_subject, enc_san, enc_policies =
-    Obs.Span.with_ "parse" (fun () -> encoding_error_fields cert)
+    timed "decode" (fun () ->
+        Obs.Span.with_ "parse" (fun () -> encoding_error_fields cert))
   in
+  let agg_t0 = if profiling then Unix.gettimeofday () else 0. in
   Obs.Span.with_ "aggregate" @@ fun () ->
   t.total <- t.total + 1;
   if entry.Ctlog.Dataset.is_idn then t.idncerts <- t.idncerts + 1;
@@ -278,6 +307,15 @@ let process t (entry : Ctlog.Dataset.entry) =
           if alive then s.alive <- s.alive + 1
         end)
       Lint.all_nc_types
+  end;
+  if profiling then begin
+    let now = Unix.gettimeofday () in
+    let agg_dt = now -. agg_t0 in
+    if agg_dt > !worst_dt then begin
+      worst_dt := agg_dt;
+      worst_stage := "aggregate"
+    end;
+    Obs.Profile.note_slow ~index ~seconds:(now -. cert_t0) ~stage:!worst_stage
   end
 
 let fresh ~scale ~seed =
@@ -322,11 +360,22 @@ exception Abort of string
    domain can be joined. *)
 exception Shard_stop
 
+(* A fault is a point on the trace timeline, not a span: the
+   certificate it belongs to never completed one. *)
+let trace_fault ~index error =
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~cat:"fault"
+      ~args:
+        [ ("class", Obs.Trace.Str (Faults.Error.class_name error));
+          ("index", Obs.Trace.Int index) ]
+      "fault"
+
 let record_fault t policy quarantine ~index ~der error =
   let f = t.faults in
   f.fault_errors <- f.fault_errors + 1;
   bump f.by_class (Faults.Error.class_name error);
   Faults.Error.observe error;
+  trace_fault ~index error;
   (match quarantine with
   | Some q ->
       Faults.Quarantine.record q ~index ~error ~der;
@@ -346,8 +395,10 @@ let record_fault t policy quarantine ~index ~der error =
 let process_entry t policy ~record index (entry : Ctlog.Dataset.entry) =
   let guarded () =
     match policy.Faults.Policy.timeout_seconds with
-    | Some s -> Faults.Watchdog.with_timeout ~stage:"process" ~seconds:s (fun () -> process t entry)
-    | None -> process t entry
+    | Some s ->
+        Faults.Watchdog.with_timeout ~stage:"process" ~seconds:s (fun () ->
+            process t ~index entry)
+    | None -> process t ~index entry
   in
   match guarded () with
   | () -> ()
@@ -568,6 +619,7 @@ let run_parallel ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs =
       f.fault_errors <- f.fault_errors + 1;
       bump f.by_class (Faults.Error.class_name error);
       Faults.Error.observe error;
+      trace_fault ~index error;
       (match quarantine with
       | Some q ->
           Faults.Quarantine.record q ~index ~error ~der;
@@ -687,6 +739,7 @@ let analyze_parallel ~scale ~seed ~policy ~jobs items =
       f.fault_errors <- f.fault_errors + 1;
       bump f.by_class (Faults.Error.class_name error);
       Faults.Error.observe error;
+      trace_fault ~index error;
       (match quarantine with
       | Some q ->
           Faults.Quarantine.record q ~index ~error ~der;

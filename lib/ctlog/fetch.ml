@@ -227,6 +227,12 @@ exception Bad_page           (* one failed/malformed page *)
    the number of mapped entries. *)
 let fetch_log ?ckpt_file ?(resume = false) ?stop_after_pages ~cfg ~scale ~seed
     ~name ~(present : int array) ~transport ~bucket () =
+  (* The whole per-log session is one trace slice on the worker
+     domain's track; page fetches, STH refreshes and consistency
+     checks nest inside it, with quarantine/breaker events as instant
+     marks. *)
+  Obs.Trace.span ~cat:"fetch" ~args:[ ("log", Obs.Trace.Str name) ] "session"
+  @@ fun () ->
   let policy = cfg.policy in
   let clock = Net.Transport.clock transport in
   let expected = Array.fold_left (fun n i -> if i >= 0 then n + 1 else n) 0 present in
@@ -315,17 +321,28 @@ let fetch_log ?ckpt_file ?(resume = false) ?stop_after_pages ~cfg ~scale ~seed
         incr requests;
         retries := !retries + attempts_of_error e - 1;
         Faults.Breaker.failure ~now:(now ()) breaker;
-        if Faults.Breaker.trips breaker >= cfg.max_trips then
+        if Faults.Breaker.trips breaker >= cfg.max_trips then begin
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant ~cat:"fetch"
+              ~args:
+                [ ("log", Obs.Trace.Str name);
+                  ("trips", Obs.Trace.Int (Faults.Breaker.trips breaker)) ]
+              "breaker-trip";
           raise
             (Stop
                (Printf.sprintf "breaker open after %d trips (%s)"
                   (Faults.Breaker.trips breaker)
-                  (Net.Client.describe e)));
+                  (Net.Client.describe e)))
+        end;
         None
   in
   (* Split view (or any unverifiable window): the unverified range goes
      to quarantine as Integrity and the log is abandoned. *)
   let quarantine_pending reason =
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"fetch"
+        ~args:[ ("log", Obs.Trace.Str name); ("reason", Obs.Trace.Str reason) ]
+        "quarantine";
     split := true;
     Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_split) name);
     List.iter
@@ -339,6 +356,7 @@ let fetch_log ?ckpt_file ?(resume = false) ?stop_after_pages ~cfg ~scale ~seed
     raise (Stop reason)
   in
   let get_sth () =
+    Obs.Trace.span ~cat:"fetch" "sth-refresh" @@ fun () ->
     let rec go () =
       incr refresh;
       match call ~endpoint:"get-sth" ~page:!refresh () with
@@ -357,6 +375,7 @@ let fetch_log ?ckpt_file ?(resume = false) ?stop_after_pages ~cfg ~scale ~seed
   (* Verify a refreshed STH against the trusted one (the checkpointed
      STH, on a resumed session). *)
   let check_sth (n1, r1) =
+    Obs.Trace.span ~cat:"fetch" "check-sth" @@ fun () ->
     (match !verified with
     | None -> ()
     | Some (n0, r0) ->
@@ -403,6 +422,10 @@ let fetch_log ?ckpt_file ?(resume = false) ?stop_after_pages ~cfg ~scale ~seed
   in
   (* Fetch the page starting at [!next]. *)
   let fetch_page ~tail =
+    Obs.Trace.span ~cat:"fetch"
+      ~args:[ ("start", Obs.Trace.Int !next) ]
+      "page"
+    @@ fun () ->
     let start = !next in
     (match call ~hedge:tail ~endpoint:"get-entries" ~page:start () with
     | None -> raise Bad_page

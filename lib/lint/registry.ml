@@ -81,7 +81,12 @@ let checked ins (l : Types.t) ctx =
   else begin
     let tick = 1 + Atomic.fetch_and_add ins.tick 1 in
     Obs.Counter.inc ins.invocations;
-    match
+    (* Per-lint trace spans are sampled (--trace-sample): 95 lints per
+       certificate would otherwise dominate the ring.  The sampling
+       decision reuses [ins.tick] — this path runs once per lint per
+       certificate, and [sampled_span]'s own per-domain counter is
+       measurably slower at that rate. *)
+    let body () =
       if tick mod time_sample = 0 then begin
         let t0 = Unix.gettimeofday () in
         let status = invoke l ctx in
@@ -90,6 +95,11 @@ let checked ins (l : Types.t) ctx =
         status
       end
       else invoke l ctx
+    in
+    match
+      if Obs.Trace.sample_hit tick then
+        Obs.Trace.span ~cat:"lint" l.Types.name body
+      else body ()
     with
     | status ->
         Faults.Breaker.success ins.breaker;

@@ -49,6 +49,14 @@ let obs_giveups =
        ~help:"Requests abandoned after exhausting retries or budget"
        "unicert_net_giveups_total")
 
+let obs_hedge_outcomes =
+  lazy
+    (Obs.Registry.labeled_counter ~label:"outcome"
+       ~help:
+         "Hedged tail-page races by outcome: primary_won, hedge_won or \
+          both_failed"
+       "unicert_hedge_requests_total")
+
 let obs_backoff =
   lazy
     (Obs.Registry.histogram
@@ -62,6 +70,7 @@ let prewarm () =
   ignore (Lazy.force obs_rate_limited);
   ignore (Lazy.force obs_hedges);
   ignore (Lazy.force obs_giveups);
+  ignore (Lazy.force obs_hedge_outcomes);
   ignore (Lazy.force obs_backoff)
 
 exception Done of (fetched, error) result
@@ -77,6 +86,14 @@ let hedge_attempt n = 0x1000 + n
 let request ~(policy : Policy.t) ?bucket ?(hedge = false)
     ?(validate = fun _ -> true) ~transport ~log ~endpoint ~page () =
   Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_requests) endpoint);
+  (* One trace slice per request on the calling domain's track, with
+     the retry machinery inside it as instant events (backoff sleeps,
+     Retry-After penalties, hedge races). *)
+  let traced = Obs.Trace.enabled () in
+  if traced then
+    Obs.Trace.emit_begin ~cat:"net"
+      ~args:[ ("log", Obs.Trace.Str log); ("page", Obs.Trace.Int page) ]
+      endpoint;
   let clock = Transport.clock transport in
   let req = { Transport.log; endpoint; page } in
   let backoff_stream =
@@ -125,10 +142,21 @@ let request ~(policy : Policy.t) ?bucket ?(hedge = false)
             Transport.call transport ~attempt:(hedge_attempt attempt)
               ~deadline:policy.Policy.attempt_deadline req
           in
-          match (good ~validate resp, good ~validate r2) with
-          | Some _, _ -> resp
-          | None, Some _ -> r2
-          | None, None -> resp
+          let outcome, winner =
+            match (good ~validate resp, good ~validate r2) with
+            | Some _, _ -> ("primary_won", resp)
+            | None, Some _ -> ("hedge_won", r2)
+            | None, None -> ("both_failed", resp)
+          in
+          Obs.Counter.inc
+            (Obs.Counter.Labeled.get (Lazy.force obs_hedge_outcomes) outcome);
+          if traced then
+            Obs.Trace.instant ~cat:"net"
+              ~args:
+                [ ("outcome", Obs.Trace.Str outcome);
+                  ("page", Obs.Trace.Int page) ]
+              "hedge";
+          winner
         end
         else resp
       in
@@ -136,6 +164,10 @@ let request ~(policy : Policy.t) ?bucket ?(hedge = false)
       | Transport.Body b when validate b -> finish b
       | Transport.Retry_later { after; _ } ->
           Obs.Counter.inc (Lazy.force obs_rate_limited);
+          if traced then
+            Obs.Trace.instant ~cat:"net"
+              ~args:[ ("seconds", Obs.Trace.Float after) ]
+              "retry-after";
           (match bucket with
           | Some b -> Bucket.penalize b ~seconds:after
           | None -> Clock.advance clock after)
@@ -149,10 +181,18 @@ let request ~(policy : Policy.t) ?bucket ?(hedge = false)
         let d = Policy.backoff policy backoff_stream ~prev:!prev in
         prev := d;
         Obs.Histogram.observe (Lazy.force obs_backoff) d;
+        if traced then
+          Obs.Trace.instant ~cat:"net"
+            ~args:[ ("seconds", Obs.Trace.Float d) ]
+            "backoff";
         Clock.advance clock d
       end
     done;
     Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_giveups) endpoint);
+    if traced then
+      Obs.Trace.emit_end ~cat:"net"
+        ~args:[ ("attempts", Obs.Trace.Int !attempts); ("ok", Obs.Trace.Bool false) ]
+        endpoint;
     Error
       (Attempts_exhausted
          { attempts = !attempts; waited = Clock.now clock -. started })
@@ -161,4 +201,11 @@ let request ~(policy : Policy.t) ?bucket ?(hedge = false)
     | Error _ ->
         Obs.Counter.inc (Obs.Counter.Labeled.get (Lazy.force obs_giveups) endpoint)
     | Ok _ -> ());
+    if traced then
+      Obs.Trace.emit_end ~cat:"net"
+        ~args:
+          [ ("attempts", Obs.Trace.Int !attempts);
+            ("hedged", Obs.Trace.Bool !hedged);
+            ("ok", Obs.Trace.Bool (Result.is_ok r)) ]
+        endpoint;
     r

@@ -1,0 +1,26 @@
+(** A minimal JSON value type with a parser and string escaping —
+    just enough to round-trip the trace exporter output in tests and
+    the @trace-smoke validator without an external JSON dependency.
+
+    Numbers are stored as [float] (like JavaScript); objects preserve
+    member order and do not de-duplicate keys. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document.  [Error msg] carries the byte
+    offset of the first offending character. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the first value bound to [k]; [None] for
+    missing keys and non-objects. *)
+
+val escape : string -> string
+(** [escape s] is [s] as a double-quoted JSON string literal, with
+    quotes, backslashes and control characters escaped. *)

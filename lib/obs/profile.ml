@@ -1,0 +1,90 @@
+let on = Atomic.make false
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+(* --- GC attribution --------------------------------------------------- *)
+
+let gc_family ?registry ~help name =
+  Registry.labeled_counter ?registry ~help ~label:"span" name
+
+(* [Gc.quick_stat] covers everything except minor words: its
+   [minor_words] field is only refreshed by a minor collection, so a
+   span that allocates without filling the minor heap would read as
+   zero.  [Gc.minor_words ()] reads the live allocation pointer. *)
+type gc_snapshot = { stat : Gc.stat; minor_words : float }
+
+let gc_snapshot () = { stat = Gc.quick_stat (); minor_words = Gc.minor_words () }
+
+let record_gc ?registry name before =
+  let after = gc_snapshot () in
+  let before, before_minor = (before.stat, before.minor_words) in
+  let after, after_minor = (after.stat, after.minor_words) in
+  (* quick_stat is process-wide under OCaml 5: a concurrent domain's
+     collection between the two snapshots can make a delta negative.
+     Clamp — attribution is a profile, not an invariant. *)
+  let add metric ~help v =
+    if v > 0. then
+      Counter.add (Counter.Labeled.get (gc_family ?registry ~help metric) name) v
+  in
+  add "unicert_gc_minor_words_total"
+    ~help:"Minor-heap words allocated inside a span"
+    (Float.max 0. (after_minor -. before_minor));
+  add "unicert_gc_major_words_total"
+    ~help:"Major-heap words allocated inside a span"
+    (Float.max 0. (after.Gc.major_words -. before.Gc.major_words));
+  add "unicert_gc_minor_collections_total"
+    ~help:"Minor collections completed inside a span"
+    (float_of_int
+       (max 0 (after.Gc.minor_collections - before.Gc.minor_collections)));
+  add "unicert_gc_major_collections_total"
+    ~help:"Major collections completed inside a span"
+    (float_of_int
+       (max 0 (after.Gc.major_collections - before.Gc.major_collections)))
+
+(* --- top-K slow certificates ------------------------------------------ *)
+
+type slow = { index : int; seconds : float; stage : string }
+
+let top_k = Atomic.make 16
+
+let set_top_k n =
+  if n < 1 then invalid_arg "Obs.Profile.set_top_k: must be >= 1";
+  Atomic.set top_k n
+
+let slow_lock = Mutex.create ()
+
+(* Kept sorted ascending by [seconds]; head = cheapest survivor, so
+   admission is a single head comparison. *)
+let worst : slow list ref = ref []
+
+let note_slow ~index ~seconds ~stage =
+  if Atomic.get on then
+    Mutex.protect slow_lock (fun () ->
+        let k = Atomic.get top_k in
+        let l = !worst in
+        let full = List.length l >= k in
+        let floor = match l with s :: _ -> s.seconds | [] -> neg_infinity in
+        if (not full) || seconds > floor then begin
+          let merged =
+            List.merge
+              (fun a b -> Float.compare a.seconds b.seconds)
+              [ { index; seconds; stage } ]
+              l
+          in
+          worst := (if List.length merged > k then List.tl merged else merged)
+        end)
+
+let slowest () = Mutex.protect slow_lock (fun () -> List.rev !worst)
+let reset_slow () = Mutex.protect slow_lock (fun () -> worst := [])
+
+let print_top oc =
+  match slowest () with
+  | [] -> ()
+  | l ->
+      Printf.fprintf oc "slowest certificates (top %d):\n" (List.length l);
+      List.iter
+        (fun s ->
+          Printf.fprintf oc "  index %-8d %9.3f ms  dominated by %s\n" s.index
+            (1000. *. s.seconds) s.stage)
+        l

@@ -17,12 +17,23 @@ let with_ ?registry name f =
   let hist = Histogram.Labeled.get (family registry) name in
   let stack = stack () in
   stack := name :: !stack;
+  (* Tracing and profiling ride along when enabled: a span becomes a
+     Begin/End pair on the emitting domain's trace track, and the GC
+     work inside it is attributed to its name.  Both checks are one
+     atomic load when the features are off. *)
+  let traced = Trace.enabled () in
+  if traced then Trace.emit_begin ~cat:"stage" name;
+  let gc0 = if Profile.enabled () then Some (Profile.gc_snapshot ()) else None in
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
       let dt = Unix.gettimeofday () -. t0 in
       (match !stack with _ :: rest -> stack := rest | [] -> ());
-      Histogram.observe hist dt)
+      Histogram.observe hist dt;
+      (match gc0 with
+      | Some before -> Profile.record_gc ?registry name before
+      | None -> ());
+      if traced then Trace.emit_end ~cat:"stage" name)
     f
 
 let current () = !(stack ())

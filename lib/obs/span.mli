@@ -2,7 +2,12 @@
     duration into the per-span histogram family
     [unicert_span_seconds{span="lint"}] of the target registry.  Spans
     nest freely (a stack tracks the active path, see {!current}); the
-    duration is recorded even when [f] raises. *)
+    duration is recorded even when [f] raises.
+
+    When {!Trace} is enabled each span additionally emits a
+    Begin/End pair (category ["stage"]) on the emitting domain's
+    trace track; when {!Profile} is enabled the GC work inside the
+    span is attributed to its name. *)
 
 val histogram_name : string
 (** ["unicert_span_seconds"]. *)

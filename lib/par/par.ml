@@ -26,6 +26,17 @@ let collect_results thunks =
 
 let guarded f = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
 
+(* Trace hooks: the coordinator marks each spawn/join as an instant
+   event on its own track, and each worker domain brackets its whole
+   life in a "worker" span, so a recorded trace shows the domain
+   lifecycle next to the spans the worker emitted while running.  All
+   of it is a single atomic load when tracing is off. *)
+let trace_lifecycle name k =
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~cat:"par" ~args:[ ("domain", Obs.Trace.Int k) ] name
+
+let worker_span f = Obs.Trace.span ~cat:"par" "worker" f
+
 let run ~jobs thunks =
   let tasks = Array.of_list thunks in
   let n = Array.length tasks in
@@ -37,6 +48,7 @@ let run ~jobs thunks =
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let worker () =
+      worker_span @@ fun () ->
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
@@ -46,8 +58,16 @@ let run ~jobs thunks =
       in
       loop ()
     in
-    let doms = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join doms;
+    let doms =
+      List.init (min jobs n) (fun k ->
+          trace_lifecycle "spawn" k;
+          Domain.spawn worker)
+    in
+    List.iteri
+      (fun k d ->
+        Domain.join d;
+        trace_lifecycle "join" k)
+      doms;
     collect_results
       (Array.to_list
          (Array.map (function Some r -> r | None -> assert false) results))
@@ -59,8 +79,20 @@ let map_tasks ~jobs tasks =
   | [ f ] -> [ f () ]
   | tasks when jobs <= 1 -> List.map (fun f -> f ()) tasks
   | tasks when List.length tasks <= jobs ->
-      let doms = List.map (fun f -> Domain.spawn (fun () -> guarded f)) tasks in
-      collect_results (List.map Domain.join doms)
+      let doms =
+        List.mapi
+          (fun k f ->
+            trace_lifecycle "spawn" k;
+            Domain.spawn (fun () -> worker_span (fun () -> guarded f)))
+          tasks
+      in
+      collect_results
+        (List.mapi
+           (fun k d ->
+             let r = Domain.join d in
+             trace_lifecycle "join" k;
+             r)
+           doms)
   | tasks ->
       (* More tasks than the domain budget: feed them through the shared
          work index above so at most [jobs] domains ever exist at once. *)
@@ -69,4 +101,12 @@ let map_tasks ~jobs tasks =
 let map_shards ~jobs ~scale f =
   let ranges = shards ~jobs scale in
   map_tasks ~jobs:(List.length ranges)
-    (List.mapi (fun shard (lo, hi) () -> f ~shard ~lo ~hi) ranges)
+    (List.mapi
+       (fun shard (lo, hi) () ->
+         Obs.Trace.span ~cat:"par"
+           ~args:
+             [ ("shard", Obs.Trace.Int shard); ("lo", Obs.Trace.Int lo);
+               ("hi", Obs.Trace.Int hi) ]
+           "shard"
+           (fun () -> f ~shard ~lo ~hi))
+       ranges)

@@ -101,7 +101,9 @@ let observe_decode (model : Model.t) f =
       try
         if Faults.Injector.active () then
           Faults.Injector.tick (injector_target model.Model.name);
-        Ok (f ())
+        (* Sampled like the per-lint spans: 9 models per harness pass
+           add up fast at corpus scale. *)
+        Ok (Obs.Trace.sampled_span ~cat:"model" model.Model.name f)
       with e when Faults.Isolation.enabled () -> Error e
     in
     Obs.Histogram.observe

@@ -20,4 +20,5 @@ let () =
       ("faults", Test_faults.suite);
       ("par", Test_par.suite);
       ("net", Test_net.suite);
+      ("trace", Test_trace.suite);
     ]
