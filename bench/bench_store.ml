@@ -1,0 +1,165 @@
+(* Store benchmark: what does durability cost, and what does it buy?
+
+   Measures, at a scale large enough that the answer is about the store
+   and not about process startup:
+
+   - cold: a store-backed full pass (generate + lint + persist) into a
+     fresh directory, vs the plain storeless pass it replaces;
+   - warm: the replay pass over the committed store (segment scan +
+     row decode + aggregate — no DER parsing, no lint execution).
+     The acceptance gate is warm >= 5x faster than full regeneration;
+   - incremental: the recompute pass after one lint is added to the
+     registry (parse DER, run only the missing lint, republish);
+   - fsck: a full verification sweep of every segment and index;
+   - recovery: quarantine of a corrupted span plus the rebuild of only
+     that span.
+
+   Writes BENCH_store.json (or the path given as the first argument).
+   Environment knobs: UNICERT_BENCH_SCALE (default 20000),
+   UNICERT_BENCH_RUNS (default 3). *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let scale = env_int "UNICERT_BENCH_SCALE" 20000
+let runs = env_int "UNICERT_BENCH_RUNS" 3
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = Sys.opaque_identity (f ()) in
+  (Unix.gettimeofday () -. t0, r)
+
+let run_plain () = Unicert.Pipeline.run ~scale ~seed:1 ()
+let run_store dir = Unicert.Pipeline.run ~scale ~seed:1 ~store:dir ()
+
+let check_total (t : Unicert.Pipeline.t) =
+  if t.Unicert.Pipeline.total <> scale then begin
+    Printf.eprintf "error: pipeline processed %d of %d certificates\n"
+      t.Unicert.Pipeline.total scale;
+    exit 1
+  end
+
+let min_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let w, r = time f in
+    check_total r;
+    if w < !best then best := w
+  done;
+  !best
+
+let () =
+  let out =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_store.json"
+  in
+  Obs.Progress.set_override (Some false);
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "unicert-bench-store-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  (* Warm up allocators and lazy instrument tables outside the clock. *)
+  ignore (Unicert.Pipeline.run ~scale:500 ~seed:1 ());
+
+  (* Full regeneration (the thing warm replay avoids): min of runs. *)
+  let plain = min_of runs run_plain in
+
+  (* Cold store-backed build: one-shot (it leaves the store the warm
+     passes need; rebuilding per run would just repeat `plain` plus
+     I/O). *)
+  let cold, t = time (fun () -> run_store dir) in
+  check_total t;
+
+  (* Warm replay over the committed store: min of runs. *)
+  let warm = min_of runs (fun () -> run_store dir) in
+
+  (* Incremental recompute: rewrite the manifest as if the store had
+     been built by a binary lacking the last registered lint, then time
+     the run that parses DER once per cert but executes only that lint. *)
+  let incremental =
+    let db = Store.Db.open_ro ~dir in
+    let man = Store.Db.manifest db in
+    let all_lints = String.split_on_char ';' man.Store.Manifest.lints in
+    let older =
+      List.filteri (fun i _ -> i < List.length all_lints - 1) all_lints
+    in
+    Store.Db.commit db { man with Store.Manifest.lints = String.concat ";" older };
+    let w, t = time (fun () -> run_store dir) in
+    check_total t;
+    w
+  in
+
+  (* fsck sweep of the intact store. *)
+  let fsck_clean, r = time (fun () -> Store.Db.fsck ~dir ()) in
+  if r.Store.Db.issues <> [] then begin
+    Printf.eprintf "error: fsck found issues in a freshly built store\n";
+    exit 1
+  end;
+
+  (* Recovery: corrupt one span, quarantine it, rebuild only the gap. *)
+  let seg =
+    Sys.readdir dir |> Array.to_list
+    |> List.find (fun f ->
+           String.length f > 6 && String.sub f 0 6 = "certs-"
+           && Filename.check_suffix f ".seg")
+  in
+  ignore (Store.Chaos.flip_bit_in_file ~seed:7 (Filename.concat dir seg));
+  let repair, _ = time (fun () -> Store.Db.fsck ~repair:true ~dir ()) in
+  let rebuild, t = time (fun () -> run_store dir) in
+  check_total t;
+  rm_rf dir;
+
+  let warm_speedup = plain /. warm in
+  let incremental_speedup = plain /. incremental in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"on-disk store: cold build, warm replay, incremental recompute, fsck, recovery\",\n\
+    \  \"scale\": %d,\n\
+    \  \"runs\": %d,\n\
+    \  \"aggregation\": \"min of runs wall clock (cold build and recovery are one-shot)\",\n\
+    \  \"plain_wall_seconds\": %.4f,\n\
+    \  \"plain_certs_per_sec\": %.1f,\n\
+    \  \"cold_wall_seconds\": %.4f,\n\
+    \  \"cold_certs_per_sec\": %.1f,\n\
+    \  \"cold_overhead_pct\": %.1f,\n\
+    \  \"warm_wall_seconds\": %.4f,\n\
+    \  \"warm_certs_per_sec\": %.1f,\n\
+    \  \"warm_speedup_vs_full_regeneration\": %.1f,\n\
+    \  \"warm_speedup_floor\": 5.0,\n\
+    \  \"incremental_wall_seconds\": %.4f,\n\
+    \  \"incremental_speedup_vs_full_regeneration\": %.1f,\n\
+    \  \"fsck_seconds\": %.4f,\n\
+    \  \"recovery_repair_seconds\": %.4f,\n\
+    \  \"recovery_rebuild_seconds\": %.4f\n\
+     }\n"
+    scale runs plain
+    (float_of_int scale /. plain)
+    cold
+    (float_of_int scale /. cold)
+    (100. *. (cold -. plain) /. plain)
+    warm
+    (float_of_int scale /. warm)
+    warm_speedup incremental incremental_speedup fsck_clean repair rebuild;
+  close_out oc;
+  Printf.printf
+    "store: plain %.3fs, cold %.3fs, warm %.3fs (%.1fx), incremental %.3fs \
+     (%.1fx), fsck %.3fs, recovery %.3f+%.3fs -> %s\n"
+    plain cold warm warm_speedup incremental incremental_speedup fsck_clean
+    repair rebuild out;
+  if warm_speedup < 5.0 then begin
+    Printf.eprintf
+      "warning: warm replay only %.1fx faster than full regeneration \
+       (floor: 5.0x)\n"
+      warm_speedup;
+    exit 1
+  end

@@ -19,7 +19,49 @@ type t = {
   trace : string option;
       (* --trace FILE: record a Chrome-trace timeline of the run *)
   profile : bool;  (* --profile: GC attribution + slow-cert log *)
+  store : string option;
+      (* --store DIR: land the run in the crash-safe on-disk store *)
 }
+
+(* Map the two "your inputs are unusable" exceptions the store/resume
+   stack raises to the validation exit code, with their message.  Every
+   binary wraps its corpus pass in this. *)
+let guard f =
+  try f () with
+  | Faults.Checkpoint.Invalid msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | Store.Db.Store_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
+(* Stale cursor hygiene: a run that shrank --jobs (or --logs) leaves
+   high-numbered [FILE.shard<k>]/[FILE.fetch<k>] cursors behind.  Warn
+   up front; delete only after a successful completion so a killed run
+   keeps its evidence. *)
+let cursor_active t ~scale =
+  let nshards = List.length (Par.shards ~jobs:t.jobs scale) in
+  match t.fetch with
+  | Some cfg -> max nshards cfg.Ctlog.Fetch.logs
+  | None -> nshards
+
+let warn_stale_cursors t ~scale =
+  match t.policy.Faults.Policy.checkpoint_file with
+  | None -> ()
+  | Some file ->
+      List.iter
+        (fun f ->
+          Printf.eprintf
+            "warning: stale cursor %s (left by a run with more shards or \
+             logs); it will be removed when this run completes\n"
+            f)
+        (Faults.Checkpoint.stale_cursors file ~active:(cursor_active t ~scale))
+
+let cleanup_stale_cursors t ~scale =
+  match t.policy.Faults.Policy.checkpoint_file with
+  | None -> ()
+  | Some file ->
+      ignore (Faults.Checkpoint.remove_stale file ~active:(cursor_active t ~scale))
 
 let mutator ~default_seed t =
   if t.corrupt_rate <= 0.0 then None
@@ -57,7 +99,7 @@ let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
     quarantine timeout checkpoint checkpoint_every resume fault_lints
     fault_models fault_hang breaker_threshold jobs source logs net_fault_rate
     net_seed net_kinds net_flap_rate net_down page_cap equivocate trace
-    trace_sample trace_ring profile =
+    trace_sample trace_ring profile store =
   if corrupt_rate < 0.0 || corrupt_rate > 1.0 then begin
     Printf.eprintf "error: --corrupt-rate must be in [0,1]\n";
     exit 2
@@ -170,6 +212,7 @@ let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
     fetch;
     trace;
     profile;
+    store;
   }
 
 let term =
@@ -322,9 +365,17 @@ let term =
                span it happened in and log the slowest certificates with \
                their dominant stage")
   in
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+         ~doc:"Land the run in the crash-safe on-disk certificate store at \
+               DIR: a cold run populates it (resumable after a kill), a \
+               warm re-run replays stored analysis rows without \
+               regenerating or re-linting, and a re-run after the lint set \
+               changed recomputes only the missing columns")
+  in
   Term.(const make $ corrupt_rate $ corrupt_seed $ corrupt_kinds $ drop
         $ max_errors $ fail_fast $ quarantine $ timeout $ checkpoint
         $ checkpoint_every $ resume $ fault_lints $ fault_models $ fault_hang
         $ breaker_threshold $ jobs $ source $ logs $ net_fault_rate $ net_seed
         $ net_kinds $ net_flap_rate $ net_down $ page_cap $ equivocate $ trace
-        $ trace_sample $ trace_ring $ profile)
+        $ trace_sample $ trace_ring $ profile $ store)

@@ -15,7 +15,73 @@ type corpus_item =
 
 exception Shard_done
 
+(* Store-backed corpus emission: the pipeline lands (or warm-replays)
+   the corpus in the crash-safe store, then the first [count]
+   certificates are emitted from their durable DER — byte-identical to
+   a live generate run's stdout. *)
+let run_corpus_store count seed ~dir (fault : Fault_cli.t) =
+  let policy = fault.Fault_cli.policy in
+  let source =
+    match fault.Fault_cli.fetch with
+    | Some cfg -> Unicert.Pipeline.Fetch cfg
+    | None -> Unicert.Pipeline.Generate
+  in
+  let p =
+    Unicert.Pipeline.run ~scale:count ~seed ~policy
+      ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
+      ~drop:fault.Fault_cli.drop ~resume:fault.Fault_cli.resume
+      ~jobs:fault.Fault_cli.jobs ~source ~store:dir ()
+  in
+  (match p.Unicert.Pipeline.faults.Unicert.Pipeline.aborted with
+  | Some reason ->
+      Printf.eprintf "error: run aborted: %s\n" reason;
+      exit 3
+  | None -> ());
+  let emitted = ref 0 in
+  let db = Store.Db.open_ro ~dir in
+  (try
+     Store.Db.iter_pairs db (fun recd _row ->
+         match recd with
+         | Store.Db.Fault _ -> ()
+         | Store.Db.Cert { index; der } -> (
+             if !emitted >= count then raise Exit;
+             match X509.Certificate.parse der with
+             | Ok cert ->
+                 incr emitted;
+                 emit_pem cert
+             | Error e ->
+                 Printf.eprintf
+                   "error: stored certificate %d unparseable: %s; run \
+                    `unicert-store fsck`\n"
+                   index (Faults.Error.to_string e);
+                 exit 2))
+   with Exit -> ());
+  let faulted = p.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors in
+  if faulted > 0 then
+    Printf.eprintf "note: %d corrupted certificate(s) withheld%s\n" faulted
+      (match policy.Faults.Policy.quarantine_dir with
+      | Some qdir -> Printf.sprintf " and quarantined under %s" qdir
+      | None -> "");
+  if !emitted < count then
+    Printf.eprintf "warning: only %d of %d requested certificates emitted\n"
+      !emitted count;
+  if Unicert.Pipeline.coverage_degraded p then begin
+    Printf.eprintf "warning: degraded coverage: not every log delivered fully\n";
+    4
+  end
+  else 0
+
 let run_corpus count seed flawed_only (fault : Fault_cli.t) =
+  match fault.Fault_cli.store with
+  | Some dir ->
+      if flawed_only then begin
+        (* Flawed filtering would leave index gaps in the store's
+           contiguous spans; it stays a live-generation feature. *)
+        Printf.eprintf "error: --flawed is not supported with --store\n";
+        exit 2
+      end;
+      run_corpus_store count seed ~dir fault
+  | None ->
   let policy = fault.Fault_cli.policy in
   let jobs = fault.Fault_cli.jobs in
   let mutator = Fault_cli.mutator ~default_seed:seed fault in
@@ -180,7 +246,8 @@ let run mode count seed flawed_only field payload st fault metrics progress
   else if no_progress then Obs.Progress.set_override (Some false);
   let code =
     match mode with
-    | "corpus" -> run_corpus count seed flawed_only fault
+    | "corpus" ->
+        Fault_cli.guard (fun () -> run_corpus count seed flawed_only fault)
     | "mutant" ->
         run_mutant field payload st;
         0

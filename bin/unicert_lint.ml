@@ -102,7 +102,44 @@ let lint_corpus ~scale ~seed ~ignore_dates (fault : Fault_cli.t) =
   let mutator = Fault_cli.mutator ~default_seed:seed fault in
   let aborted = ref None in
   let coverage = ref [] in
+  Fault_cli.warn_stale_cursors fault ~scale;
   let t =
+    Fault_cli.guard @@ fun () ->
+    match fault.Fault_cli.store with
+    | Some dir ->
+        (* Store-backed pass: the full pipeline lands (or replays) the
+           corpus in the store; project its aggregates into the tally
+           this binary prints.  Stored rows encode dated findings, so
+           the date-ablation flag cannot apply to them. *)
+        if ignore_dates then begin
+          Printf.eprintf
+            "error: --ignore-effective-dates is not supported with --store \
+             (stored analysis rows encode effective-dated findings)\n";
+          exit 2
+        end;
+        let source =
+          match fault.Fault_cli.fetch with
+          | Some cfg -> Unicert.Pipeline.Fetch cfg
+          | None -> Unicert.Pipeline.Generate
+        in
+        let p =
+          Unicert.Pipeline.run ~scale ~seed ~policy
+            ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
+            ~drop:fault.Fault_cli.drop ~resume:fault.Fault_cli.resume ~jobs
+            ~source ~store:dir ()
+        in
+        aborted := p.Unicert.Pipeline.faults.Unicert.Pipeline.aborted;
+        coverage := p.Unicert.Pipeline.coverage;
+        let t = fresh_tally () in
+        t.total <- p.Unicert.Pipeline.total;
+        t.nc <- p.Unicert.Pipeline.nc_total;
+        t.faulted <-
+          p.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors;
+        Hashtbl.iter
+          (fun k v -> Hashtbl.replace t.counts k v)
+          p.Unicert.Pipeline.lints;
+        t
+    | None -> (
     match fault.Fault_cli.fetch with
     | Some cfg ->
         (* Fetch source: retrieve the corpus from simulated CT logs
@@ -244,7 +281,7 @@ let lint_corpus ~scale ~seed ~ignore_dates (fault : Fault_cli.t) =
        with Abort reason -> aborted := Some reason);
       Option.iter Faults.Quarantine.close quarantine;
       t
-    end
+    end)
   in
   Printf.printf "linted %d generated Unicerts: %d noncompliant (%.2f%%)\n" t.total t.nc
     (100.0 *. float_of_int t.nc /. float_of_int t.total);
@@ -261,7 +298,7 @@ let lint_corpus ~scale ~seed ~ignore_dates (fault : Fault_cli.t) =
   | Some reason ->
       Printf.eprintf "error: run aborted: %s\n" reason;
       exit 3
-  | None -> ());
+  | None -> Fault_cli.cleanup_stale_cursors fault ~scale);
   (* Descending count, ties broken by name: deterministic across runs. *)
   let rows =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []

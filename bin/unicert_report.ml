@@ -15,15 +15,18 @@ let run id scale seed (fault : Fault_cli.t) metrics progress no_progress =
     | Some cfg -> Unicert.Pipeline.Fetch cfg
     | None -> Unicert.Pipeline.Generate
   in
+  Fault_cli.warn_stale_cursors fault ~scale;
   let pipeline () =
     let t =
-      Unicert.Pipeline.run ~scale ~seed ~policy:fault.Fault_cli.policy
-        ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
-        ~drop:fault.Fault_cli.drop ~resume:fault.Fault_cli.resume
-        ~jobs:fault.Fault_cli.jobs ~source ()
+      Fault_cli.guard (fun () ->
+          Unicert.Pipeline.run ~scale ~seed ~policy:fault.Fault_cli.policy
+            ?mutator:(Fault_cli.mutator ~default_seed:seed fault)
+            ~drop:fault.Fault_cli.drop ~resume:fault.Fault_cli.resume
+            ~jobs:fault.Fault_cli.jobs ~source ?store:fault.Fault_cli.store ())
     in
     aborted := t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted;
     degraded := Unicert.Pipeline.coverage_degraded t;
+    if !aborted = None then Fault_cli.cleanup_stale_cursors fault ~scale;
     t
   in
   (* Single-table ids annotate fetch coverage after their table ("all"

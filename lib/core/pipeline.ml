@@ -140,79 +140,121 @@ let obs_nc =
        ~help:"Certificates the pipeline classified as noncompliant"
        "unicert_pipeline_noncompliant_total")
 
-let process t ~index (entry : Ctlog.Dataset.entry) =
-  (* Under --profile, each stage is additionally timed with a plain
-     gettimeofday pair (NOT another Span: lint opens its own span
-     inside {!Lint.Registry.run}, and double-counting the histogram
-     would skew the exported per-stage totals).  The per-certificate
-     total and its most expensive stage feed the top-K slow-cert
-     log. *)
-  let profiling = Obs.Profile.enabled () in
-  let cert_t0 = if profiling then Unix.gettimeofday () else 0. in
-  let worst_stage = ref "lint" in
-  let worst_dt = ref neg_infinity in
-  let timed stage f =
-    if not profiling then f ()
-    else begin
-      let t0 = Unix.gettimeofday () in
-      let r = f () in
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt > !worst_dt then begin
-        worst_dt := dt;
-        worst_stage := stage
-      end;
-      r
-    end
-  in
+(* --- analysis rows ---------------------------------------------------
+
+   A [row] is everything the aggregate needs from one certificate,
+   already extracted: the expensive stages (lint, classify, DER
+   re-parse, chain verification) run once in {!row_of_entry}, and
+   {!absorb_row} folds the row into [t] from either a live entry or a
+   stored row replayed out of the on-disk store.  Byte-identity of the
+   final report across cold/warm runs rests on rows being a complete,
+   deterministic projection. *)
+
+type row = {
+  r_index : int;
+  r_org : string;            (* issuer organization; record rehydrated
+                                via {!Ctlog.Dataset.issuer_of_org} *)
+  r_issued : Asn1.Time.t;
+  r_is_idn : bool;
+  r_alive : bool;            (* valid into the 2024-25 window *)
+  r_valid_year_end : bool;   (* valid at Dec 31 of the issue year *)
+  r_validity_days : int;
+  r_ufields : string list;   (* fields using beyond-ASCII Unicode *)
+  r_enc_subject : bool;
+  r_enc_san : bool;
+  r_enc_policies : bool;
+  r_enc_verified : bool;     (* encoding-error cert that still chains *)
+  r_nc : string list;        (* NC lint names ignoring effective dates,
+                                registry order *)
+  r_domains : string list;   (* SAN dNSNames, for the store indexes *)
+}
+
+(* Stage timer handed to {!row_of_entry}; polymorphic so one closure
+   can time stages with different result types. *)
+type timer = { timed : 'a. string -> (unit -> 'a) -> 'a }
+
+let no_timer = { timed = (fun _ f -> f ()) }
+
+let row_of_entry ~timer (entry : Ctlog.Dataset.entry) ~index =
+  let timed = timer.timed in
   let cert = entry.Ctlog.Dataset.cert in
   let issuer = entry.Ctlog.Dataset.issuer in
   let issued = entry.Ctlog.Dataset.issued in
-  let year = issued.Asn1.Time.year in
   let trusted = issuer.Ctlog.Dataset.trust_at_issuance = Ctlog.Dataset.Public in
-  let recent = Asn1.Time.(recent_start <= issued) in
   let alive =
     Asn1.Time.(recent_start <= fst cert.X509.Certificate.tbs.X509.Certificate.not_after)
     && Asn1.Time.(fst cert.X509.Certificate.tbs.X509.Certificate.not_before
                   <= Ctlog.Dataset.analysis_date)
   in
-  (* Lint the certificate once, without date gating; derive all views.
-     The stage spans around lint (inside {!Lint.Registry.run}), parse
-     and classify keep per-stage wall clock visible in the exported
-     span histogram; everything that mutates [t] runs under the
-     "aggregate" span. *)
-  let findings =
+  (* Lint the certificate once, without date gating; date-gated views
+     are re-derived wherever the row is absorbed.  The stage spans
+     around lint (inside {!Lint.Registry.run}), parse and classify keep
+     per-stage wall clock visible in the exported span histogram. *)
+  let nc =
     timed "lint" (fun () ->
         Lint.Registry.run ~respect_effective_dates:false ~issued cert)
-    |> List.filter Lint.is_noncompliant
+    |> List.filter_map (fun (f : Lint.finding) ->
+           if Lint.is_noncompliant f then Some f.Lint.lint else None)
   in
-  let dated =
-    List.filter
-      (fun (f : Lint.finding) -> Asn1.Time.(f.Lint.lint.Lint.effective_date <= issued))
-      findings
-  in
-  let noncompliant = dated <> [] in
   let ufields =
     timed "classify" (fun () ->
         Obs.Span.with_ "classify" (fun () -> Classify.unicode_fields cert))
+    |> List.filter_map (fun (field, beyond) -> if beyond then Some field else None)
   in
   (* §5.1 encoding-error scan: re-parse the DER payloads. *)
   let enc_subject, enc_san, enc_policies =
     timed "decode" (fun () ->
         Obs.Span.with_ "parse" (fun () -> encoding_error_fields cert))
   in
-  let agg_t0 = if profiling then Unix.gettimeofday () else 0. in
-  Obs.Span.with_ "aggregate" @@ fun () ->
+  let enc_verified =
+    (enc_subject || enc_san || enc_policies)
+    && trusted
+    && X509.Certificate.verify
+         ~issuer_spki:(X509.Certificate.keypair_spki issuer.Ctlog.Dataset.keypair)
+         cert
+  in
+  let year_end = Asn1.Time.make issued.Asn1.Time.year 12 31 in
+  ( {
+      r_index = index;
+      r_org = issuer.Ctlog.Dataset.org;
+      r_issued = issued;
+      r_is_idn = entry.Ctlog.Dataset.is_idn;
+      r_alive = alive;
+      r_valid_year_end = X509.Certificate.is_valid_at cert year_end;
+      r_validity_days = X509.Certificate.validity_days cert;
+      r_ufields = ufields;
+      r_enc_subject = enc_subject;
+      r_enc_san = enc_san;
+      r_enc_policies = enc_policies;
+      r_enc_verified = enc_verified;
+      r_nc = List.map (fun (l : Lint.t) -> l.Lint.name) nc;
+      r_domains = X509.Certificate.san_dns_names cert;
+    },
+    nc )
+
+(* Fold one row into the aggregate.  [nc] is the row's NC lint records
+   (ignoring dates); callers replaying stored rows rehydrate it with
+   {!Lint.Registry.find}, which silently drops lints that no longer
+   exist in the registry. *)
+let absorb_row t ~issuer row (nc : Lint.t list) =
+  let issued = row.r_issued in
+  let year = issued.Asn1.Time.year in
+  let trusted = issuer.Ctlog.Dataset.trust_at_issuance = Ctlog.Dataset.Public in
+  let recent = Asn1.Time.(recent_start <= issued) in
+  let alive = row.r_alive in
+  let dated =
+    List.filter (fun (l : Lint.t) -> Asn1.Time.(l.Lint.effective_date <= issued)) nc
+  in
+  let noncompliant = dated <> [] in
   t.total <- t.total + 1;
-  if entry.Ctlog.Dataset.is_idn then t.idncerts <- t.idncerts + 1;
+  if row.r_is_idn then t.idncerts <- t.idncerts + 1;
   if trusted then t.trusted <- t.trusted + 1;
   let ys = year_tbl t year in
   ys.issued <- ys.issued + 1;
   if trusted then ys.issued_trusted <- ys.issued_trusted + 1;
   (* Alive lines of Figure 2: certs still valid at the end of their
      issue year (cheap proxy computed per issue year). *)
-  let year_end = Asn1.Time.make year 12 31 in
-  if X509.Certificate.is_valid_at cert year_end then
-    ys.alive_in_year <- ys.alive_in_year + 1;
+  if row.r_valid_year_end then ys.alive_in_year <- ys.alive_in_year + 1;
   (* Issuer table *)
   let istats =
     match Hashtbl.find_opt t.issuers issuer.Ctlog.Dataset.org with
@@ -229,20 +271,18 @@ let process t ~index (entry : Ctlog.Dataset.entry) =
         s
   in
   istats.total <- istats.total + 1;
-  if findings <> [] then t.nc_ignoring_dates <- t.nc_ignoring_dates + 1;
-  if List.exists (fun (f : Lint.finding) -> not f.Lint.lint.Lint.is_new) dated then
+  if nc <> [] then t.nc_ignoring_dates <- t.nc_ignoring_dates + 1;
+  if List.exists (fun (l : Lint.t) -> not l.Lint.is_new) dated then
     t.nc_old_lints_only <- t.nc_old_lints_only + 1;
   (* Figure 4 heat map: per (issuer, field) unicode usage and deviance. *)
   List.iter
-    (fun (field, beyond) ->
-      if beyond then begin
-        let u, d = Option.value ~default:(0, 0) (Hashtbl.find_opt t.fields (issuer.Ctlog.Dataset.org, field)) in
-        Hashtbl.replace t.fields (issuer.Ctlog.Dataset.org, field)
-          (u + 1, if noncompliant then d + 1 else d)
-      end)
-    ufields;
+    (fun field ->
+      let u, d = Option.value ~default:(0, 0) (Hashtbl.find_opt t.fields (row.r_org, field)) in
+      Hashtbl.replace t.fields (row.r_org, field)
+        (u + 1, if noncompliant then d + 1 else d))
+    row.r_ufields;
   (* Validity distributions (Figure 3). *)
-  let days = X509.Certificate.validity_days cert in
+  let days = row.r_validity_days in
   let push cls =
     let l =
       match Hashtbl.find_opt t.validity cls with
@@ -254,16 +294,15 @@ let process t ~index (entry : Ctlog.Dataset.entry) =
     in
     l := days :: !l
   in
-  if entry.Ctlog.Dataset.is_idn then push V_idn else push V_other;
+  if row.r_is_idn then push V_idn else push V_other;
   if noncompliant then push V_noncompliant else push V_normal;
   (* §5.1 encoding-error impact accounting, with chain verification. *)
-  if enc_subject || enc_san || enc_policies then begin
+  if row.r_enc_subject || row.r_enc_san || row.r_enc_policies then begin
     t.encoding_error_certs <- t.encoding_error_certs + 1;
-    if enc_subject then t.encoding_error_subject <- t.encoding_error_subject + 1;
-    if enc_san then t.encoding_error_san <- t.encoding_error_san + 1;
-    if enc_policies then t.encoding_error_policies <- t.encoding_error_policies + 1;
-    let issuer_spki = X509.Certificate.keypair_spki issuer.Ctlog.Dataset.keypair in
-    if trusted && X509.Certificate.verify ~issuer_spki cert then
+    if row.r_enc_subject then t.encoding_error_subject <- t.encoding_error_subject + 1;
+    if row.r_enc_san then t.encoding_error_san <- t.encoding_error_san + 1;
+    if row.r_enc_policies then t.encoding_error_policies <- t.encoding_error_policies + 1;
+    if row.r_enc_verified then
       t.encoding_error_verified <- t.encoding_error_verified + 1
   end;
   if noncompliant then begin
@@ -280,43 +319,76 @@ let process t ~index (entry : Ctlog.Dataset.entry) =
     istats.nc_count <- istats.nc_count + 1;
     if recent then istats.nc_recent <- istats.nc_recent + 1;
     (* Per-lint histogram (one count per cert per lint). *)
-    List.iter (fun (f : Lint.finding) -> bump t.lints f.Lint.lint.Lint.name) dated;
+    List.iter (fun (l : Lint.t) -> bump t.lints l.Lint.name) dated;
     (* Taxonomy rows of Table 1. *)
     List.iter
       (fun ty ->
         let of_type =
-          List.filter (fun (f : Lint.finding) -> f.Lint.lint.Lint.nc_type = ty) dated
+          List.filter (fun (l : Lint.t) -> l.Lint.nc_type = ty) dated
         in
         if of_type <> [] then begin
           let s = type_tbl t ty in
           s.certs <- s.certs + 1;
-          if List.for_all (fun (f : Lint.finding) -> f.Lint.lint.Lint.is_new) of_type
+          if List.for_all (fun (l : Lint.t) -> l.Lint.is_new) of_type
           then s.by_new_lints <- s.by_new_lints + 1;
           if
-            List.exists
-              (fun (f : Lint.finding) -> Lint.severity f.Lint.lint = Lint.Error)
-              of_type
+            List.exists (fun (l : Lint.t) -> Lint.severity l = Lint.Error) of_type
           then s.errors <- s.errors + 1;
           if
-            List.exists
-              (fun (f : Lint.finding) -> Lint.severity f.Lint.lint = Lint.Warning)
-              of_type
+            List.exists (fun (l : Lint.t) -> Lint.severity l = Lint.Warning) of_type
           then s.warnings <- s.warnings + 1;
           if trusted then s.trusted <- s.trusted + 1;
           if recent then s.recent <- s.recent + 1;
           if alive then s.alive <- s.alive + 1
         end)
       Lint.all_nc_types
-  end;
-  if profiling then begin
-    let now = Unix.gettimeofday () in
-    let agg_dt = now -. agg_t0 in
-    if agg_dt > !worst_dt then begin
-      worst_dt := agg_dt;
-      worst_stage := "aggregate"
-    end;
-    Obs.Profile.note_slow ~index ~seconds:(now -. cert_t0) ~stage:!worst_stage
   end
+
+(* Under --profile, each stage is additionally timed with a plain
+   gettimeofday pair (NOT another Span: lint opens its own span inside
+   {!Lint.Registry.run}, and double-counting the histogram would skew
+   the exported per-stage totals).  The per-certificate total and its
+   most expensive stage feed the top-K slow-cert log. *)
+let with_profiling ~index f =
+  let profiling = Obs.Profile.enabled () in
+  let cert_t0 = if profiling then Unix.gettimeofday () else 0. in
+  let worst_stage = ref "lint" in
+  let worst_dt = ref neg_infinity in
+  let timer =
+    if not profiling then no_timer
+    else
+      { timed =
+          (fun stage g ->
+            let t0 = Unix.gettimeofday () in
+            let r = g () in
+            let dt = Unix.gettimeofday () -. t0 in
+            if dt > !worst_dt then begin
+              worst_dt := dt;
+              worst_stage := stage
+            end;
+            r) }
+  in
+  let note_aggregate g =
+    let agg_t0 = if profiling then Unix.gettimeofday () else 0. in
+    let r = Obs.Span.with_ "aggregate" g in
+    if profiling then begin
+      let now = Unix.gettimeofday () in
+      let agg_dt = now -. agg_t0 in
+      if agg_dt > !worst_dt then begin
+        worst_dt := agg_dt;
+        worst_stage := "aggregate"
+      end;
+      Obs.Profile.note_slow ~index ~seconds:(now -. cert_t0) ~stage:!worst_stage
+    end;
+    r
+  in
+  f ~timer ~note_aggregate
+
+let process t ~index (entry : Ctlog.Dataset.entry) =
+  with_profiling ~index (fun ~timer ~note_aggregate ->
+      let row, nc = row_of_entry ~timer entry ~index in
+      note_aggregate (fun () ->
+          absorb_row t ~issuer:entry.Ctlog.Dataset.issuer row nc))
 
 let fresh ~scale ~seed =
   {
@@ -812,15 +884,820 @@ let coverage_degraded t =
 
 type source = Generate | Fetch of Ctlog.Fetch.cfg
 
+(* --- the on-disk store ------------------------------------------------
+
+   With [--store DIR] the pass lands every certificate and its analysis
+   row in a crash-safe content-addressed store (lib/store): a cold run
+   populates it shard by shard, a re-run with the same lint set becomes
+   a pure index scan (no generation, no parse, no lint), and a re-run
+   with a changed lint set recomputes only the missing columns.  The
+   store doubles as the checkpoint: after a crash at any point,
+   re-running the same command recovers the intact prefix and resumes
+   into a byte-identical report. *)
+
+(* Text codec for analysis rows: one tab-separated line per
+   certificate.  List elements and the org string are percent-escaped
+   so tabs/commas/newlines in values can never break framing. *)
+
+let row_needs_escape c =
+  c = '%' || c = '\t' || c = '\n' || c = '\r' || c = ','
+
+let row_escape s =
+  if String.exists row_needs_escape s then (
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if row_needs_escape c then Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char b c)
+      s;
+    Buffer.contents b)
+  else s
+
+let row_unescape s =
+  if not (String.contains s '%') then Ok s
+  else
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i >= n then Ok (Buffer.contents b)
+      else if s.[i] = '%' then
+        if i + 2 < n then (
+          match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+          | Some c ->
+              Buffer.add_char b (Char.chr c);
+              go (i + 3)
+          | None -> Error "bad escape")
+        else Error "truncated escape"
+      else (
+        Buffer.add_char b s.[i];
+        go (i + 1))
+    in
+    go 0
+
+let encode_list l = String.concat "," (List.map row_escape l)
+
+let decode_list s =
+  if s = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> (
+          match row_unescape x with
+          | Ok v -> go (v :: acc) rest
+          | Error e -> Error e)
+    in
+    go [] (String.split_on_char ',' s)
+
+let bchar = function true -> '1' | false -> '0'
+
+let encode_row r =
+  let flags =
+    let b = Bytes.create 7 in
+    Bytes.set b 0 (bchar r.r_is_idn);
+    Bytes.set b 1 (bchar r.r_alive);
+    Bytes.set b 2 (bchar r.r_valid_year_end);
+    Bytes.set b 3 (bchar r.r_enc_subject);
+    Bytes.set b 4 (bchar r.r_enc_san);
+    Bytes.set b 5 (bchar r.r_enc_policies);
+    Bytes.set b 6 (bchar r.r_enc_verified);
+    Bytes.unsafe_to_string b
+  in
+  String.concat "\t"
+    [ string_of_int r.r_index;
+      row_escape r.r_org;
+      Asn1.Time.to_generalized r.r_issued;
+      flags;
+      string_of_int r.r_validity_days;
+      encode_list r.r_ufields;
+      encode_list r.r_nc;
+      encode_list r.r_domains ]
+
+let decode_row s =
+  let ( let* ) = Result.bind in
+  match String.split_on_char '\t' s with
+  | [ idx; org; issued; flags; days; uf; nc; doms ] ->
+      let* r_index = Option.to_result ~none:"bad index" (int_of_string_opt idx) in
+      let* r_org = row_unescape org in
+      let* r_issued = Asn1.Time.of_generalized issued in
+      let* () = if String.length flags = 7 then Ok () else Error "bad flags" in
+      let* r_validity_days =
+        Option.to_result ~none:"bad validity" (int_of_string_opt days)
+      in
+      let* r_ufields = decode_list uf in
+      let* r_nc = decode_list nc in
+      let* r_domains = decode_list doms in
+      Ok
+        {
+          r_index;
+          r_org;
+          r_issued;
+          r_is_idn = flags.[0] = '1';
+          r_alive = flags.[1] = '1';
+          r_valid_year_end = flags.[2] = '1';
+          r_validity_days;
+          r_ufields;
+          r_enc_subject = flags.[3] = '1';
+          r_enc_san = flags.[4] = '1';
+          r_enc_policies = flags.[5] = '1';
+          r_enc_verified = flags.[6] = '1';
+          r_nc;
+          r_domains;
+        }
+  | _ -> Error "wrong field count"
+
+(* Fetch coverage round-trips through manifest meta so a warm run can
+   skip the transport entirely and still print the coverage section. *)
+
+let encode_coverage (cs : Ctlog.Fetch.coverage list) =
+  String.concat "\n"
+    (List.map
+       (fun (c : Ctlog.Fetch.coverage) ->
+         String.concat "\t"
+           [ row_escape c.Ctlog.Fetch.log;
+             string_of_int c.Ctlog.Fetch.expected;
+             string_of_int c.Ctlog.Fetch.delivered;
+             string_of_int c.Ctlog.Fetch.quarantined;
+             String.concat ","
+               (List.map
+                  (fun (a, b) -> Printf.sprintf "%d-%d" a b)
+                  c.Ctlog.Fetch.spans);
+             string_of_int c.Ctlog.Fetch.page_gaps;
+             (match c.Ctlog.Fetch.abandoned with
+             | None -> ""
+             | Some r -> row_escape r);
+             String.make 1 (bchar c.Ctlog.Fetch.split_view);
+             string_of_int c.Ctlog.Fetch.requests;
+             string_of_int c.Ctlog.Fetch.retries ])
+       cs)
+
+let decode_coverage s =
+  let ( let* ) = Result.bind in
+  let span_of s =
+    match String.split_on_char '-' s with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some a, Some b -> Ok (a, b)
+        | _ -> Error "bad span")
+    | _ -> Error "bad span"
+  in
+  let int_of s = Option.to_result ~none:"bad int" (int_of_string_opt s) in
+  let line l =
+    match String.split_on_char '\t' l with
+    | [ log; exp_; del; quar; spans; gaps; ab; sv; req; ret ] ->
+        let* log = row_unescape log in
+        let* expected = int_of exp_ in
+        let* delivered = int_of del in
+        let* quarantined = int_of quar in
+        let* spans =
+          if spans = "" then Ok []
+          else
+            List.fold_right
+              (fun sp acc ->
+                let* acc = acc in
+                let* sp = span_of sp in
+                Ok (sp :: acc))
+              (String.split_on_char ',' spans)
+              (Ok [])
+        in
+        let* page_gaps = int_of gaps in
+        let* abandoned =
+          if ab = "" then Ok None else Result.map Option.some (row_unescape ab)
+        in
+        let* requests = int_of req in
+        let* retries = int_of ret in
+        Ok
+          {
+            Ctlog.Fetch.log;
+            expected;
+            delivered;
+            quarantined;
+            spans;
+            page_gaps;
+            abandoned;
+            split_view = sv = "1";
+            requests;
+            retries;
+          }
+    | _ -> Error "wrong coverage field count"
+  in
+  List.fold_right
+    (fun l acc ->
+      let* acc = acc in
+      let* c = line l in
+      Ok (c :: acc))
+    (List.filter (fun l -> l <> "") (String.split_on_char '\n' s))
+    (Ok [])
+
+(* --- store identity and inventory helpers --- *)
+
+let lints_signature () =
+  String.concat ";" (List.map (fun (l : Lint.t) -> l.Lint.name) Lint.Registry.all)
+
+(* The store fingerprint pins everything besides (scale, seed) that
+   shapes corpus *content*: the source (and its transport/fault
+   configuration) plus the mutation campaign.  Reusing a store under a
+   different campaign would silently blend corpora, so a mismatch is a
+   hard [Store_error]. *)
+let store_fingerprint ~mutator ~drop ~source =
+  let src =
+    match source with
+    | Generate -> "generate"
+    | Fetch cfg -> "fetch:" ^ Ucrypto.Sha256.hex (Marshal.to_string cfg [])
+  in
+  let mut =
+    match mutator with
+    | None -> "none"
+    | Some (p : Faults.Mutator.plan) -> Ucrypto.Sha256.hex (Marshal.to_string p [])
+  in
+  Printf.sprintf "source=%s;mutator=%s;drop=%b" src mut drop
+
+let content_address (man : Store.Manifest.t) =
+  Ucrypto.Sha256.hex
+    (String.concat ""
+       (List.map (fun (s : Store.Manifest.seg) -> s.Store.Manifest.seal)
+          (man.Store.Manifest.segments @ man.Store.Manifest.rows)))
+
+(* --- store index accumulation --- *)
+
+type index_acc = {
+  mutable ix_issuer : (string * int list) list;
+  mutable ix_lint : (string * int list) list;
+  mutable ix_flaw : (string * int list) list;
+  mutable ix_domain : (string * int list) list;
+  mutable ix_ulabel : (string * int list) list;
+}
+
+let fresh_acc () =
+  { ix_issuer = []; ix_lint = []; ix_flaw = []; ix_domain = []; ix_ulabel = [] }
+
+(* Derive every index entry for one certificate from its row alone, so
+   index rebuilds never touch DER. *)
+let add_index_entries acc row =
+  let i = row.r_index in
+  acc.ix_issuer <- (row.r_org, [ i ]) :: acc.ix_issuer;
+  let dated =
+    List.filter_map Lint.Registry.find row.r_nc
+    |> List.filter (fun (l : Lint.t) ->
+           Asn1.Time.(l.Lint.effective_date <= row.r_issued))
+  in
+  List.iter
+    (fun (l : Lint.t) -> acc.ix_lint <- (l.Lint.name, [ i ]) :: acc.ix_lint)
+    dated;
+  List.iter
+    (fun ty -> acc.ix_flaw <- (ty, [ i ]) :: acc.ix_flaw)
+    (List.sort_uniq compare
+       (List.map (fun (l : Lint.t) -> Lint.nc_type_name l.Lint.nc_type) dated));
+  let labels =
+    List.sort_uniq compare (List.concat_map Idna.Dns.split_labels row.r_domains)
+  in
+  List.iter
+    (fun lab ->
+      acc.ix_domain <- (lab, [ i ]) :: acc.ix_domain;
+      (* The ulabel index keys the *other* IDNA form: U-label for an
+         A-label in the SAN (and vice versa), so lookups work in either
+         spelling. *)
+      if Idna.Dns.is_a_label_candidate lab then (
+        match Idna.label_to_unicode lab with
+        | Ok u when u <> lab && u <> "" ->
+            acc.ix_ulabel <- (u, [ i ]) :: acc.ix_ulabel
+        | _ -> ())
+      else if String.exists (fun c -> Char.code c > 0x7F) lab then
+        match Idna.label_to_ascii lab with
+        | Ok a when a <> "" -> acc.ix_ulabel <- (a, [ i ]) :: acc.ix_ulabel
+        | _ -> ())
+    labels
+
+let merge_accs accs =
+  let cat f = List.concat_map f accs in
+  [ ("issuer", cat (fun a -> List.rev a.ix_issuer));
+    ("lint", cat (fun a -> List.rev a.ix_lint));
+    ("flaw", cat (fun a -> List.rev a.ix_flaw));
+    ("domain", cat (fun a -> List.rev a.ix_domain));
+    ("ulabel", cat (fun a -> List.rev a.ix_ulabel)) ]
+
+let save_indexes db named =
+  List.map
+    (fun (name, entries) ->
+      let file, sha = Store.Index.save ~dir:(Store.Db.dir db) ~name entries in
+      (name, file, sha))
+    named
+
+(* --- replaying stored records --- *)
+
+let store_corrupt fmt =
+  Printf.ksprintf (fun s -> raise (Store.Db.Store_error s)) fmt
+
+(* Absorb one stored record: cert rows re-enter the aggregate through
+   {!absorb_row} (no parse, no lint), fault records replay through the
+   caller's boundary so quarantine, budgets and robustness reporting
+   match the cold run.  Returns the decoded row for cert records. *)
+let replay_stored t ~record recd rowstr =
+  match recd with
+  | Store.Db.Fault { index; class_; detail; der } ->
+      record ~index ~der (Faults.Error.of_class ~class_ ~detail);
+      None
+  | Store.Db.Cert { index; der = _ } -> (
+      match decode_row rowstr with
+      | Error e ->
+          store_corrupt "stored row %d undecodable (%s); run `unicert-store fsck`"
+            index e
+      | Ok row -> (
+          match Ctlog.Dataset.issuer_of_org row.r_org with
+          | None ->
+              store_corrupt "stored row %d references unknown issuer %S" index
+                row.r_org
+          | Some issuer ->
+              let nc = List.filter_map Lint.Registry.find row.r_nc in
+              Obs.Span.with_ "aggregate" (fun () -> absorb_row t ~issuer row nc);
+              Some row))
+
+(* --- cold build: process one live entry and land it durably --- *)
+
+let append_fault pw ~index ~der error =
+  Store.Db.append pw
+    (Store.Db.Fault
+       { index;
+         class_ = Faults.Error.class_name error;
+         detail = Faults.Error.detail error;
+         der })
+    ~row:"F"
+
+let process_store t pw acc policy ~record index (entry : Ctlog.Dataset.entry) =
+  let work () =
+    with_profiling ~index (fun ~timer ~note_aggregate ->
+        let row, nc = row_of_entry ~timer entry ~index in
+        note_aggregate (fun () ->
+            absorb_row t ~issuer:entry.Ctlog.Dataset.issuer row nc);
+        add_index_entries acc row;
+        Store.Db.append pw
+          (Store.Db.Cert
+             { index; der = entry.Ctlog.Dataset.cert.X509.Certificate.der })
+          ~row:(encode_row row))
+  in
+  let guarded () =
+    match policy.Faults.Policy.timeout_seconds with
+    | Some s -> Faults.Watchdog.with_timeout ~stage:"process" ~seconds:s work
+    | None -> work ()
+  in
+  (* A processing fault is also landed as a store fault record, so a
+     warm replay reproduces the cold run's fault ledger. *)
+  match guarded () with
+  | () -> ()
+  | exception (Abort _ as e) -> raise e
+  | exception (Shard_stop as e) -> raise e
+  | exception (Store.Chaos.Crashed _ as e) -> raise e
+  | exception (Store.Db.Store_error _ as e) -> raise e
+  | exception Faults.Watchdog.Timed_out { stage; seconds } ->
+      let error = Faults.Error.Timeout { stage; seconds } in
+      append_fault pw ~index ~der:entry.Ctlog.Dataset.cert.X509.Certificate.der
+        error;
+      record ~index ~der:entry.Ctlog.Dataset.cert.X509.Certificate.der error
+  | exception e when Faults.Isolation.enabled () ->
+      let error = Faults.Error.of_exn ~stage:"process" e in
+      append_fault pw ~index ~der:entry.Ctlog.Dataset.cert.X509.Certificate.der
+        error;
+      record ~index ~der:entry.Ctlog.Dataset.cert.X509.Certificate.der error
+
+(* --- pieces: the interleaving of recovered coverage and gaps --- *)
+
+type piece =
+  | Stored of (Store.Manifest.seg * Store.Manifest.seg)
+  | Gap of (int * int)
+
+let piece_lo = function
+  | Stored ((c : Store.Manifest.seg), _) -> c.Store.Manifest.lo
+  | Gap (lo, _) -> lo
+
+let build_pieces db ~scale =
+  List.merge
+    (fun a b -> compare (piece_lo a) (piece_lo b))
+    (List.map (fun pr -> Stored pr) (Store.Db.spans db))
+    (List.map (fun g -> Gap g) (Store.Db.gaps db ~scale))
+
+(* --- the sharded generate-source build --- *)
+
+let run_store_generate_build db ~scale ~seed ~policy ~mutator ~drop ~jobs ~lints =
+  prewarm policy;
+  Store.Db.prewarm ();
+  Store.Db.recover db ~lints;
+  let pieces = build_pieces db ~scale in
+  let nshards = List.length (Par.shards ~jobs scale) in
+  let stop_flag = Atomic.make false in
+  let global_errors = Atomic.make 0 in
+  let abort_lock = Mutex.create () in
+  let abort_reason = ref None in
+  let set_abort reason =
+    Mutex.protect abort_lock (fun () ->
+        if !abort_reason = None then abort_reason := Some reason);
+    Atomic.set stop_flag true
+  in
+  let run_shard ~shard ~lo ~hi =
+    let part = fresh ~scale ~seed in
+    let acc = fresh_acc () in
+    let segs = ref [] in
+    let quarantine =
+      Option.map
+        (fun dir -> Faults.Quarantine.open_shard ~dir ~run_seed:seed ~shard)
+        policy.Faults.Policy.quarantine_dir
+    in
+    let record ~index ~der error =
+      let f = part.faults in
+      f.fault_errors <- f.fault_errors + 1;
+      bump f.by_class (Faults.Error.class_name error);
+      Faults.Error.observe error;
+      trace_fault ~index error;
+      (match quarantine with
+      | Some q ->
+          Faults.Quarantine.record q ~index ~error ~der;
+          f.quarantined <- f.quarantined + 1
+      | None -> ());
+      let seen = 1 + Atomic.fetch_and_add global_errors 1 in
+      if policy.Faults.Policy.fail_fast then begin
+        set_abort (Printf.sprintf "fail-fast: %s" (Faults.Error.to_string error));
+        raise Shard_stop
+      end;
+      match policy.Faults.Policy.max_errors with
+      | Some m when seen >= m ->
+          set_abort (Printf.sprintf "max-errors: %d errors reached the limit" m);
+          raise Shard_stop
+      | _ -> ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Faults.Quarantine.close quarantine)
+      (fun () ->
+        try
+          List.iter
+            (fun piece ->
+              match piece with
+              | Stored ((c, _) as pr) when c.Store.Manifest.hi > lo && c.Store.Manifest.lo < hi ->
+                  Store.Db.iter_pair db pr (fun recd rowstr ->
+                      let i = Store.Db.index_of_record recd in
+                      if i >= lo && i < hi then begin
+                        if Atomic.get stop_flag then raise Shard_stop;
+                        match replay_stored part ~record recd rowstr with
+                        | Some row -> add_index_entries acc row
+                        | None -> ()
+                      end)
+              | Stored _ -> ()
+              | Gap (glo, ghi) ->
+                  let glo = max glo lo and ghi = min ghi hi in
+                  if glo < ghi then begin
+                    let pw = Store.Db.start_span db ~lints ~lo:glo ~hi:ghi in
+                    match
+                      Ctlog.Dataset.iter_deliveries ~scale ~start:glo ~stop:ghi
+                        ?mutator ~drop ~seed (fun index delivery ->
+                          if Atomic.get stop_flag then raise Shard_stop;
+                          match delivery with
+                          | Ctlog.Dataset.Entry e ->
+                              process_store part pw acc policy ~record index e
+                          | Ctlog.Dataset.Corrupt { der; error; _ } ->
+                              append_fault pw ~index ~der error;
+                              record ~index ~der error)
+                    with
+                    | () -> segs := Store.Db.finish_span pw :: !segs
+                    | exception e ->
+                        Store.Db.close_noerr pw;
+                        raise e
+                  end)
+            pieces
+        with Shard_stop -> ());
+    (part, List.rev !segs, acc)
+  in
+  let results =
+    Obs.Span.with_ "pipeline" (fun () ->
+        Par.map_shards ~jobs ~scale (fun ~shard ~lo ~hi -> run_shard ~shard ~lo ~hi))
+  in
+  (match policy.Faults.Policy.quarantine_dir with
+  | Some dir ->
+      ignore (Faults.Quarantine.merge_shards ~dir ~run_seed:seed ~shards:nshards)
+  | None -> ());
+  let t = fresh ~scale ~seed in
+  List.iter (fun (part, _, _) -> merge_into t part) results;
+  t.faults.aborted <- !abort_reason;
+  if t.faults.aborted = None then begin
+    let stored =
+      List.filter_map (function Stored pr -> Some pr | Gap _ -> None) pieces
+    in
+    let fresh_pairs = List.concat_map (fun (_, segs, _) -> segs) results in
+    let by_lo =
+      List.sort (fun ((a : Store.Manifest.seg), _) ((b : Store.Manifest.seg), _) ->
+          compare a.Store.Manifest.lo b.Store.Manifest.lo)
+    in
+    let pairs = by_lo (stored @ fresh_pairs) in
+    let indexes =
+      save_indexes db (merge_accs (List.map (fun (_, _, a) -> a) results))
+    in
+    let man : Store.Manifest.t =
+      { state = `Complete;
+        lints;
+        segments = List.map fst pairs;
+        rows = List.map snd pairs;
+        indexes;
+        meta = [] }
+    in
+    let man = { man with Store.Manifest.meta = [ ("content", content_address man) ] } in
+    Store.Db.commit db man
+  end;
+  t
+
+(* --- the sequential fetch-source build ---------------------------------
+
+   Fetch cursors already carry the full fetched history, so a resumed
+   fetch hands back every item; the store pass walks items and
+   recovered spans in index order, writing only the gaps.  The landing
+   pass is sequential — [jobs] still parallelizes the transport. *)
+
+let run_store_fetch_build db ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs
+    ~lints cfg =
+  prewarm policy;
+  Ctlog.Fetch.prewarm ();
+  Store.Db.prewarm ();
+  Store.Db.recover db ~lints;
+  let cfg =
+    { cfg with
+      Ctlog.Fetch.breaker_threshold = policy.Faults.Policy.breaker_threshold }
+  in
+  let items, coverage =
+    Obs.Span.with_ "fetch" (fun () ->
+        Ctlog.Fetch.corpus ~scale ~seed ?mutator ~drop
+          ?checkpoint:policy.Faults.Policy.checkpoint_file ~resume ~jobs cfg)
+  in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let pieces = build_pieces db ~scale in
+  let t = fresh ~scale ~seed in
+  let acc = fresh_acc () in
+  let segs = ref [] in
+  let quarantine =
+    Option.map
+      (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
+      policy.Faults.Policy.quarantine_dir
+  in
+  let record = record_fault t policy quarantine in
+  let ii = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Faults.Quarantine.close quarantine)
+    (fun () ->
+      try
+        Obs.Span.with_ "pipeline" (fun () ->
+            List.iter
+              (fun piece ->
+                match piece with
+                | Stored ((c, _) as pr) ->
+                    while
+                      !ii < n
+                      && Ctlog.Fetch.item_index items.(!ii) < c.Store.Manifest.hi
+                    do
+                      incr ii
+                    done;
+                    Store.Db.iter_pair db pr (fun recd rowstr ->
+                        match replay_stored t ~record recd rowstr with
+                        | Some row -> add_index_entries acc row
+                        | None -> ())
+                | Gap (glo, ghi) ->
+                    while !ii < n && Ctlog.Fetch.item_index items.(!ii) < glo do
+                      incr ii
+                    done;
+                    let pw = Store.Db.start_span db ~lints ~lo:glo ~hi:ghi in
+                    (match
+                       while
+                         !ii < n && Ctlog.Fetch.item_index items.(!ii) < ghi
+                       do
+                         (match items.(!ii) with
+                         | Ctlog.Fetch.Got (index, e) ->
+                             process_store t pw acc policy ~record index e
+                         | Ctlog.Fetch.Undecodable (index, der, error) ->
+                             append_fault pw ~index ~der error;
+                             record ~index ~der error);
+                         incr ii
+                       done
+                     with
+                    | () -> segs := Store.Db.finish_span pw :: !segs
+                    | exception e ->
+                        Store.Db.close_noerr pw;
+                        raise e))
+              pieces)
+      with Abort reason -> t.faults.aborted <- Some reason);
+  t.coverage <- coverage;
+  if t.faults.aborted = None then begin
+    let stored =
+      List.filter_map (function Stored pr -> Some pr | Gap _ -> None) pieces
+    in
+    let pairs =
+      List.sort
+        (fun ((a : Store.Manifest.seg), _) (b, _) -> compare a.Store.Manifest.lo b.Store.Manifest.lo)
+        (stored @ List.rev !segs)
+    in
+    let indexes = save_indexes db (merge_accs [ acc ]) in
+    let man : Store.Manifest.t =
+      { state = `Complete;
+        lints;
+        segments = List.map fst pairs;
+        rows = List.map snd pairs;
+        indexes;
+        meta = [] }
+    in
+    let man =
+      { man with
+        Store.Manifest.meta =
+          [ ("content", content_address man);
+            ("coverage", encode_coverage coverage) ] }
+    in
+    Store.Db.commit db man
+  end;
+  t
+
+(* --- warm replay: the store is complete for the current lint set --- *)
+
+let run_store_warm db ~scale ~seed ~policy =
+  Lint.Registry.set_breaker_threshold policy.Faults.Policy.breaker_threshold;
+  Store.Db.prewarm ();
+  let t = fresh ~scale ~seed in
+  let quarantine =
+    Option.map
+      (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
+      policy.Faults.Policy.quarantine_dir
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Faults.Quarantine.close quarantine)
+    (fun () ->
+      try
+        Obs.Span.with_ "pipeline" (fun () ->
+            Store.Db.iter_pairs db (fun recd rowstr ->
+                ignore
+                  (replay_stored t
+                     ~record:(record_fault t policy quarantine)
+                     recd rowstr)))
+      with Abort reason -> t.faults.aborted <- Some reason);
+  (match Store.Db.meta db "coverage" with
+  | Some s -> (
+      match decode_coverage s with
+      | Ok cov -> t.coverage <- cov
+      | Error e -> store_corrupt "stored coverage undecodable (%s)" e)
+  | None -> ());
+  t
+
+(* --- incremental recompute: the lint set changed ----------------------
+
+   Certificates and indexes-by-DER never change; only the analysis rows
+   do.  Run just the missing lints over the stored DER, merge with the
+   stored findings (names of removed lints drop out), and publish the
+   new rows column + indexes in one manifest commit — old columns are
+   deleted only after the commit. *)
+
+let run_store_incremental db ~scale ~seed ~policy ~lints =
+  Lint.Registry.set_breaker_threshold policy.Faults.Policy.breaker_threshold;
+  Store.Db.prewarm ();
+  let stored_lints =
+    String.split_on_char ';' (Store.Db.manifest db).Store.Manifest.lints
+  in
+  let current = List.map (fun (l : Lint.t) -> l.Lint.name) Lint.Registry.all in
+  let missing = List.filter (fun n -> not (List.mem n stored_lints)) current in
+  let t = fresh ~scale ~seed in
+  let acc = fresh_acc () in
+  let new_rows = ref [] in
+  let quarantine =
+    Option.map
+      (fun dir -> Faults.Quarantine.open_ ~dir ~run_seed:seed)
+      policy.Faults.Policy.quarantine_dir
+  in
+  let record = record_fault t policy quarantine in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Faults.Quarantine.close quarantine)
+    (fun () ->
+      try
+        Obs.Span.with_ "pipeline" (fun () ->
+            List.iter
+              (fun (((c : Store.Manifest.seg), _) as pr) ->
+                let rw =
+                  Store.Db.start_rows_span db ~lints ~lo:c.Store.Manifest.lo
+                    ~hi:c.Store.Manifest.hi
+                in
+                match
+                  Store.Db.iter_pair db pr (fun recd rowstr ->
+                      match recd with
+                      | Store.Db.Fault { index; class_; detail; der } ->
+                          record ~index ~der
+                            (Faults.Error.of_class ~class_ ~detail);
+                          Store.Db.append_row rw rowstr
+                      | Store.Db.Cert { index; der } -> (
+                          match decode_row rowstr with
+                          | Error e ->
+                              store_corrupt
+                                "stored row %d undecodable (%s); run `unicert-store fsck`"
+                                index e
+                          | Ok row ->
+                              let fresh_nc =
+                                if missing = [] then []
+                                else
+                                  match X509.Certificate.parse der with
+                                  | Error e ->
+                                      store_corrupt
+                                        "stored certificate %d unparseable (%s)"
+                                        index (Faults.Error.to_string e)
+                                  | Ok cert ->
+                                      Lint.Registry.run
+                                        ~respect_effective_dates:false
+                                        ~only:(fun l ->
+                                          List.mem l.Lint.name missing)
+                                        ~issued:row.r_issued cert
+                                      |> List.filter_map
+                                           (fun (f : Lint.finding) ->
+                                             if Lint.is_noncompliant f then
+                                               Some f.Lint.lint.Lint.name
+                                             else None)
+                              in
+                              let keep n =
+                                List.mem n row.r_nc || List.mem n fresh_nc
+                              in
+                              let row =
+                                { row with r_nc = List.filter keep current }
+                              in
+                              (match Ctlog.Dataset.issuer_of_org row.r_org with
+                              | None ->
+                                  store_corrupt
+                                    "stored row %d references unknown issuer %S"
+                                    index row.r_org
+                              | Some issuer ->
+                                  let nc =
+                                    List.filter_map Lint.Registry.find row.r_nc
+                                  in
+                                  Obs.Span.with_ "aggregate" (fun () ->
+                                      absorb_row t ~issuer row nc));
+                              add_index_entries acc row;
+                              Store.Db.append_row rw (encode_row row)))
+                with
+                | () -> new_rows := Store.Db.finish_rows_span rw :: !new_rows
+                | exception e ->
+                    Store.Db.close_rows_noerr rw;
+                    raise e)
+              (Store.Db.spans db))
+      with Abort reason -> t.faults.aborted <- Some reason);
+  if t.faults.aborted = None then begin
+    let old = Store.Db.manifest db in
+    let rows =
+      List.sort
+        (fun (a : Store.Manifest.seg) b -> compare a.Store.Manifest.lo b.Store.Manifest.lo)
+        (List.rev !new_rows)
+    in
+    let indexes = save_indexes db (merge_accs [ acc ]) in
+    let man : Store.Manifest.t =
+      { state = `Complete;
+        lints;
+        segments = old.Store.Manifest.segments;
+        rows;
+        indexes;
+        meta = [] }
+    in
+    let keep_meta =
+      List.filter (fun (k, _) -> k = "coverage") old.Store.Manifest.meta
+    in
+    let man =
+      { man with
+        Store.Manifest.meta = ("content", content_address man) :: keep_meta }
+    in
+    Store.Db.commit db man
+  end;
+  t
+
+(* --- dispatch --- *)
+
+let run_store ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs ~source ~dir =
+  let lints = lints_signature () in
+  let fingerprint = store_fingerprint ~mutator ~drop ~source in
+  let db = Store.Db.create ~dir ~scale ~seed ~fingerprint in
+  let crashes_before = snapshot_crashes () in
+  let t =
+    if Store.Db.complete db then
+      if (Store.Db.manifest db).Store.Manifest.lints = lints then
+        run_store_warm db ~scale ~seed ~policy
+      else run_store_incremental db ~scale ~seed ~policy ~lints
+    else
+      match source with
+      | Generate ->
+          run_store_generate_build db ~scale ~seed ~policy ~mutator ~drop ~jobs
+            ~lints
+      | Fetch cfg ->
+          run_store_fetch_build db ~scale ~seed ~policy ~mutator ~drop ~resume
+            ~jobs ~lints cfg
+  in
+  t.faults.lint_crashes <- snapshot_crashes () - crashes_before;
+  t.faults.degraded <- Lint.Registry.degraded ();
+  t
+
 let run ?(scale = Ctlog.Dataset.default_scale) ?(seed = 1)
     ?(policy = Faults.Policy.default) ?mutator ?(drop = false) ?(resume = false)
-    ?(jobs = 1) ?(source = Generate) () =
-  match source with
-  | Fetch cfg -> run_fetch ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs cfg
-  | Generate ->
-      if jobs > 1 && scale > 1 then
-        run_parallel ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs
-      else run_sequential ~scale ~seed ~policy ~mutator ~drop ~resume
+    ?(jobs = 1) ?(source = Generate) ?store () =
+  match store with
+  | Some dir ->
+      run_store ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs ~source ~dir
+  | None -> (
+      match source with
+      | Fetch cfg -> run_fetch ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs cfg
+      | Generate ->
+          if jobs > 1 && scale > 1 then
+            run_parallel ~scale ~seed ~policy ~mutator ~drop ~resume ~jobs
+          else run_sequential ~scale ~seed ~policy ~mutator ~drop ~resume)
 
 let year_range t =
   Hashtbl.fold (fun y _ (lo, hi) -> (min lo y, max hi y)) t.years (9999, 0)

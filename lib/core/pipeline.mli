@@ -94,6 +94,7 @@ val run :
   ?resume:bool ->
   ?jobs:int ->
   ?source:source ->
+  ?store:string ->
   unit ->
   t
 (** [run ()] generates the corpus (default scale
@@ -144,7 +145,31 @@ val run :
     run is byte-identical across [jobs] values and reruns at the same
     seeds; an abandoned log (dead endpoint, split view) yields a
     degraded — but still completed — run, visible via
-    {!coverage_degraded}. *)
+    {!coverage_degraded}.
+
+    With [store = Some dir] the run lands in the crash-safe on-disk
+    store ({!Store.Db}, DESIGN.md §11) instead of being transient:
+
+    - a {e cold} run populates [dir] shard by shard — every certificate
+      and its analysis row are appended to checksummed segments and the
+      inventory is committed by atomic rename, so killing the process
+      at any point leaves a store that {!Store.Db.recover} normalizes;
+      re-running the same command resumes from the intact prefix and
+      completes to the byte-identical report (the store {e is} the
+      checkpoint — [policy.checkpoint_file] is ignored for the analysis
+      pass, though a fetch source still uses it for transport cursors);
+    - a {e warm} re-run over a complete store with the same lint set
+      replays stored rows — no generation, no parsing, no linting —
+      and produces the byte-identical report;
+    - a re-run after the lint registry changed recomputes {e only} the
+      missing lint columns from stored DER and republishes the rows
+      and indexes in one atomic commit.
+
+    The store records its identity (scale, seed, source + mutation
+    fingerprint); reusing a directory under different parameters raises
+    {!Store.Db.Store_error} (binaries exit 2).  Fault records replay
+    through the same boundary as live faults, so quarantine and
+    robustness accounting match the cold run. *)
 
 val coverage_degraded : t -> bool
 (** True when a fetch-sourced run has at least one log with incomplete

@@ -428,6 +428,8 @@ let generate_at ~seed index =
 let issuer_by_org =
   lazy (List.map (fun i -> (i.org, i)) issuers)
 
+let issuer_of_org org = List.assoc_opt org (Lazy.force issuer_by_org)
+
 (* Rebuild an [entry] from bytes fetched off a log rather than from the
    in-process generator: recover the issuer record by the certificate's
    IssuerOrganizationName and re-derive the analysis inputs the

@@ -55,6 +55,10 @@ val generate_at : seed:int -> int -> entry
     checkpoint resume — regenerates byte-identical certificates without
     replaying earlier indices. *)
 
+val issuer_of_org : string -> issuer option
+(** Look an issuer up by organization name — rehydrates the issuer
+    record when replaying stored analysis rows. *)
+
 val entry_of_cert : X509.Certificate.t -> (entry, Faults.Error.t) result
 (** Rebuild an {!entry} from a certificate fetched off a CT log:
     recovers the issuer record via the certificate's

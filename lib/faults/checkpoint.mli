@@ -5,7 +5,13 @@
     (write to a temp file, then [rename]) so a crash mid-save leaves
     the previous checkpoint intact.  Because the corpus stream is a
     pure function of [(scale, seed)], resuming only needs to replay the
-    stream and skip indices below [next_index]. *)
+    stream and skip indices below [next_index].
+
+    Files start with a magic string and a format-version line.  A file
+    that exists but is not a current-format checkpoint raises
+    {!Invalid} instead of being silently ignored — restarting from
+    scratch when the operator asked to resume is a correctness bug, so
+    binaries surface it as a validation error (exit 2). *)
 
 type 'a t = {
   scale : int;
@@ -13,6 +19,11 @@ type 'a t = {
   next_index : int;  (** first unprocessed corpus index *)
   state : 'a;
 }
+
+exception Invalid of string
+(** The path exists but holds no usable checkpoint: bad magic, a
+    different format version, or a corrupt payload.  The message names
+    the file and what to do (delete it or rerun without [--resume]). *)
 
 val shard_file : string -> int -> string
 (** [shard_file path k] is the per-shard checkpoint path
@@ -24,7 +35,16 @@ val save : string -> 'a t -> unit
 (** Atomic: the file named never holds a partial write. *)
 
 val load : string -> 'a t option
-(** [None] when the file is missing, unreadable, or not a checkpoint
-    (e.g. truncated by a crash before the first [save] finished — the
-    temp-file dance makes that impossible for [save] itself, but the
-    caller may hand us any path). *)
+(** [None] when the file is missing; raises {!Invalid} when it exists
+    but fails magic, version, or payload validation. *)
+
+val stale_cursors : string -> active:int -> string list
+(** [stale_cursors path ~active] lists existing [path.shard<k>] and
+    [path.fetch<k>] files with [k >= active] — cursors left behind by
+    an earlier run that used more shards (or logs) than the current
+    one.  Sorted; empty when the directory is unreadable. *)
+
+val remove_stale : string -> active:int -> string list
+(** Delete the {!stale_cursors} and return the paths removed.  Callers
+    warn at start-up and call this only after a successful completion,
+    so a killed run keeps its evidence on disk. *)

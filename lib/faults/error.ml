@@ -61,6 +61,67 @@ let of_exn ~stage e =
         { offset = None;
           detail = Printf.sprintf "%s: %s" stage (Printexc.to_string e) }
 
+(* Invert {!detail}'s renderings so stored fault records (class + detail
+   strings) rehydrate into the constructor they came from.  Parsing is
+   best-effort: an unrecognized layout keeps the full detail text under
+   the same class where the class admits it, or degrades to
+   [Decode_error]. *)
+let of_class ~class_ ~detail:d =
+  let split_colon s =
+    match String.index_opt s ':' with
+    | Some i when i + 2 <= String.length s && s.[i + 1] = ' ' ->
+        Some (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
+    | _ -> None
+  in
+  let split_raised s =
+    (* "<who> raised <exn>: <detail>" *)
+    match split_colon s with
+    | None -> None
+    | Some (head, rest) -> (
+        let marker = " raised " in
+        match
+          let rec find i =
+            if i + String.length marker > String.length head then None
+            else if String.sub head i (String.length marker) = marker then Some i
+            else find (i + 1)
+          in
+          find 0
+        with
+        | None -> None
+        | Some i ->
+            Some
+              ( String.sub head 0 i,
+                String.sub head
+                  (i + String.length marker)
+                  (String.length head - i - String.length marker),
+                rest ))
+  in
+  match class_ with
+  | "lint_crash" -> (
+      match split_raised d with
+      | Some (lint, exn_name, detail) -> Lint_crash { lint; exn_name; detail }
+      | None -> Lint_crash { lint = "?"; exn_name = "?"; detail = d })
+  | "model_crash" -> (
+      match split_raised d with
+      | Some (model, exn_name, detail) -> Model_crash { model; exn_name; detail }
+      | None -> Model_crash { model = "?"; exn_name = "?"; detail = d })
+  | "timeout" -> (
+      match Scanf.sscanf d "%s@ exceeded %fs%!" (fun stage s -> (stage, s)) with
+      | stage, seconds -> Timeout { stage; seconds }
+      | exception _ -> Timeout { stage = d; seconds = 0. })
+  | "resource" -> (
+      match split_colon d with
+      | Some (stage, detail) -> Resource { stage; detail }
+      | None -> Resource { stage = "?"; detail = d })
+  | "integrity" -> (
+      match split_colon d with
+      | Some (log, detail) -> Integrity { log; detail }
+      | None -> Integrity { log = "?"; detail = d })
+  | _ -> (
+      match Scanf.sscanf d "offset %d: %s@\255%!" (fun o rest -> (o, rest)) with
+      | o, rest -> Decode_error { offset = Some o; detail = rest }
+      | exception _ -> Decode_error { offset = None; detail = d })
+
 let obs_errors =
   lazy
     (Obs.Registry.labeled_counter ~label:"class"

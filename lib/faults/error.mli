@@ -51,6 +51,13 @@ val of_exn : stage:string -> exn -> t
     returns [Resource] for resource exhaustion and [Decode_error] with
     the printed exception otherwise. *)
 
+val of_class : class_:string -> detail:string -> t
+(** Rehydrate an error from its stored [(class_name, detail)] pair —
+    the inverse of {!class_name}/{!detail}, used when replaying fault
+    records out of the on-disk store.  Best-effort: detail layouts the
+    renderer never produces keep their text under the same class (or
+    degrade to [Decode_error] for unknown classes). *)
+
 val observe : t -> unit
 (** Count the event in {!Obs.Registry.default} under
     [unicert_fault_errors_total{class="..."}]. *)

@@ -143,16 +143,21 @@ let obs_snapshot () =
 
 (* --- the runner ----------------------------------------------------- *)
 
-let run ?(respect_effective_dates = true) ?(include_new = true) ~issued cert =
+let run ?(respect_effective_dates = true) ?(include_new = true) ?only ~issued
+    cert =
   Obs.Span.with_ "lint" @@ fun () ->
   let ctx = Ctx.of_cert cert in
+  let wanted =
+    match only with None -> fun _ -> true | Some p -> p
+  in
   (* Hand-rolled two-list filter_map: this runs once per corpus
      certificate, so no intermediate option list. *)
   let rec go ls inss acc =
     match (ls, inss) with
     | [], _ -> List.rev acc
     | (l : Types.t) :: ls, ins :: inss ->
-        if (not include_new) && l.Types.is_new then go ls inss acc
+        if ((not include_new) && l.Types.is_new) || not (wanted l) then
+          go ls inss acc
         else if
           respect_effective_dates && Asn1.Time.(issued < l.Types.effective_date)
         then begin

@@ -17,6 +17,7 @@ val counts_by_type : Types.nc_type -> int * int
 val run :
   ?respect_effective_dates:bool ->
   ?include_new:bool ->
+  ?only:(Types.t -> bool) ->
   issued:Asn1.Time.t ->
   X509.Certificate.t ->
   Types.finding list
@@ -25,7 +26,10 @@ val run :
     effective date is after [issued] — disabling it reproduces the
     paper's footnote-4 ablation (249.3K → 1.8M).  [include_new]
     (default [true]) set to [false] removes the 50 new lints — the
-    "existing linters only" ablation. *)
+    "existing linters only" ablation.  [only] restricts the pass to
+    lints satisfying the predicate (skipped lints produce no finding
+    and no NA count) — the store's incremental recompute runs just the
+    lints missing from stored analysis rows. *)
 
 val noncompliant :
   ?respect_effective_dates:bool ->

@@ -1,0 +1,33 @@
+let commits =
+  Obs.Registry.counter ~help:"Atomic file commits completed by the store"
+    "unicert_store_commits_total"
+
+let fsyncs = Obs.Registry.counter "unicert_store_fsync_total"
+
+let write ~op ~rename_point path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     (match Chaos.plan_write ~op ~len:(String.length content) with
+     | Chaos.Pass -> output_string oc content
+     | Chaos.Flip { offset } ->
+         let b = Bytes.of_string content in
+         Bytes.set b offset (Char.chr (Char.code (Bytes.get b offset) lxor 0x10));
+         output_bytes oc b
+     | Chaos.Prefix { len; crash } ->
+         output_string oc (String.sub content 0 len);
+         if crash then (
+           flush oc;
+           Obs.Trace.instant ~cat:"store" ("chaos.torn:" ^ op);
+           raise (Chaos.Crashed ("torn:" ^ op))));
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     Obs.Counter.inc fsyncs
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Chaos.point (rename_point ^ ".before");
+  Sys.rename tmp path;
+  Chaos.point (rename_point ^ ".after");
+  Obs.Counter.inc commits

@@ -1,0 +1,165 @@
+(* Seeded write-path fault injection.  Mirrors Net.Fault's discipline:
+   every probabilistic decision is a pure function of (seed, op,
+   attempt), so a chaos campaign at a fixed seed replays the exact same
+   fault schedule.  On top of that, [arm_crash] kills deterministically
+   at a named crash point's Nth occurrence, which is what the recovery
+   matrix in the test suite drives. *)
+
+exception Crashed of string
+
+type kind = Torn_write | Short_write | Bit_flip | Crash
+
+let all_kinds = [ Torn_write; Short_write; Bit_flip; Crash ]
+
+let kind_name = function
+  | Torn_write -> "torn_write"
+  | Short_write -> "short_write"
+  | Bit_flip -> "bit_flip"
+  | Crash -> "crash"
+
+let kind_of_name = function
+  | "torn_write" -> Some Torn_write
+  | "short_write" -> Some Short_write
+  | "bit_flip" -> Some Bit_flip
+  | "crash" -> Some Crash
+  | _ -> None
+
+type plan = { seed : int; rate : float; kinds : kind list }
+
+let crash_points =
+  [
+    "segment.tear";
+    "segment.append.after";
+    "segment.seal.before";
+    "segment.seal.after";
+    "index.rename.before";
+    "index.rename.after";
+    "manifest.rename.before";
+    "manifest.rename.after";
+  ]
+
+(* Process-global armed state.  Shard writers run on worker domains, so
+   both the armed configuration and the occurrence counters live behind
+   one mutex; the counters themselves make occurrence numbering global
+   across domains (which is what "kill at the Nth seal" means). *)
+type armed = {
+  mutable plan : plan option;
+  mutable crash : (string * int) option;  (* point, 1-based occurrence *)
+  counts : (string, int) Hashtbl.t;       (* per op/point hit counters *)
+  mutable crash_pending : bool;           (* a sampled Crash kind waits
+                                             for the next crash point *)
+}
+
+let lock = Mutex.create ()
+let state = { plan = None; crash = None; counts = Hashtbl.create 16; crash_pending = false }
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm plan =
+  with_lock (fun () ->
+      state.plan <- Some plan;
+      state.crash_pending <- false;
+      Hashtbl.reset state.counts)
+
+let arm_crash ~point ~occurrence =
+  with_lock (fun () ->
+      state.crash <- Some (point, max 1 occurrence);
+      state.crash_pending <- false;
+      Hashtbl.reset state.counts)
+
+let disarm () =
+  with_lock (fun () ->
+      state.plan <- None;
+      state.crash <- None;
+      state.crash_pending <- false;
+      Hashtbl.reset state.counts)
+
+let bump name =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt state.counts name) in
+  Hashtbl.replace state.counts name n;
+  n
+
+(* FNV-1a, same constants as Net.Fault: a stable string hash so fault
+   schedules survive compiler upgrades. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Int64.to_int (Int64.logand !h 0x3fffffffffffffffL)
+
+type action = Pass | Prefix of { len : int; crash : bool } | Flip of { offset : int }
+
+(* A torn/short prefix always lands at least one byte short of the full
+   frame and keeps at least one byte when the frame is non-trivial, so
+   the injected state is genuinely partial. *)
+let prefix_len g len =
+  if len <= 1 then 0 else 1 + Ucrypto.Prng.int g (len - 1)
+
+let plan_write ~op ~len =
+  with_lock (fun () ->
+      let attempt = bump ("write:" ^ op) in
+      (* Deterministic tear: the armed "segment.tear" kill applies to
+         segment appends only, counted on the shared point counter so
+         occurrence numbering matches the other crash points. *)
+      match state.crash with
+      | Some ("segment.tear", occ) when op = "segment.append" ->
+          let hit = bump "segment.tear" in
+          if hit = occ then
+            let g = Ucrypto.Prng.of_pair (fnv1a ("tear:" ^ op)) attempt in
+            Prefix { len = prefix_len g len; crash = true }
+          else Pass
+      | _ -> (
+          match state.plan with
+          | None -> Pass
+          | Some plan ->
+              let g =
+                Ucrypto.Prng.of_pair (plan.seed lxor fnv1a op) attempt
+              in
+              if plan.rate <= 0.0 || plan.kinds = [] then Pass
+              else if Ucrypto.Prng.float g >= plan.rate then Pass
+              else
+                match Ucrypto.Prng.pick_list g plan.kinds with
+                | Torn_write -> Prefix { len = prefix_len g len; crash = true }
+                | Short_write -> Prefix { len = prefix_len g len; crash = false }
+                | Bit_flip ->
+                    Flip { offset = (if len = 0 then 0 else Ucrypto.Prng.int g len) }
+                | Crash ->
+                    state.crash_pending <- true;
+                    Pass))
+
+let point name =
+  let killed =
+    with_lock (fun () ->
+        let hit = bump name in
+        match state.crash with
+        | Some (p, occ) when p = name && hit = occ -> true
+        | _ ->
+            if state.crash_pending then (
+              state.crash_pending <- false;
+              true)
+            else false)
+  in
+  if killed then (
+    Obs.Trace.instant ~cat:"store" ("chaos.crash:" ^ name);
+    raise (Crashed name))
+
+let flip_bit_in_file ~seed path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  if len = 0 then invalid_arg "Chaos.flip_bit_in_file: empty file";
+  let g = Ucrypto.Prng.of_pair (fnv1a path) seed in
+  let lo = if len > 32 then 16 else 0 in
+  let offset = lo + Ucrypto.Prng.int g (len - lo) in
+  let bit = Ucrypto.Prng.int g 8 in
+  let b = Bytes.of_string s in
+  Bytes.set b offset (Char.chr (Char.code (Bytes.get b offset) lxor (1 lsl bit)));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  offset

@@ -1,0 +1,81 @@
+(** Seeded fault injection for the on-disk store.
+
+    Durability must be a tested property, not an assumption: this
+    module lets tests inject exactly the failure modes a crash or a
+    lying disk produces — torn writes (a prefix of a planned write
+    lands, then the process dies), short writes (a prefix lands and the
+    writer never notices), bit flips (the write lands, one bit
+    differs), and process death at named crash points before/after each
+    atomic rename.
+
+    Like {!Net.Fault}, every probabilistic decision is a pure function
+    of [(seed, op, attempt)], so a chaos campaign replays identically
+    at the same seed.  Deterministic kills at a named {!crash_points}
+    occurrence drive the crash-point recovery matrix.
+
+    The injected "kill" is the {!Crashed} exception: writers poison
+    themselves before raising so later buffered bytes can never reach
+    the file — the on-disk state when [Crashed] escapes is exactly the
+    state a real [SIGKILL] would have left. *)
+
+exception Crashed of string
+(** Simulated process death; the payload names the crash point or the
+    torn write operation. *)
+
+type kind =
+  | Torn_write   (** seeded prefix of the frame lands, then {!Crashed} *)
+  | Short_write  (** seeded prefix lands silently; the writer continues *)
+  | Bit_flip     (** the full frame lands with one seeded bit flipped *)
+  | Crash        (** {!Crashed} at the next declared crash point *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type plan = { seed : int; rate : float; kinds : kind list }
+(** Probabilistic chaos: each write operation faults with probability
+    [rate], drawing the kind uniformly from [kinds]. *)
+
+val arm : plan -> unit
+(** Enable probabilistic injection (process-global, domain-safe). *)
+
+val arm_crash : point:string -> occurrence:int -> unit
+(** Kill deterministically: raise {!Crashed} at the [occurrence]-th hit
+    of crash point [point] (1-based).  [point = "segment.tear"] is
+    special: the [occurrence]-th segment append is torn (a seeded
+    prefix of the frame is written) before the kill. *)
+
+val disarm : unit -> unit
+(** Disable all injection and reset occurrence counters. *)
+
+val crash_points : string list
+(** Every declared crash point, in the order a build hits them:
+    [segment.tear], [segment.append.after], [segment.seal.before],
+    [segment.seal.after], [index.rename.before], [index.rename.after],
+    [manifest.rename.before], [manifest.rename.after].  The recovery
+    matrix kills at each of these and asserts byte-identical results
+    after recovery. *)
+
+(** {2 Hooks (called by the store layers)} *)
+
+type action =
+  | Pass                               (** write the frame as planned *)
+  | Prefix of { len : int; crash : bool }
+      (** write only the first [len] bytes; kill afterwards if [crash] *)
+  | Flip of { offset : int }           (** flip one bit at byte [offset] *)
+
+val plan_write : op:string -> len:int -> action
+(** Decide the fate of a [len]-byte write for operation [op]
+    (["segment.append"], ["segment.seal"], ["manifest.write"],
+    ["index.write"]).  Pure in [(seed, op, attempt)]; each call
+    advances the op's attempt counter. *)
+
+val point : string -> unit
+(** Declare passage through a named crash point; raises {!Crashed} when
+    an armed kill matches. *)
+
+val flip_bit_in_file : seed:int -> string -> int
+(** Test helper: flip one seeded bit of an existing file in place
+    (never inside the first 16 header bytes when the file is longer
+    than 32 bytes, so header-vs-payload corruption stays distinct).
+    Returns the byte offset flipped. *)

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected) over strings.
+
+    Used for per-record integrity framing in {!Segment}: cheap enough
+    to verify on every read, strong enough to catch the bit flips and
+    torn writes {!Chaos} injects.  Values are returned masked to 32
+    bits in a native [int]. *)
+
+val string : string -> int
+(** [string s] is the CRC-32 of all of [s]. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes of [s] starting at [pos]. *)

@@ -1,0 +1,30 @@
+(** Persistent indexes: sealed, sorted text multimaps from a key
+    (issuer org, lint name, flaw class, domain label, U-label) to the
+    corpus indices of matching certificates.
+
+    Format, following the [Ctlog.Wire] sealed-line idiom:
+
+    {v
+      USTOREIDX1
+      <key>\t<i1>,<i2>,...
+      ...
+      end <sha256 hex of every preceding byte>
+    v}
+
+    Keys are percent-encoded (['%'], tab, newline, CR, controls), lines
+    are sorted by encoded key, and the trailing seal makes truncation
+    or edits detectable.  Files are committed atomically via
+    {!Atomicf} across the ["index.rename.*"] crash points. *)
+
+val save : dir:string -> name:string -> (string * int list) list -> string * string
+(** [save ~dir ~name entries] writes [name ^ ".idx"], sorting entries
+    by key and indices ascending, and returns [(file, sha_hex)] for
+    the manifest.  Duplicate keys are merged. *)
+
+val load : dir:string -> file:string -> ((string * int list) list, string) result
+(** Load and verify a sealed index file ([Error] on a missing seal,
+    digest mismatch, or malformed line). *)
+
+val sha_hex : dir:string -> file:string -> (string, string) result
+(** The seal digest an intact file carries — what fsck compares against
+    the manifest without decoding entries. *)

@@ -176,15 +176,62 @@ let test_checkpoint_roundtrip () =
       check
         Alcotest.(list (pair string int))
         "state" [ ("a", 1); ("b", 2) ] c'.Faults.Checkpoint.state);
-  (* Garbage and missing files load as None, never raise. *)
-  let oc = open_out file in
-  output_string oc "not a checkpoint at all";
-  close_out oc;
-  check Alcotest.bool "garbage loads as None" true
-    ((Faults.Checkpoint.load file : int Faults.Checkpoint.t option) = None);
+  (* A present-but-wrong file is a loud validation error; only a
+     missing file means "no checkpoint". *)
+  let expect_invalid what contents =
+    let oc = open_out file in
+    output_string oc contents;
+    close_out oc;
+    match (Faults.Checkpoint.load file : int Faults.Checkpoint.t option) with
+    | _ -> Alcotest.failf "%s did not raise Invalid" what
+    | exception Faults.Checkpoint.Invalid msg ->
+        check Alcotest.bool
+          (what ^ " message names the file")
+          true
+          (String.length msg > String.length file)
+  in
+  expect_invalid "garbage" "not a checkpoint at all";
+  expect_invalid "old format" "UNICERT-CKPT1\nleftover payload";
+  expect_invalid "future version"
+    "UNICERT-CKPT2\nv999\n\x00\x01\x02\x03\x04\x05\x06\x07";
+  expect_invalid "truncated" "UNICERT-CKPT2\n";
   Sys.remove file;
   check Alcotest.bool "missing loads as None" true
     ((Faults.Checkpoint.load file : int Faults.Checkpoint.t option) = None)
+
+let test_stale_cursors () =
+  let dir = Filename.temp_file "unicert-stale" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let base = Filename.concat dir "ckpt.bin" in
+  let touch f =
+    let oc = open_out f in
+    close_out oc
+  in
+  List.iter touch
+    [ Faults.Checkpoint.shard_file base 0;
+      Faults.Checkpoint.shard_file base 1;
+      Faults.Checkpoint.shard_file base 5;
+      base ^ ".fetch0";
+      base ^ ".fetch3";
+      base ^ ".shardX" (* non-numeric: never stale *) ];
+  let stale = Faults.Checkpoint.stale_cursors base ~active:2 in
+  check
+    Alcotest.(list string)
+    "k >= active detected"
+    [ base ^ ".fetch3"; base ^ ".shard5" ]
+    stale;
+  let removed = Faults.Checkpoint.remove_stale base ~active:2 in
+  check Alcotest.(list string) "removed what was listed" stale removed;
+  check Alcotest.bool "live cursors kept" true
+    (Sys.file_exists (Faults.Checkpoint.shard_file base 1));
+  check Alcotest.bool "stale gone" false (Sys.file_exists (base ^ ".shard5"));
+  check
+    Alcotest.(list string)
+    "idempotent" []
+    (Faults.Checkpoint.remove_stale base ~active:2);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
 
 (* --- circuit breaker -------------------------------------------------- *)
 
@@ -443,6 +490,7 @@ let suite =
     qtest parse_totality;
     Alcotest.test_case "quarantine roundtrip" `Quick test_quarantine_roundtrip;
     Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "stale cursors" `Quick test_stale_cursors;
     Alcotest.test_case "circuit breaker" `Quick test_breaker;
     Alcotest.test_case "injector" `Quick test_injector;
     Alcotest.test_case "injector specs" `Quick test_injector_spec;

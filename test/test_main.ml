@@ -21,4 +21,5 @@ let () =
       ("par", Test_par.suite);
       ("net", Test_net.suite);
       ("trace", Test_trace.suite);
+      ("store", Test_store.suite);
     ]
