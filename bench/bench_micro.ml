@@ -5,7 +5,7 @@ open Bechamel
 open Toolkit
 
 let sample_cert =
-  let kp = X509.Certificate.mock_keypair ~seed:"bench-ca" in
+  let kp = X509.Certificate.mock_keypair ~seed:"bench-ca" () in
   let tbs =
     X509.Certificate.make_tbs
       ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "Bench CA") ])

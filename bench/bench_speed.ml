@@ -71,6 +71,18 @@ let measure () =
   done;
   (!best, !best_stages, !best_traced)
 
+(* Min-of-[runs] wall for a sharded pass at [jobs] domains — recorded
+   only on multicore hosts, where the parallel row is meaningful. *)
+let measure_parallel jobs =
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (Unicert.Pipeline.run ~scale ~seed:1 ~jobs ()));
+    let wall = Unix.gettimeofday () -. t0 in
+    if wall < !best then best := wall
+  done;
+  !best
+
 let () =
   let out =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_speed.json"
@@ -86,6 +98,27 @@ let () =
   let share s = 100. *. s /. wall in
   let overhead_pct = 100. *. (wall_traced -. wall) /. wall in
   let cores = Domain.recommended_domain_count () in
+  (* The engine-interface fingerprint: @speed-smoke fails when the
+     recorded baseline no longer matches the live lint registry. *)
+  let signature = Ucrypto.Sha256.hex (Unicert.Pipeline.lints_signature ()) in
+  (* jobs=N row: only meaningful (and only recorded) on hosts with
+     more than one core. *)
+  let parallel_json =
+    if cores <= 1 then ""
+    else begin
+      let pwall = measure_parallel cores in
+      Printf.sprintf
+        "  \"parallel\": {\n\
+        \    \"jobs\": %d,\n\
+        \    \"wall_seconds\": %.4f,\n\
+        \    \"certs_per_sec\": %.1f,\n\
+        \    \"speedup_vs_sequential\": %.2f\n\
+        \  },\n"
+        cores pwall
+        (float_of_int scale /. pwall)
+        (wall /. pwall)
+    end
+  in
   let oc = open_out out in
   Printf.fprintf oc
     "{\n\
@@ -93,7 +126,9 @@ let () =
     \  \"scale\": %d,\n\
     \  \"runs\": %d,\n\
     \  \"aggregation\": \"min of runs, wall clock; stage seconds from the unicert_span_seconds deltas of the best run\",\n\
+    \  \"lints_signature_sha256\": \"%s\",\n\
     \  \"recommended_domain_count\": %d,\n\
+    %s\
     \  \"wall_seconds\": %.4f,\n\
     \  \"certs_per_sec\": %.1f,\n\
     \  \"stage_seconds\": {\n\
@@ -112,12 +147,12 @@ let () =
     \    \"aggregate\": %.1f\n\
     \  },\n\
     \  \"decode_lint_share_pct\": %.1f,\n\
-    \  \"optimization_target\": \"decode+lint: the ROADMAP item 3 rewrite (zero-copy ASN.1, fused analysis passes) is gated on moving this share\",\n\
+    \  \"optimization_target\": \"decode+lint under the fused fact-table engine (DESIGN.md 12); re-record after engine-interface changes or @speed-smoke fails\",\n\
     \  \"traced_wall_seconds\": %.4f,\n\
     \  \"trace_overhead_pct\": %.2f,\n\
     \  \"trace_overhead_budget_pct\": 5.0\n\
      }\n"
-    scale runs cores wall certs_per_sec (stage_of "generate")
+    scale runs signature cores parallel_json wall certs_per_sec (stage_of "generate")
     (stage_of "decode") (stage_of "lint") (stage_of "classify")
     (stage_of "aggregate")
     (Float.max 0. (wall -. staged_total))

@@ -9,7 +9,7 @@ module Monitor = Monitors.Monitor
 let () =
   (* 1. A CT log with genuine Merkle machinery. *)
   let log = Ctlog.Log.create ~name:"example-log-2025" in
-  let ca = X509.Certificate.mock_keypair ~seed:"monitor-example-ca" in
+  let ca = X509.Certificate.mock_keypair ~seed:"monitor-example-ca" () in
   let issue domains cn =
     let tbs =
       X509.Certificate.make_tbs

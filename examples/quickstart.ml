@@ -5,8 +5,8 @@
 
 let () =
   (* 1. Create an issuing CA key and a leaf key. *)
-  let ca_key = X509.Certificate.mock_keypair ~seed:"quickstart-ca" in
-  let leaf_key = X509.Certificate.mock_keypair ~seed:"quickstart-leaf" in
+  let ca_key = X509.Certificate.mock_keypair ~seed:"quickstart-ca" () in
+  let leaf_key = X509.Certificate.mock_keypair ~seed:"quickstart-leaf" () in
 
   (* 2. Describe the subject: a German bookshop with an IDN. *)
   let domain_utf8 = "b\xC3\xBCcher-m\xC3\xBCller.de" in

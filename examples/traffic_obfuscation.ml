@@ -26,7 +26,7 @@ let () =
      captured and inspected. *)
   print_newline ();
   print_endline "== Wire-level inspection (TLS 1.2 handshake capture) ==";
-  let issuer_kp = X509.Certificate.mock_keypair ~seed:"wire-demo-ca" in
+  let issuer_kp = X509.Certificate.mock_keypair ~seed:"wire-demo-ca" () in
   let server_cert org =
     let tbs =
       X509.Certificate.make_tbs

@@ -24,7 +24,17 @@ let of_string_exn s =
   | None -> invalid_arg (Printf.sprintf "Oid.of_string_exn: %S" s)
 
 let compare = Stdlib.compare
-let equal a b = compare a b = 0
+
+(* Well-known OIDs are interned at module-init time (see [register]),
+   so the hot comparisons in extension and DN decoding short-circuit on
+   physical equality. *)
+let equal a b = a == b || compare a b = 0
+
+(* Intern table.  [register] may only be called during module
+   initialisation (single-threaded by construction), which leaves the
+   table read-only — and therefore safe under [Par] domains — for the
+   whole run.  [intern] never mutates. *)
+let intern_tbl : (t, t) Hashtbl.t = Hashtbl.create 64
 
 (* Base-128 with high bit as continuation. *)
 let encode_arc buf n =
@@ -42,7 +52,7 @@ let encode_arc buf n =
     emit parts
   end
 
-let encode oid =
+let encode_uncached oid =
   match oid with
   | a :: b :: rest ->
       let buf = Buffer.create 8 in
@@ -50,6 +60,27 @@ let encode oid =
       List.iter (encode_arc buf) rest;
       Buffer.contents buf
   | [ _ ] | [] -> invalid_arg "Oid.encode: at least two arcs required"
+
+(* DER content octets for every registered OID, computed once at
+   registration (module init) — certificate emission re-encodes the
+   same dozen algorithm/extension OIDs for every certificate. *)
+let encoded_tbl : (t, string) Hashtbl.t = Hashtbl.create 64
+
+let register oid =
+  match Hashtbl.find_opt intern_tbl oid with
+  | Some o -> o
+  | None ->
+      Hashtbl.replace intern_tbl oid oid;
+      Hashtbl.replace encoded_tbl oid (encode_uncached oid);
+      oid
+
+let intern oid =
+  match Hashtbl.find_opt intern_tbl oid with Some o -> o | None -> oid
+
+let encode oid =
+  match Hashtbl.find_opt encoded_tbl oid with
+  | Some s -> s
+  | None -> encode_uncached oid
 
 (* An arc longer than 9 base-128 bytes cannot fit a 63-bit int; the
    old accumulator would silently overflow instead of rejecting. *)
@@ -77,4 +108,4 @@ let decode content =
     | Ok (first :: rest) ->
         let a = if first < 40 then 0 else if first < 80 then 1 else 2 in
         let b = first - (a * 40) in
-        Ok (a :: b :: rest)
+        Ok (intern (a :: b :: rest))

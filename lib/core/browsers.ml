@@ -200,7 +200,7 @@ let table14 () = List.map probe all
 
 type spoof = { browser : string; crafted : string; displayed : string; spoofed : bool }
 
-let issuer_key = X509.Certificate.mock_keypair ~seed:"browser-demo-ca"
+let issuer_key = X509.Certificate.mock_keypair ~seed:"browser-demo-ca" ()
 
 let warning_spoof_demo () =
   let tbs =

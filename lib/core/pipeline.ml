@@ -175,7 +175,45 @@ type timer = { timed : 'a. string -> (unit -> 'a) -> 'a }
 
 let no_timer = { timed = (fun _ f -> f ()) }
 
-let row_of_entry ~timer (entry : Ctlog.Dataset.entry) ~index =
+(* Fused-engine §5.1 scan: the strict per-ATV decode outcome is already
+   in the fact table ([cps = None] for a string-typed ATV is exactly
+   [Asn1.Str_type.decode_value] failing), and the SAN names and
+   explicitText payloads were extracted by the same single parse. *)
+let encoding_error_fields_of_ctx (ctx : Lint.Ctx.t) =
+  let subject =
+    List.exists
+      (fun (info : Lint.Ctx.atv_info) ->
+        match info.Lint.Ctx.atv.X509.Dn.value with
+        | Asn1.Value.Str _ -> info.Lint.Ctx.cps = None
+        | _ -> false)
+      ctx.Lint.Ctx.subject
+  in
+  let san =
+    List.exists
+      (fun s -> not (Unicode.Codec.well_formed_utf8 s) && String.exists (fun c -> Char.code c > 0x7F) s)
+      (Lint.Ctx.san_dns ctx)
+  in
+  let policies =
+    match ctx.Lint.Ctx.policies with
+    | None -> false
+    | Some (Error _) -> true
+    | Some (Ok _) ->
+        List.exists
+          (fun (st, raw) -> Result.is_error (Asn1.Str_type.decode_value st raw))
+          ctx.Lint.Ctx.etexts
+  in
+  (subject, san, policies)
+
+(* The retained reference engine: every stage re-derives its own facts
+   from the certificate (the pre-fusion behavior).  Selected with
+   UNICERT_ENGINE=reference; the differential test drives both engines
+   and asserts byte-identical reports. *)
+let reference_engine =
+  ref (Sys.getenv_opt "UNICERT_ENGINE" = Some "reference")
+
+let use_reference_engine b = reference_engine := b
+
+let row_of_entry_reference ~timer (entry : Ctlog.Dataset.entry) ~index =
   let timed = timer.timed in
   let cert = entry.Ctlog.Dataset.cert in
   let issuer = entry.Ctlog.Dataset.issuer in
@@ -231,6 +269,69 @@ let row_of_entry ~timer (entry : Ctlog.Dataset.entry) ~index =
       r_domains = X509.Certificate.san_dns_names cert;
     },
     nc )
+
+(* The fused engine: one decode builds the fact table under the parse
+   span, and the lint, classify and encoding-error stages are lookups
+   over it.  Must produce rows byte-identical to
+   {!row_of_entry_reference}. *)
+let row_of_entry_fused ~timer (entry : Ctlog.Dataset.entry) ~index =
+  let timed = timer.timed in
+  let cert = entry.Ctlog.Dataset.cert in
+  let issuer = entry.Ctlog.Dataset.issuer in
+  let issued = entry.Ctlog.Dataset.issued in
+  let trusted = issuer.Ctlog.Dataset.trust_at_issuance = Ctlog.Dataset.Public in
+  let alive =
+    Asn1.Time.(recent_start <= fst cert.X509.Certificate.tbs.X509.Certificate.not_after)
+    && Asn1.Time.(fst cert.X509.Certificate.tbs.X509.Certificate.not_before
+                  <= Ctlog.Dataset.analysis_date)
+  in
+  let ctx, (enc_subject, enc_san, enc_policies) =
+    timed "decode" (fun () ->
+        Obs.Span.with_ "parse" (fun () ->
+            let ctx = Lint.Ctx.of_cert cert in
+            (ctx, encoding_error_fields_of_ctx ctx)))
+  in
+  let nc =
+    timed "lint" (fun () ->
+        Lint.Registry.run_ctx ~respect_effective_dates:false ~issued ctx)
+    |> List.filter_map (fun (f : Lint.finding) ->
+           if Lint.is_noncompliant f then Some f.Lint.lint else None)
+  in
+  let ufields =
+    timed "classify" (fun () ->
+        Obs.Span.with_ "classify" (fun () ->
+            Classify.unicode_fields_of_ctx ctx))
+    |> List.filter_map (fun (field, beyond) -> if beyond then Some field else None)
+  in
+  let enc_verified =
+    (enc_subject || enc_san || enc_policies)
+    && trusted
+    && X509.Certificate.verify
+         ~issuer_spki:(X509.Certificate.keypair_spki issuer.Ctlog.Dataset.keypair)
+         cert
+  in
+  let year_end = Asn1.Time.make issued.Asn1.Time.year 12 31 in
+  ( {
+      r_index = index;
+      r_org = issuer.Ctlog.Dataset.org;
+      r_issued = issued;
+      r_is_idn = entry.Ctlog.Dataset.is_idn;
+      r_alive = alive;
+      r_valid_year_end = X509.Certificate.is_valid_at cert year_end;
+      r_validity_days = X509.Certificate.validity_days cert;
+      r_ufields = ufields;
+      r_enc_subject = enc_subject;
+      r_enc_san = enc_san;
+      r_enc_policies = enc_policies;
+      r_enc_verified = enc_verified;
+      r_nc = List.map (fun (l : Lint.t) -> l.Lint.name) nc;
+      r_domains = Lint.Ctx.san_dns ctx;
+    },
+    nc )
+
+let row_of_entry ~timer entry ~index =
+  if !reference_engine then row_of_entry_reference ~timer entry ~index
+  else row_of_entry_fused ~timer entry ~index
 
 (* Fold one row into the aggregate.  [nc] is the row's NC lint records
    (ignoring dates); callers replaying stored rows rehydrate it with

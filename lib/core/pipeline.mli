@@ -187,3 +187,14 @@ val top_lints : t -> (string * int) list
 val top_issuers_by_nc : t -> (string * issuer_stats) list
 (** Issuer organizations ordered by noncompliant certificates
     (Table 2). *)
+
+val use_reference_engine : bool -> unit
+(** Select the retained pre-fusion engine ([true]) or the fused
+    fact-table engine ([false], the default) for subsequent {!run}
+    calls.  The initial value honours [UNICERT_ENGINE=reference].
+    Both engines must render byte-identical reports — the differential
+    smoke test drives them back to back through this switch. *)
+
+val lints_signature : unit -> string
+(** Registry-order lint names joined with [";"] — the engine-interface
+    fingerprint stores and recorded benchmarks are validated against. *)

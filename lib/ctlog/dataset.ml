@@ -35,7 +35,7 @@ let mk ~org ~region ~trust_now ?trust_at_issuance ~volume ~nc_rate ?(nc_decay = 
     years;
     flaw_mix;
     aggregate;
-    keypair = X509.Certificate.mock_keypair ~seed:("issuer:" ^ org);
+    keypair = X509.Certificate.mock_keypair ~signer:true ~seed:("issuer:" ^ org) ();
   }
 
 (* Shorthand flaw mixes. *)
@@ -188,11 +188,21 @@ type entry = {
 let default_scale = 60_000
 let analysis_date = Asn1.Time.make 2025 4 30
 
-let issuer_dn issuer =
+let issuer_dn_uncached issuer =
   X509.Dn.of_list
     [ (X509.Attr.Country_name, if String.length issuer.region = 2 then issuer.region else "US");
       (X509.Attr.Organization_name, issuer.org);
       (X509.Attr.Common_name, issuer.org ^ " TLS CA") ]
+
+(* Issuer DNs are pure functions of the (fixed) issuer table; built
+   eagerly at module init so the per-certificate path only does an
+   assoc lookup, and the list stays read-only under [Par] domains. *)
+let issuer_dns = List.map (fun i -> (i.org, issuer_dn_uncached i)) issuers
+
+let issuer_dn issuer =
+  match List.assoc_opt issuer.org issuer_dns with
+  | Some dn -> dn
+  | None -> issuer_dn_uncached issuer
 
 let sample_year g issuer =
   let y0, y1, growth = issuer.years in
@@ -267,32 +277,39 @@ let sample_flaws g issuer =
   end
   else [ first ]
 
+(* Extensions whose payload never varies across certificates, built
+   (and DER-encoded) exactly once at module init.  Extension values are
+   immutable records, so sharing one across every certificate is safe
+   — re-encoding the same AIA for each of 60k certs was measurable. *)
+let ext_key_usage = X509.Extension.key_usage 0x05
+
+let ext_aia =
+  X509.Extension.authority_info_access
+    [ (X509.Extension.Oids.ocsp, X509.General_name.Uri "http://ocsp.example-ca.test");
+      (X509.Extension.Oids.ca_issuers,
+       X509.General_name.Uri "http://certs.example-ca.test/ca.crt") ]
+
+let ext_ian =
+  X509.Extension.issuer_alt_name [ X509.General_name.Uri "http://www.example-ca.test" ]
+
+let ext_sia =
+  X509.Extension.subject_info_access
+    [ (X509.Extension.Oids.ca_issuers,
+       X509.General_name.Uri "http://repository.example-ca.test") ]
+
 let build_cert g issuer (spec : Flaws.spec) ~issued ~validity ~serial =
   let extensions =
-    [ X509.Extension.subject_alt_name spec.Flaws.san;
-      X509.Extension.key_usage 0x05;
-      X509.Extension.authority_info_access
-        [ (X509.Extension.Oids.ocsp, X509.General_name.Uri "http://ocsp.example-ca.test");
-          (X509.Extension.Oids.ca_issuers,
-           X509.General_name.Uri "http://certs.example-ca.test/ca.crt") ] ]
+    [ X509.Extension.subject_alt_name spec.Flaws.san; ext_key_usage; ext_aia ]
     @ (if spec.Flaws.policies = [] then []
        else [ X509.Extension.certificate_policies spec.Flaws.policies ])
     @ (if spec.Flaws.crldp = [] then []
        else [ X509.Extension.crl_distribution_points spec.Flaws.crldp ])
     (* A minority of issuers also populate IAN / SIA, so those fields
        appear in the Figure 4 field survey. *)
-    @ (if Ucrypto.Prng.float g < 0.06 then
-         [ X509.Extension.issuer_alt_name
-             [ X509.General_name.Uri "http://www.example-ca.test" ] ]
-       else [])
-    @
-    if Ucrypto.Prng.float g < 0.03 then
-      [ X509.Extension.subject_info_access
-          [ (X509.Extension.Oids.ca_issuers,
-             X509.General_name.Uri "http://repository.example-ca.test") ] ]
-    else []
+    @ (if Ucrypto.Prng.float g < 0.06 then [ ext_ian ] else [])
+    @ if Ucrypto.Prng.float g < 0.03 then [ ext_sia ] else []
   in
-  let leaf_key = X509.Certificate.mock_keypair ~seed:("leaf:" ^ serial) in
+  let leaf_key = X509.Certificate.mock_keypair ~seed:("leaf:" ^ serial) () in
   let tbs =
     X509.Certificate.make_tbs ~serial
       ~issuer:(issuer_dn issuer)

@@ -4,14 +4,17 @@ type entry = { index : int; der : string; precert : bool }
 type t = {
   id : string;
   secret : string;
+  mac : Ucrypto.Sha256.hmac_key;  (* precomputed midstates for [secret] *)
   tree : Merkle.t;
   mutable stored : entry list;  (* newest first *)
 }
 
 let create ~name =
+  let secret = Ucrypto.Sha256.digest ("ct-log-secret:" ^ name) in
   {
     id = Ucrypto.Sha256.digest ("ct-log:" ^ name);
-    secret = Ucrypto.Sha256.digest ("ct-log-secret:" ^ name);
+    secret;
+    mac = Ucrypto.Sha256.hmac_init secret;
     tree = Merkle.create ();
     stored = [];
   }
@@ -27,7 +30,7 @@ let add_chain t ?(precert = false) der =
   {
     log_id = t.id;
     timestamp = index;
-    signature = Ucrypto.Sha256.hmac ~key:t.secret (string_of_int index ^ leaf);
+    signature = Ucrypto.Sha256.hmac_with t.mac (string_of_int index ^ leaf);
   }
 
 let verify_sct t ~der sct =
@@ -37,7 +40,7 @@ let verify_sct t ~der sct =
   let cert_leaf = leaf_bytes ~precert:false der in
   let check leaf =
     String.equal sct.signature
-      (Ucrypto.Sha256.hmac ~key:t.secret (string_of_int sct.timestamp ^ leaf))
+      (Ucrypto.Sha256.hmac_with t.mac (string_of_int sct.timestamp ^ leaf))
   in
   check precert_leaf || check cert_leaf
 

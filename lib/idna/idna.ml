@@ -40,7 +40,7 @@ let () =
 let is_noncharacter cp =
   (cp >= 0xFDD0 && cp <= 0xFDEF) || cp land 0xFFFE = 0xFFFE
 
-let property cp =
+let property_classify cp =
   if Unicode.Props.is_ascii_lower cp || Unicode.Props.is_ascii_digit cp
      || cp = Char.code '-'
   then Pvalid
@@ -58,6 +58,17 @@ let property cp =
     | Some b when Hashtbl.mem symbol_blocks b.Unicode.Blocks.name -> Disallowed
     | Some _ -> Pvalid
     | None -> Disallowed
+
+(* Flat BMP property table: the block search + symbol-name hash probe
+   collapse to one array load per code point on the per-label hot path.
+   The variant values (including the [Mapped] boxes for A–Z) are
+   allocated once at single-threaded module init; the table is
+   read-only afterwards. *)
+let bmp_property = Array.init 0x10000 property_classify
+
+let property cp =
+  if cp lsr 16 = 0 then Array.unsafe_get bmp_property cp
+  else property_classify cp
 
 type issue =
   | Malformed_punycode of string

@@ -17,7 +17,14 @@ module Dns : module type of Dns
 type property = Pvalid | Disallowed | Mapped of Unicode.Cp.t
 
 val property : Unicode.Cp.t -> property
-(** [property cp] is the (approximated) IDNA2008 derived property. *)
+(** [property cp] is the (approximated) IDNA2008 derived property.
+    BMP lookups hit a flat direct-index table; astral code points are
+    classified on the fly. *)
+
+val property_classify : Unicode.Cp.t -> property
+(** The block-search reference implementation of {!property}; the flat
+    BMP table is generated from it and tested against it
+    exhaustively. *)
 
 type issue =
   | Malformed_punycode of string     (** A-label that cannot decode. *)

@@ -1,3 +1,5 @@
+let smtputf8_oid = Asn1.Oid.register (Asn1.Oid.of_string_exn "1.3.6.1.5.5.7.8.9")
+
 let rfc5280_date = Asn1.Time.make 2008 5 1
 let idna2008_date = Asn1.Time.make 2010 8 1
 let cab_br_date = Asn1.Time.make 2012 7 1
@@ -16,22 +18,15 @@ let emit level details =
 
 let describe_cp = Unicode.Cp.to_string
 
-let values_of infos attrs =
-  List.filter_map
-    (fun (info : Ctx.atv_info) ->
-      let keep =
-        match attrs with None -> true | Some l -> List.mem info.Ctx.atv.X509.Dn.typ l
-      in
-      if not keep then None
-      else
-        match info.Ctx.atv.X509.Dn.value with
-        | Asn1.Value.Str (st, raw) ->
-            Some (info.Ctx.atv.X509.Dn.typ, st, raw, info.Ctx.lenient_cps)
-        | _ -> None)
-    infos
+let values_of vals attrs =
+  match attrs with
+  | None -> vals
+  | Some l -> List.filter (fun (v : Ctx.aval) -> List.mem v.Ctx.a_attr l) vals
 
-let subject_values ?attrs ctx = values_of ctx.Ctx.subject attrs
-let issuer_values ?attrs ctx = values_of ctx.Ctx.issuer attrs
+let subject_values ?attrs ctx = values_of ctx.Ctx.subject_vals attrs
+let issuer_values ?attrs ctx = values_of ctx.Ctx.issuer_vals attrs
+
+let all_values ctx = ctx.Ctx.all_vals
 
 let declared_type (atv : X509.Dn.atv) =
   match atv.X509.Dn.value with Asn1.Value.Str (st, _) -> Some st | _ -> None

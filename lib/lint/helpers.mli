@@ -1,5 +1,8 @@
 (** Shared building blocks for the concrete lints. *)
 
+val smtputf8_oid : Asn1.Oid.t
+(** id-on-smtpUTF8Mailbox (1.3.6.1.5.5.7.8.9), interned once. *)
+
 (** {1 Effective dates} *)
 
 (* rfc5280 2008-05, idna2008 2010-08, cab_br 2012-07, community 2015-01,
@@ -23,13 +26,15 @@ val describe_cp : Unicode.Cp.t -> string
 
 (** {1 ATV iteration} *)
 
-val subject_values :
-  ?attrs:X509.Attr.t list -> Ctx.t -> (X509.Attr.t * Asn1.Str_type.t * string * Unicode.Cp.t array) list
-(** [(attr, declared type, raw bytes, lenient cps)] for subject string
-    ATVs, optionally restricted to [attrs]. *)
+val subject_values : ?attrs:X509.Attr.t list -> Ctx.t -> Ctx.aval list
+(** Precomputed fact records for subject string ATVs, optionally
+    restricted to [attrs]. *)
 
-val issuer_values :
-  ?attrs:X509.Attr.t list -> Ctx.t -> (X509.Attr.t * Asn1.Str_type.t * string * Unicode.Cp.t array) list
+val issuer_values : ?attrs:X509.Attr.t list -> Ctx.t -> Ctx.aval list
+
+val all_values : Ctx.t -> Ctx.aval list
+(** Subject then issuer fact records (the precomputed concatenation —
+    no per-lint list building). *)
 
 val declared_type : X509.Dn.atv -> Asn1.Str_type.t option
 

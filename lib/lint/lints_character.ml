@@ -1,29 +1,44 @@
 (* T1 — Invalid Character lints: weak character-range validation in
    certificate fields (paper §4.3.1).  22 lints, 10 of them the paper's
-   new Unicode-specific checks. *)
+   new Unicode-specific checks.
+
+   Each lint guards on the per-value property mask (Ctx.aval.a_mask)
+   before walking code points: the mask ORs every class bit present in
+   the value, so a zero [land] proves no code point can match and the
+   walk — and its allocations — are skipped entirely. *)
 
 open Types
 open Helpers
 
-let subject_control_chars name description ~pred ~level ~source ~is_new ~effective =
+let subject_control_chars name description ~bits ~pred ~level ~source ~is_new
+    ~effective =
   mk ~name ~description ~source ~level ~nc_type:Invalid_character ~is_new ~effective
     (fun ctx ->
       let bad =
         List.concat_map
-          (fun (attr, _, _, cps) ->
-            Array.to_list cps
-            |> List.filter pred
-            |> List.map (fun cp ->
-                   Printf.sprintf "%s contains %s" (X509.Attr.name attr) (describe_cp cp)))
+          (fun (v : Ctx.aval) ->
+            if v.Ctx.a_mask land bits = 0 then []
+            else
+              Array.to_list v.Ctx.a_cps
+              |> List.filter pred
+              |> List.map (fun cp ->
+                     Printf.sprintf "%s contains %s" (X509.Attr.name v.Ctx.a_attr)
+                       (describe_cp cp)))
           (subject_values ctx)
       in
       emit level bad)
 
 let dnsname_lint name description ~source ~level ~is_new ~effective check =
   mk ~name ~description ~source ~level ~nc_type:Invalid_character ~is_new ~effective
-    (fun ctx ->
-      let names = Ctx.dns_names ctx in
-      emit level (List.concat_map check names))
+    (fun ctx -> emit level (List.concat_map check ctx.Ctx.dns_facts))
+
+(* Walk a value's code points only when the mask says [bits] occur. *)
+let masked_st_lint ~st ~bits ~pred ~fmt (v : Ctx.aval) =
+  if v.Ctx.a_st <> st || v.Ctx.a_mask land bits = 0 then []
+  else
+    Array.to_list v.Ctx.a_cps
+    |> List.filter pred
+    |> List.map (fun cp -> fmt (X509.Attr.name v.Ctx.a_attr) (describe_cp cp))
 
 let lints : Types.t list =
   [
@@ -32,6 +47,7 @@ let lints : Types.t list =
     subject_control_chars "e_rfc_subject_dn_not_printable_characters"
       "Subject DN values must not contain non-printable control characters \
        (NUL, ESC, DEL, other C0 codes)."
+      ~bits:(Unicode.Props.m_c0 lor Unicode.Props.m_del)
       ~pred:(fun cp -> Unicode.Props.is_c0_control cp || Unicode.Props.is_del cp)
       ~level:Must ~source:Community ~is_new:false ~effective:community_date;
     mk ~name:"e_rfc_subject_printable_string_badalpha"
@@ -42,15 +58,11 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.concat_map
-            (fun (attr, st, _, cps) ->
-              if st <> Asn1.Str_type.Printable_string then []
-              else
-                Array.to_list cps
-                |> List.filter (fun cp -> not (Unicode.Props.is_printable_string_char cp))
-                |> List.map (fun cp ->
-                       Printf.sprintf "%s PrintableString contains %s" (X509.Attr.name attr)
-                         (describe_cp cp)))
-            (subject_values ctx @ issuer_values ctx)
+            (masked_st_lint ~st:Asn1.Str_type.Printable_string
+               ~bits:Unicode.Props.m_not_printable
+               ~pred:(fun cp -> not (Unicode.Props.is_printable_string_char cp))
+               ~fmt:(Printf.sprintf "%s PrintableString contains %s"))
+            (all_values ctx)
         in
         emit Must bad);
     mk ~name:"w_community_subject_dn_trailing_whitespace"
@@ -60,10 +72,11 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.filter_map
-            (fun (attr, _, _, cps) ->
+            (fun (v : Ctx.aval) ->
+              let cps = v.Ctx.a_cps in
               let n = Array.length cps in
               if n > 0 && Unicode.Props.is_whitespace cps.(n - 1) then
-                Some (X509.Attr.name attr ^ " has trailing whitespace")
+                Some (X509.Attr.name v.Ctx.a_attr ^ " has trailing whitespace")
               else None)
             (subject_values ctx)
         in
@@ -75,9 +88,10 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.filter_map
-            (fun (attr, _, _, cps) ->
+            (fun (v : Ctx.aval) ->
+              let cps = v.Ctx.a_cps in
               if Array.length cps > 0 && Unicode.Props.is_whitespace cps.(0) then
-                Some (X509.Attr.name attr ^ " has leading whitespace")
+                Some (X509.Attr.name v.Ctx.a_attr ^ " has leading whitespace")
               else None)
             (subject_values ctx)
         in
@@ -85,23 +99,23 @@ let lints : Types.t list =
     dnsname_lint "e_rfc_dns_idn_malformed_unicode"
       "IDN A-labels in DNSNames must decode to Unicode via Punycode."
       ~source:Rfc8399 ~level:Must ~is_new:false ~effective:rfc8399_date
-      (fun name ->
+      (fun fact ->
         List.filter_map
-          (fun l ->
+          (fun (l, issues) ->
             match
               List.find_opt
                 (function Idna.Malformed_punycode _ -> true | _ -> false)
-                (Idna.alabel_issues l)
+                issues
             with
             | Some (Idna.Malformed_punycode m) ->
                 Some (Printf.sprintf "label %S: %s" l m)
             | _ -> None)
-          (a_labels name));
+          fact.Ctx.d_alabels);
     dnsname_lint "e_cab_dns_bad_character_in_label"
       "DNSName labels must use only letters, digits and hyphens."
       ~source:Cab_br ~level:Must ~is_new:false ~effective:cab_br_date
-      (fun name ->
-        Idna.Dns.check name
+      (fun fact ->
+        fact.Ctx.d_dns
         |> List.filter_map (function
              | Idna.Dns.Bad_character (l, cp) when cp < 0x80 ->
                  Some (Printf.sprintf "label %S contains %s" l (describe_cp cp))
@@ -112,20 +126,21 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.concat_map
-            (fun (attr, st, raw, _) ->
-              if st <> Asn1.Str_type.Ia5_string then []
+            (fun (v : Ctx.aval) ->
+              if v.Ctx.a_st <> Asn1.Str_type.Ia5_string || not v.Ctx.a_has_hi then []
               else
-                non_ia5 raw
+                non_ia5 v.Ctx.a_raw
                 |> List.map (fun b ->
                        Printf.sprintf "%s IA5String contains byte 0x%02X"
-                         (X509.Attr.name attr) b))
-            (subject_values ctx @ issuer_values ctx)
+                         (X509.Attr.name v.Ctx.a_attr) b))
+            (all_values ctx)
         in
         emit Must bad);
     dnsname_lint "e_dnsname_contains_whitespace"
       "DNSNames must not contain whitespace."
       ~source:Cab_br ~level:Must ~is_new:false ~effective:cab_br_date
-      (fun name ->
+      (fun fact ->
+        let name = fact.Ctx.d_name in
         if String.exists (fun c -> c = ' ' || c = '\t') name then
           [ Printf.sprintf "%S contains whitespace" name ]
         else []);
@@ -135,15 +150,11 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.concat_map
-            (fun (attr, st, _, cps) ->
-              if st <> Asn1.Str_type.Numeric_string then []
-              else
-                Array.to_list cps
-                |> List.filter (fun cp -> not (Unicode.Props.is_numeric_string_char cp))
-                |> List.map (fun cp ->
-                       Printf.sprintf "%s NumericString contains %s" (X509.Attr.name attr)
-                         (describe_cp cp)))
-            (subject_values ctx @ issuer_values ctx)
+            (masked_st_lint ~st:Asn1.Str_type.Numeric_string
+               ~bits:Unicode.Props.m_not_numeric
+               ~pred:(fun cp -> not (Unicode.Props.is_numeric_string_char cp))
+               ~fmt:(Printf.sprintf "%s NumericString contains %s"))
+            (all_values ctx)
         in
         emit Must bad);
     mk ~name:"e_visible_string_invalid_characters"
@@ -152,21 +163,17 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.concat_map
-            (fun (attr, st, _, cps) ->
-              if st <> Asn1.Str_type.Visible_string then []
-              else
-                Array.to_list cps
-                |> List.filter (fun cp -> not (Unicode.Props.is_visible_string_char cp))
-                |> List.map (fun cp ->
-                       Printf.sprintf "%s VisibleString contains %s" (X509.Attr.name attr)
-                         (describe_cp cp)))
-            (subject_values ctx @ issuer_values ctx)
+            (masked_st_lint ~st:Asn1.Str_type.Visible_string
+               ~bits:Unicode.Props.m_not_visible
+               ~pred:(fun cp -> not (Unicode.Props.is_visible_string_char cp))
+               ~fmt:(Printf.sprintf "%s VisibleString contains %s"))
+            (all_values ctx)
         in
         emit Must bad);
     subject_control_chars "w_subject_dn_del_character"
       "Subject DN values should not contain the DEL (U+007F) character."
-      ~pred:Unicode.Props.is_del ~level:Should_not ~source:Community ~is_new:false
-      ~effective:community_date;
+      ~bits:Unicode.Props.m_del ~pred:Unicode.Props.is_del ~level:Should_not
+      ~source:Community ~is_new:false ~effective:community_date;
     mk ~name:"e_san_rfc822_name_invalid_ascii"
       ~description:"rfc822Name values must be 7-bit ASCII mailboxes (RFC 5280)."
       ~source:Rfc5280 ~level:Must ~nc_type:Invalid_character ~effective:rfc5280_date
@@ -188,10 +195,10 @@ let lints : Types.t list =
       "A-labels must decode to U-labels containing only IDNA2008-permitted \
        code points."
       ~source:Idna2008 ~level:Must ~is_new:true ~effective:idna2008_date
-      (fun name ->
+      (fun fact ->
         List.concat_map
-          (fun l ->
-            Idna.alabel_issues l
+          (fun (l, issues) ->
+            issues
             |> List.filter_map (function
                  | Idna.Unpermitted_char cp ->
                      Some
@@ -200,7 +207,7 @@ let lints : Types.t list =
                  | Idna.Bidi_violation ->
                      Some (Printf.sprintf "label %S violates the Bidi rule" l)
                  | _ -> None))
-          (a_labels name));
+          fact.Ctx.d_alabels);
     mk ~name:"e_ext_san_dns_contain_unpermitted_unichar"
       ~description:
         "SAN DNSNames must not carry raw non-ASCII or disallowed characters; \
@@ -231,26 +238,21 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.concat_map
-            (fun (attr, st, _, cps) ->
-              if st <> Asn1.Str_type.Utf8_string then []
-              else
-                Array.to_list cps
-                |> List.filter Unicode.Props.is_control
-                |> List.map (fun cp ->
-                       Printf.sprintf "%s UTF8String contains %s" (X509.Attr.name attr)
-                         (describe_cp cp)))
-            (subject_values ctx @ issuer_values ctx)
+            (masked_st_lint ~st:Asn1.Str_type.Utf8_string
+               ~bits:Unicode.Props.m_control ~pred:Unicode.Props.is_control
+               ~fmt:(Printf.sprintf "%s UTF8String contains %s"))
+            (all_values ctx)
         in
         emit Must bad);
     subject_control_chars "w_subject_dn_bidi_controls"
       "Subject DN values should not contain bidirectional control characters."
-      ~pred:Unicode.Props.is_bidi_control ~level:Should_not ~source:Rfc9549 ~is_new:true
-      ~effective:community_date;
+      ~bits:Unicode.Props.m_bidi ~pred:Unicode.Props.is_bidi_control
+      ~level:Should_not ~source:Rfc9549 ~is_new:true ~effective:community_date;
     subject_control_chars "w_subject_dn_invisible_characters"
       "Subject DN values should not contain invisible layout characters \
        (zero-width spaces/joiners, non-ASCII whitespace)."
-      ~pred:Unicode.Props.is_invisible ~level:Should_not ~source:Community ~is_new:true
-      ~effective:community_date;
+      ~bits:Unicode.Props.m_invisible ~pred:Unicode.Props.is_invisible
+      ~level:Should_not ~source:Community ~is_new:true ~effective:community_date;
     mk ~name:"e_bmpstring_surrogate"
       ~description:"BMPString must not contain surrogate code units (X.680)."
       ~source:X680 ~level:Must ~nc_type:Invalid_character ~is_new:true
@@ -258,15 +260,18 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.concat_map
-            (fun (attr, st, _, cps) ->
-              if st <> Asn1.Str_type.Bmp_string then []
+            (fun (v : Ctx.aval) ->
+              if
+                v.Ctx.a_st <> Asn1.Str_type.Bmp_string
+                || v.Ctx.a_mask land Unicode.Props.m_surrogate = 0
+              then []
               else
-                Array.to_list cps
+                Array.to_list v.Ctx.a_cps
                 |> List.filter Unicode.Cp.is_surrogate
                 |> List.map (fun cp ->
                        Printf.sprintf "%s BMPString contains surrogate %s"
-                         (X509.Attr.name attr) (describe_cp cp)))
-            (subject_values ctx @ issuer_values ctx)
+                         (X509.Attr.name v.Ctx.a_attr) (describe_cp cp)))
+            (all_values ctx)
         in
         emit Must bad);
     mk ~name:"e_san_uri_invalid_characters"
@@ -317,8 +322,8 @@ let lints : Types.t list =
     subject_control_chars "w_subject_dn_replacement_character"
       "Subject DN values should not contain U+FFFD, which indicates a broken \
        transcoding step at issuance."
-      ~pred:(fun cp -> cp = 0xFFFD) ~level:Should_not ~source:Community ~is_new:true
-      ~effective:community_date;
+      ~bits:Unicode.Props.m_replacement ~pred:(fun cp -> cp = 0xFFFD)
+      ~level:Should_not ~source:Community ~is_new:true ~effective:community_date;
     mk ~name:"e_crldp_uri_control_characters"
       ~description:
         "CRLDistributionPoints URIs must not contain control characters (which \

@@ -16,13 +16,13 @@ let attr_encoding_lint ~name ~attr ~in_issuer ~allowed ~source ~level ~is_new ~e
                    else subject_values ~attrs:[ attr ] ctx in
       let bad =
         List.filter_map
-          (fun (_, st, _, _) ->
-            if List.mem st allowed then None
+          (fun (v : Ctx.aval) ->
+            if List.mem v.Ctx.a_st allowed then None
             else
               Some
                 (Printf.sprintf "%s%s encoded as %s"
                    (if in_issuer then "issuer " else "")
-                   (X509.Attr.name attr) (st_name st)))
+                   (X509.Attr.name attr) (st_name v.Ctx.a_st)))
           values
       in
       emit level bad)
@@ -53,16 +53,20 @@ let gn_ia5_lint ~name ~what ~select ~effective ~is_new =
       in
       emit Must bad)
 
-(* Byte-pattern scans over declared UTF8String payloads. *)
+(* Byte-pattern scans over declared UTF8String payloads.  Both scanners
+   only ever match bytes >= 0x80, so pure-ASCII payloads (the cached
+   [a_has_hi] bit) skip the scan. *)
 let utf8_pattern_lint ~name ~description ~is_new ~level ~source ~effective pred =
   mk ~name ~description ~source ~level ~nc_type:Invalid_encoding ~is_new ~effective
     (fun ctx ->
       let bad =
         List.concat_map
-          (fun (attr, st, raw, _) ->
-            if st <> Asn1.Str_type.Utf8_string then []
-            else pred raw |> List.map (fun m -> X509.Attr.name attr ^ ": " ^ m))
-          (subject_values ctx @ issuer_values ctx)
+          (fun (v : Ctx.aval) ->
+            if v.Ctx.a_st <> Asn1.Str_type.Utf8_string || not v.Ctx.a_has_hi then []
+            else
+              pred v.Ctx.a_raw
+              |> List.map (fun m -> X509.Attr.name v.Ctx.a_attr ^ ": " ^ m))
+          (all_values ctx)
       in
       emit level bad)
 
@@ -92,17 +96,7 @@ let surrogate_sequences raw =
     raw;
   List.rev !issues
 
-let explicit_texts ctx =
-  match ctx.Ctx.policies with
-  | Some (Ok policies) ->
-      List.filter_map
-        (fun (p : X509.Extension.policy) ->
-          match p.X509.Extension.notice with
-          | Some { X509.Extension.explicit_text = Some (Asn1.Value.Str (st, raw)) } ->
-              Some (st, raw)
-          | _ -> None)
-        policies
-  | Some (Error _) | None -> []
+let explicit_texts ctx = ctx.Ctx.etexts
 
 let lints : Types.t list =
   [
@@ -163,9 +157,9 @@ let lints : Types.t list =
       (fun ctx ->
         emit Should_not
           (List.filter_map
-             (fun (attr, st, _, _) ->
-               if st = Asn1.Str_type.Teletex_string then
-                 Some (X509.Attr.name attr ^ " uses TeletexString")
+             (fun (v : Ctx.aval) ->
+               if v.Ctx.a_st = Asn1.Str_type.Teletex_string then
+                 Some (X509.Attr.name v.Ctx.a_attr ^ " uses TeletexString")
                else None)
              (subject_values ctx)));
     mk ~name:"w_subject_dn_uses_bmp_string"
@@ -174,9 +168,9 @@ let lints : Types.t list =
       (fun ctx ->
         emit Should_not
           (List.filter_map
-             (fun (attr, st, _, _) ->
-               if st = Asn1.Str_type.Bmp_string then
-                 Some (X509.Attr.name attr ^ " uses BMPString")
+             (fun (v : Ctx.aval) ->
+               if v.Ctx.a_st = Asn1.Str_type.Bmp_string then
+                 Some (X509.Attr.name v.Ctx.a_attr ^ " uses BMPString")
                else None)
              (subject_values ctx)));
     mk ~name:"w_subject_dn_uses_universal_string"
@@ -185,9 +179,9 @@ let lints : Types.t list =
       (fun ctx ->
         emit Should_not
           (List.filter_map
-             (fun (attr, st, _, _) ->
-               if st = Asn1.Str_type.Universal_string then
-                 Some (X509.Attr.name attr ^ " uses UniversalString")
+             (fun (v : Ctx.aval) ->
+               if v.Ctx.a_st = Asn1.Str_type.Universal_string then
+                 Some (X509.Attr.name v.Ctx.a_attr ^ " uses UniversalString")
                else None)
              (subject_values ctx)));
     mk ~name:"e_utf8string_invalid_byte_sequence"
@@ -198,12 +192,14 @@ let lints : Types.t list =
       (fun ctx ->
         let dn_issues =
           List.filter_map
-            (fun (attr, st, raw, _) ->
-              if st = Asn1.Str_type.Utf8_string
-                 && not (Unicode.Codec.well_formed_utf8 raw)
-              then Some (X509.Attr.name attr ^ " UTF8String is not well-formed UTF-8")
+            (fun (v : Ctx.aval) ->
+              (* ASCII-only payloads are trivially well-formed *)
+              if v.Ctx.a_st = Asn1.Str_type.Utf8_string && v.Ctx.a_has_hi
+                 && not (Unicode.Codec.well_formed_utf8 v.Ctx.a_raw)
+              then
+                Some (X509.Attr.name v.Ctx.a_attr ^ " UTF8String is not well-formed UTF-8")
               else None)
-            (subject_values ctx @ issuer_values ctx)
+            (all_values ctx)
         in
         let policy_issues =
           List.filter_map
@@ -221,11 +217,11 @@ let lints : Types.t list =
       (fun ctx ->
         emit Must
           (List.filter_map
-             (fun (attr, st, raw, _) ->
-               if st = Asn1.Str_type.Bmp_string && String.length raw mod 2 = 1 then
-                 Some (X509.Attr.name attr ^ " BMPString has odd length")
+             (fun (v : Ctx.aval) ->
+               if v.Ctx.a_st = Asn1.Str_type.Bmp_string && String.length v.Ctx.a_raw mod 2 = 1
+               then Some (X509.Attr.name v.Ctx.a_attr ^ " BMPString has odd length")
                else None)
-             (subject_values ctx @ issuer_values ctx)));
+             (all_values ctx)));
     (* ------------------------------------------------------------------
        New lints: subject DirectoryString encodings (14) *)
     not_printable_or_utf8 "e_subject_common_name_not_printable_or_utf8"
@@ -320,13 +316,13 @@ let lints : Types.t list =
       (fun ctx ->
         emit Must
           (List.filter_map
-             (fun (_, _, _, cps) ->
-               let text = Unicode.Codec.utf8_of_cps cps in
-               let has_unicode = Array.exists (fun cp -> cp > 0x7F) cps in
-               if has_unicode && String.contains text '.'
-                  && not (String.contains text ' ')
-               then Some (Printf.sprintf "CN %S carries a raw U-label domain" text)
-               else None)
+             (fun (v : Ctx.aval) ->
+               if v.Ctx.a_mask land Unicode.Props.m_nonascii = 0 then None
+               else
+                 let text = Unicode.Codec.utf8_of_cps v.Ctx.a_cps in
+                 if String.contains text '.' && not (String.contains text ' ') then
+                   Some (Printf.sprintf "CN %S carries a raw U-label domain" text)
+                 else None)
              (subject_values ~attrs:[ X509.Attr.Common_name ] ctx)));
     (* Physical payload checks (11) *)
     mk ~name:"e_bmpstring_utf16_surrogate_pairs"
@@ -338,9 +334,10 @@ let lints : Types.t list =
       (fun ctx ->
         emit Must
           (List.filter_map
-             (fun (attr, st, raw, _) ->
-               if st <> Asn1.Str_type.Bmp_string then None
+             (fun (v : Ctx.aval) ->
+               if v.Ctx.a_st <> Asn1.Str_type.Bmp_string then None
                else
+                 let raw = v.Ctx.a_raw in
                  let has_pair = ref false in
                  let i = ref 0 in
                  while !i + 3 < String.length raw do
@@ -351,9 +348,9 @@ let lints : Types.t list =
                    i := !i + 2
                  done;
                  if !has_pair then
-                   Some (X509.Attr.name attr ^ " BMPString contains UTF-16 surrogate pairs")
+                   Some (X509.Attr.name v.Ctx.a_attr ^ " BMPString contains UTF-16 surrogate pairs")
                  else None)
-             (subject_values ctx @ issuer_values ctx)));
+             (all_values ctx)));
     mk ~name:"e_universalstring_bad_length"
       ~description:"UniversalString payloads must be a multiple of 4 octets."
       ~source:X680 ~level:Must ~nc_type:Invalid_encoding ~is_new:true
@@ -361,11 +358,13 @@ let lints : Types.t list =
       (fun ctx ->
         emit Must
           (List.filter_map
-             (fun (attr, st, raw, _) ->
-               if st = Asn1.Str_type.Universal_string && String.length raw mod 4 <> 0 then
-                 Some (X509.Attr.name attr ^ " UniversalString length not a multiple of 4")
+             (fun (v : Ctx.aval) ->
+               if v.Ctx.a_st = Asn1.Str_type.Universal_string
+                  && String.length v.Ctx.a_raw mod 4 <> 0
+               then
+                 Some (X509.Attr.name v.Ctx.a_attr ^ " UniversalString length not a multiple of 4")
                else None)
-             (subject_values ctx @ issuer_values ctx)));
+             (all_values ctx)));
     mk ~name:"e_universalstring_invalid_code_point"
       ~description:"UniversalString units must be valid Unicode code points."
       ~source:X680 ~level:Must ~nc_type:Invalid_encoding ~is_new:true
@@ -373,13 +372,14 @@ let lints : Types.t list =
       (fun ctx ->
         emit Must
           (List.filter_map
-             (fun (attr, st, raw, _) ->
-               if st <> Asn1.Str_type.Universal_string then None
+             (fun (v : Ctx.aval) ->
+               if v.Ctx.a_st <> Asn1.Str_type.Universal_string then None
                else
-                 match Unicode.Codec.decode Unicode.Codec.Ucs4 raw with
+                 match Unicode.Codec.decode Unicode.Codec.Ucs4 v.Ctx.a_raw with
                  | Ok _ -> None
-                 | Error _ -> Some (X509.Attr.name attr ^ " UniversalString has invalid units"))
-             (subject_values ctx @ issuer_values ctx)));
+                 | Error _ ->
+                     Some (X509.Attr.name v.Ctx.a_attr ^ " UniversalString has invalid units"))
+             (all_values ctx)));
     mk ~name:"w_teletexstring_escape_sequences"
       ~description:
         "TeletexString escape sequences are interpreted inconsistently and \
@@ -389,11 +389,13 @@ let lints : Types.t list =
       (fun ctx ->
         emit Should_not
           (List.filter_map
-             (fun (attr, st, raw, _) ->
-               if st = Asn1.Str_type.Teletex_string && String.contains raw '\x1B' then
-                 Some (X509.Attr.name attr ^ " TeletexString contains escape sequences")
+             (fun (v : Ctx.aval) ->
+               if v.Ctx.a_st = Asn1.Str_type.Teletex_string
+                  && String.contains v.Ctx.a_raw '\x1B'
+               then
+                 Some (X509.Attr.name v.Ctx.a_attr ^ " TeletexString contains escape sequences")
                else None)
-             (subject_values ctx @ issuer_values ctx)));
+             (all_values ctx)));
     utf8_pattern_lint ~name:"e_utf8string_overlong_encoding"
       ~description:"UTF-8 must use shortest-form encodings (X.690)."
       ~is_new:true ~level:Must ~source:X680 ~effective:rfc5280_date overlong_sequences;
@@ -407,16 +409,18 @@ let lints : Types.t list =
       (fun ctx ->
         emit Should_not
           (List.concat_map
-             (fun (attr, st, _, cps) ->
-               if st <> Asn1.Str_type.Utf8_string then []
+             (fun (v : Ctx.aval) ->
+               if
+                 v.Ctx.a_st <> Asn1.Str_type.Utf8_string
+                 || v.Ctx.a_mask land Unicode.Props.m_noncharacter = 0
+               then []
                else
-                 Array.to_list cps
-                 |> List.filter (fun cp ->
-                        (cp >= 0xFDD0 && cp <= 0xFDEF) || cp land 0xFFFE = 0xFFFE)
+                 Array.to_list v.Ctx.a_cps
+                 |> List.filter Unicode.Props.is_noncharacter
                  |> List.map (fun cp ->
-                        Printf.sprintf "%s contains noncharacter %s" (X509.Attr.name attr)
-                          (describe_cp cp)))
-             (subject_values ctx @ issuer_values ctx)));
+                        Printf.sprintf "%s contains noncharacter %s"
+                          (X509.Attr.name v.Ctx.a_attr) (describe_cp cp)))
+             (all_values ctx)));
     mk ~name:"w_ext_cp_explicit_text_bmp"
       ~description:"explicitText SHOULD NOT use BMPString (RFC 5280 §4.2.1.4)."
       ~source:Rfc5280 ~level:Should_not ~nc_type:Invalid_encoding ~is_new:true
@@ -436,7 +440,7 @@ let lints : Types.t list =
       ~source:Rfc9598 ~level:Must ~nc_type:Invalid_encoding ~is_new:true
       ~effective:rfc9598_date
       (fun ctx ->
-        let smtputf8 = Asn1.Oid.of_string_exn "1.3.6.1.5.5.7.8.9" in
+        let smtputf8 = smtputf8_oid in
         emit Must
           (List.filter_map
              (fun gn ->
@@ -457,9 +461,9 @@ let lints : Types.t list =
       (fun ctx ->
         let tbl = Hashtbl.create 8 in
         List.iter
-          (fun (attr, st, _, _) ->
-            let prev = try Hashtbl.find tbl attr with Not_found -> [] in
-            Hashtbl.replace tbl attr (st :: prev))
+          (fun (v : Ctx.aval) ->
+            let prev = try Hashtbl.find tbl v.Ctx.a_attr with Not_found -> [] in
+            Hashtbl.replace tbl v.Ctx.a_attr (v.Ctx.a_st :: prev))
           (subject_values ctx);
         let bad =
           Hashtbl.fold

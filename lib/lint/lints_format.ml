@@ -14,11 +14,11 @@ let length_lint name attr bound =
     (fun ctx ->
       let bad =
         List.filter_map
-          (fun (a, _, _, cps) ->
-            if a = attr && Array.length cps > bound then
+          (fun (v : Ctx.aval) ->
+            if v.Ctx.a_attr = attr && Array.length v.Ctx.a_cps > bound then
               Some
                 (Printf.sprintf "%s has %d characters (max %d)" (X509.Attr.name attr)
-                   (Array.length cps) bound)
+                   (Array.length v.Ctx.a_cps) bound)
             else None)
           (subject_values ctx)
       in
@@ -66,15 +66,16 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.filter_map
-            (fun (a, _, _, cps) ->
-              if a <> X509.Attr.Country_name then None
+            (fun (v : Ctx.aval) ->
+              if v.Ctx.a_attr <> X509.Attr.Country_name then None
               else if
-                Array.length cps = 2 && Array.for_all Unicode.Props.is_ascii_letter cps
+                Array.length v.Ctx.a_cps = 2
+                && Array.for_all Unicode.Props.is_ascii_letter v.Ctx.a_cps
               then None
               else
                 Some
                   (Printf.sprintf "countryName %S is not a two-letter code"
-                     (Unicode.Codec.utf8_of_cps cps)))
+                     (Unicode.Codec.utf8_of_cps v.Ctx.a_cps)))
             (subject_values ctx)
         in
         emit Must bad);
@@ -84,14 +85,14 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.filter_map
-            (fun (a, _, _, cps) ->
+            (fun (v : Ctx.aval) ->
               if
-                a = X509.Attr.Country_name
-                && Array.exists Unicode.Props.is_ascii_lower cps
+                v.Ctx.a_attr = X509.Attr.Country_name
+                && Array.exists Unicode.Props.is_ascii_lower v.Ctx.a_cps
               then
                 Some
                   (Printf.sprintf "countryName %S uses lower case"
-                     (Unicode.Codec.utf8_of_cps cps))
+                     (Unicode.Codec.utf8_of_cps v.Ctx.a_cps))
               else None)
             (subject_values ctx)
         in
@@ -102,12 +103,12 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.concat_map
-            (fun name ->
-              Idna.Dns.check name
+            (fun fact ->
+              fact.Ctx.d_dns
               |> List.filter_map (function
                    | Idna.Dns.Label_too_long l -> Some (Printf.sprintf "label %S too long" l)
                    | _ -> None))
-            (Ctx.dns_names ctx)
+            ctx.Ctx.dns_facts
         in
         emit Must bad);
     mk ~name:"e_dns_name_too_long"
@@ -116,12 +117,12 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.concat_map
-            (fun name ->
-              Idna.Dns.check name
+            (fun fact ->
+              fact.Ctx.d_dns
               |> List.filter_map (function
                    | Idna.Dns.Name_too_long n -> Some (Printf.sprintf "name length %d" n)
                    | _ -> None))
-            (Ctx.dns_names ctx)
+            ctx.Ctx.dns_facts
         in
         emit Must bad);
     mk ~name:"e_serial_number_longer_than_20_octets"
@@ -166,8 +167,9 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.filter_map
-            (fun (a, _, raw, _) ->
-              if raw = "" then Some (X509.Attr.name a ^ " is empty") else None)
+            (fun (v : Ctx.aval) ->
+              if v.Ctx.a_raw = "" then Some (X509.Attr.name v.Ctx.a_attr ^ " is empty")
+              else None)
             (subject_values ctx)
         in
         emit Must bad);
@@ -190,11 +192,11 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.filter_map
-            (fun name ->
-              if name <> "" && List.mem Idna.Dns.Empty_label (Idna.Dns.check name) then
-                Some (Printf.sprintf "%S contains an empty label" name)
+            (fun fact ->
+              if fact.Ctx.d_name <> "" && List.mem Idna.Dns.Empty_label fact.Ctx.d_dns
+              then Some (Printf.sprintf "%S contains an empty label" fact.Ctx.d_name)
               else None)
-            (Ctx.dns_names ctx)
+            ctx.Ctx.dns_facts
         in
         emit Must bad);
     mk ~name:"e_dnsname_wildcard_malformed"
@@ -204,16 +206,16 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.filter_map
-            (fun name ->
+            (fun fact ->
+              let name = fact.Ctx.d_name in
               if not (String.contains name '*') then None
               else
-                let labels = Idna.Dns.split_labels name in
-                match labels with
+                match fact.Ctx.d_labels with
                 | "*" :: rest when not (List.exists (fun l -> String.contains l '*') rest)
                   ->
                     None
                 | _ -> Some (Printf.sprintf "%S uses a malformed wildcard" name))
-            (Ctx.dns_names ctx)
+            ctx.Ctx.dns_facts
         in
         emit Must bad);
     mk ~name:"e_rfc822_name_no_at_sign"

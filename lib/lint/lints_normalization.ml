@@ -1,8 +1,25 @@
 (* T2 — Bad Normalization lints (paper §4.3.1): NFC and canonical-form
-   requirements.  4 lints, 3 new. *)
+   requirements.  4 lints, 3 new.  NFC results and per-A-label IDNA
+   round-trips come precomputed from the fact table (Ctx). *)
 
 open Types
 open Helpers
+
+(* Flag every A-label whose cached issue list contains [issue]. *)
+let alabel_issue_lint ~name ~description ~source ~effective ~issue ~fmt =
+  mk ~name ~description ~source ~level:Must ~nc_type:Bad_normalization ~is_new:true
+    ~effective
+    (fun ctx ->
+      let bad =
+        List.concat_map
+          (fun fact ->
+            List.filter_map
+              (fun (l, issues) ->
+                if List.mem issue issues then Some (Printf.sprintf fmt l) else None)
+              fact.Ctx.d_alabels)
+          ctx.Ctx.dns_facts
+      in
+      emit Must bad)
 
 let lints : Types.t list =
   [
@@ -14,51 +31,25 @@ let lints : Types.t list =
       (fun ctx ->
         let bad =
           List.filter_map
-            (fun (attr, st, _, cps) ->
-              if st = Asn1.Str_type.Utf8_string && not (Unicode.Normalize.is_nfc cps) then
-                Some (X509.Attr.name attr ^ " UTF8String is not NFC")
+            (fun (v : Ctx.aval) ->
+              if v.Ctx.a_st = Asn1.Str_type.Utf8_string && not v.Ctx.a_nfc then
+                Some (X509.Attr.name v.Ctx.a_attr ^ " UTF8String is not NFC")
               else None)
-            (subject_values ctx @ issuer_values ctx)
+            (all_values ctx)
         in
         emit Should bad);
-    mk ~name:"e_rfc_dns_idn_not_nfc"
+    alabel_issue_lint ~name:"e_rfc_dns_idn_not_nfc"
       ~description:
         "The Unicode form of an IDN label must be NFC-normalized; A-labels \
          whose decoding is not NFC cannot round-trip between forms."
-      ~source:Rfc8399 ~level:Must ~nc_type:Bad_normalization ~is_new:true
-      ~effective:rfc8399_date
-      (fun ctx ->
-        let bad =
-          List.concat_map
-            (fun name ->
-              List.filter_map
-                (fun l ->
-                  if List.mem Idna.Not_nfc (Idna.alabel_issues l) then
-                    Some (Printf.sprintf "label %S decodes to a non-NFC string" l)
-                  else None)
-                (a_labels name))
-            (Ctx.dns_names ctx)
-        in
-        emit Must bad);
-    mk ~name:"e_rfc_dns_idn_noncanonical_alabel"
+      ~source:Rfc8399 ~effective:rfc8399_date ~issue:Idna.Not_nfc
+      ~fmt:"label %S decodes to a non-NFC string";
+    alabel_issue_lint ~name:"e_rfc_dns_idn_noncanonical_alabel"
       ~description:
         "A-labels must be the canonical Punycode encoding of their U-label \
          (decode-then-re-encode must reproduce the label)."
-      ~source:Rfc5890 ~level:Must ~nc_type:Bad_normalization ~is_new:true
-      ~effective:idna2008_date
-      (fun ctx ->
-        let bad =
-          List.concat_map
-            (fun name ->
-              List.filter_map
-                (fun l ->
-                  if List.mem Idna.Non_canonical_alabel (Idna.alabel_issues l) then
-                    Some (Printf.sprintf "label %S is not canonical Punycode" l)
-                  else None)
-                (a_labels name))
-            (Ctx.dns_names ctx)
-        in
-        emit Must bad);
+      ~source:Rfc5890 ~effective:idna2008_date ~issue:Idna.Non_canonical_alabel
+      ~fmt:"label %S is not canonical Punycode";
     mk ~name:"e_ext_san_smtputf8_mailbox_not_nfc"
       ~description:
         "SmtpUTF8Mailbox otherName local parts must be NFC-normalized \
@@ -66,7 +57,7 @@ let lints : Types.t list =
       ~source:Rfc9598 ~level:Must ~nc_type:Bad_normalization ~is_new:true
       ~effective:rfc9598_date
       (fun ctx ->
-        let smtputf8 = Asn1.Oid.of_string_exn "1.3.6.1.5.5.7.8.9" in
+        let smtputf8 = smtputf8_oid in
         let bad =
           List.filter_map
             (fun gn ->

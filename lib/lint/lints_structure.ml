@@ -14,7 +14,7 @@ let lints : Types.t list =
       ~source:Cab_br ~level:Must ~nc_type:Invalid_structure ~effective:cab_br_date
       (fun ctx ->
         let cns =
-          List.map (fun (_, _, _, cps) -> Unicode.Codec.utf8_of_cps cps)
+          List.map (fun (v : Ctx.aval) -> Unicode.Codec.utf8_of_cps v.Ctx.a_cps)
             (subject_values ~attrs:[ X509.Attr.Common_name ] ctx)
         in
         if cns = [] then Na
@@ -43,9 +43,9 @@ let lints : Types.t list =
       (fun ctx ->
         let counts = Hashtbl.create 8 in
         List.iter
-          (fun (attr, _, _, _) ->
-            Hashtbl.replace counts attr
-              (1 + try Hashtbl.find counts attr with Not_found -> 0))
+          (fun (v : Ctx.aval) ->
+            Hashtbl.replace counts v.Ctx.a_attr
+              (1 + try Hashtbl.find counts v.Ctx.a_attr with Not_found -> 0))
           (subject_values ctx);
         let bad =
           Hashtbl.fold

@@ -6,9 +6,11 @@ val all : Types.t list
     Unicode-specific checks (asserted by the test suite). *)
 
 val find : string -> Types.t option
-(** [find name] looks a lint up by name. *)
+(** [find name] looks a lint up by name — a hashtable hit, not a scan
+    (stored-row replay calls this once per recorded lint name). *)
 
 val by_type : Types.nc_type -> Types.t list
+(** Lints of a taxonomy type, in registry order (precomputed). *)
 
 val counts_by_type : Types.nc_type -> int * int
 (** [(all, new)] lint counts for a taxonomy type — the "#Lints" columns
@@ -30,6 +32,30 @@ val run :
     lints satisfying the predicate (skipped lints produce no finding
     and no NA count) — the store's incremental recompute runs just the
     lints missing from stored analysis rows. *)
+
+val run_ctx :
+  ?respect_effective_dates:bool ->
+  ?include_new:bool ->
+  ?only:(Types.t -> bool) ->
+  issued:Asn1.Time.t ->
+  Ctx.t ->
+  Types.finding list
+(** [run_ctx ~issued ctx] is {!run} over a caller-built fact table.
+    The fused pipeline builds one {!Ctx.t} per certificate (under the
+    parse span) and shares it between linting, classification and the
+    encoding-error scan; here the ["lint"] span covers only the checks
+    themselves. *)
+
+val run_batch :
+  ?respect_effective_dates:bool ->
+  ?include_new:bool ->
+  ?only:(Types.t -> bool) ->
+  (Asn1.Time.t * X509.Certificate.t) list ->
+  Types.finding list list
+(** [run_batch entries] is [List.map (fun (issued, cert) -> run ~issued
+    cert) entries] with the per-run setup — forcing the instrument
+    list, applying [include_new]/[only] — paid once for the whole
+    batch. *)
 
 val noncompliant :
   ?respect_effective_dates:bool ->

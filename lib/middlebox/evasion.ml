@@ -1,6 +1,6 @@
 type finding = { id : string; description : string; demonstrated : bool }
 
-let issuer_key = X509.Certificate.mock_keypair ~seed:"evasion-ca"
+let issuer_key = X509.Certificate.mock_keypair ~seed:"evasion-ca" ()
 
 let make_cert ~subject ~sans =
   let tbs =

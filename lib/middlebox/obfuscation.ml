@@ -192,7 +192,7 @@ type evasion = {
   evaded : bool;
 }
 
-let issuer_key = X509.Certificate.mock_keypair ~seed:"obfuscation-ca"
+let issuer_key = X509.Certificate.mock_keypair ~seed:"obfuscation-ca" ()
 
 let cert_with_org org =
   let tbs =

@@ -13,7 +13,7 @@ type row = {
   fails_special_unicode : capability;
 }
 
-let issuer_key = X509.Certificate.mock_keypair ~seed:"audit-ca"
+let issuer_key = X509.Certificate.mock_keypair ~seed:"audit-ca" ()
 
 let cert_for ?(cn = None) domains =
   let cn_value =

@@ -6,7 +6,7 @@ type mutation =
   | Crldp_uri of string
   | Aia_uri of string
 
-let issuer_key = X509.Certificate.mock_keypair ~seed:"testgen-issuer"
+let issuer_key = X509.Certificate.mock_keypair ~seed:"testgen-issuer" ()
 
 let issuer_dn =
   X509.Dn.of_list
@@ -40,7 +40,7 @@ let make mutation =
       [ X509.Extension.authority_info_access
           (List.map (fun gn -> (X509.Extension.Oids.ocsp, gn)) aia) ]
   in
-  let leaf = X509.Certificate.mock_keypair ~seed:"testgen-leaf" in
+  let leaf = X509.Certificate.mock_keypair ~seed:"testgen-leaf" () in
   let tbs =
     X509.Certificate.make_tbs ~serial:"\x7A\x01"
       ~issuer:issuer_dn

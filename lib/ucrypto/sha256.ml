@@ -1,5 +1,7 @@
-(* FIPS 180-4 SHA-256 over native ints (we keep words in the low 32 bits
-   and mask after every operation). *)
+(* FIPS 180-4 SHA-256 over native ints (words live in the low 32 bits).
+   The compression kernel avoids bounds checks and redundant masking:
+   sums of a few 32-bit words fit a 63-bit int, so only values that
+   feed a shift/rotate are re-masked. *)
 
 let k =
   [|
@@ -17,78 +19,169 @@ let k =
   |]
 
 let mask = 0xFFFFFFFF
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
-let digest msg =
-  let h = [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
-             0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |] in
-  let len = String.length msg in
-  (* Padding: 0x80, zeros, 64-bit big-endian bit length. *)
-  let padded_len = ((len + 8) / 64 * 64) + 64 in
-  let padded = Bytes.make padded_len '\000' in
-  Bytes.blit_string msg 0 padded 0 len;
-  Bytes.set padded len '\x80';
-  let bits = len * 8 in
+let iv = [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+            0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |]
+
+(* Message-schedule extension + 64 rounds over a preloaded 16-word
+   prefix of [w].  [h] is updated in place. *)
+let rounds h w =
+  for t = 16 to 63 do
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1)
+       land mask)
+  done;
+  (* The working variables travel as unboxed int arguments — no
+     per-round stores — and rotate by argument position. *)
+  let rec loop t a b c d e f g hh =
+    if t = 64 then begin
+      h.(0) <- (h.(0) + a) land mask;
+      h.(1) <- (h.(1) + b) land mask;
+      h.(2) <- (h.(2) + c) land mask;
+      h.(3) <- (h.(3) + d) land mask;
+      h.(4) <- (h.(4) + e) land mask;
+      h.(5) <- (h.(5) + f) land mask;
+      h.(6) <- (h.(6) + g) land mask;
+      h.(7) <- (h.(7) + hh) land mask
+    end
+    else
+      let s1 = rotr e 6 lxor rotr e 11 lxor rotr e 25 in
+      let ch = (e land f) lxor (lnot e land g) in
+      let temp1 = hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t in
+      let s0 = rotr a 2 lxor rotr a 13 lxor rotr a 22 in
+      let maj = (a land b) lxor (a land c) lxor (b land c) in
+      loop (t + 1)
+        ((temp1 + s0 + maj) land mask)
+        a b c
+        ((d + temp1) land mask)
+        e f g
+  in
+  loop 0 h.(0) h.(1) h.(2) h.(3) h.(4) h.(5) h.(6) h.(7)
+
+let[@inline] load_string w s base =
+  for t = 0 to 15 do
+    let o = base + (4 * t) in
+    Array.unsafe_set w t
+      ((Char.code (String.unsafe_get s o) lsl 24)
+      lor (Char.code (String.unsafe_get s (o + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get s (o + 2)) lsl 8)
+      lor Char.code (String.unsafe_get s (o + 3)))
+  done
+
+let[@inline] load_bytes w b base =
+  for t = 0 to 15 do
+    let o = base + (4 * t) in
+    Array.unsafe_set w t
+      ((Char.code (Bytes.unsafe_get b o) lsl 24)
+      lor (Char.code (Bytes.unsafe_get b (o + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get b (o + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get b (o + 3)))
+  done
+
+type ctx = {
+  h : int array;
+  buf : Bytes.t;  (* pending partial block *)
+  w : int array;  (* scratch schedule *)
+  mutable n : int;      (* bytes pending in [buf] *)
+  mutable total : int;  (* total message bytes absorbed *)
+}
+
+let init () =
+  { h = Array.copy iv; buf = Bytes.create 64; w = Array.make 64 0; n = 0;
+    total = 0 }
+
+let update ctx s =
+  let len = String.length s in
+  ctx.total <- ctx.total + len;
+  let pos = ref 0 in
+  if ctx.n > 0 then begin
+    let take = min (64 - ctx.n) len in
+    Bytes.blit_string s 0 ctx.buf ctx.n take;
+    ctx.n <- ctx.n + take;
+    pos := take;
+    if ctx.n = 64 then begin
+      load_bytes ctx.w ctx.buf 0;
+      rounds ctx.h ctx.w;
+      ctx.n <- 0
+    end
+  end;
+  while len - !pos >= 64 do
+    load_string ctx.w s !pos;
+    rounds ctx.h ctx.w;
+    pos := !pos + 64
+  done;
+  if !pos < len then begin
+    Bytes.blit_string s !pos ctx.buf ctx.n (len - !pos);
+    ctx.n <- ctx.n + (len - !pos)
+  end
+
+let final ctx =
+  let bits = ctx.total * 8 in
+  Bytes.set ctx.buf ctx.n '\x80';
+  let n = ctx.n + 1 in
+  if n > 56 then begin
+    Bytes.fill ctx.buf n (64 - n) '\000';
+    load_bytes ctx.w ctx.buf 0;
+    rounds ctx.h ctx.w;
+    Bytes.fill ctx.buf 0 56 '\000'
+  end
+  else Bytes.fill ctx.buf n (56 - n) '\000';
   for i = 0 to 7 do
-    Bytes.set padded (padded_len - 1 - i) (Char.chr ((bits lsr (8 * i)) land 0xFF))
+    Bytes.set ctx.buf (63 - i) (Char.chr ((bits lsr (8 * i)) land 0xFF))
   done;
-  let w = Array.make 64 0 in
-  for block = 0 to (padded_len / 64) - 1 do
-    let base = block * 64 in
-    for t = 0 to 15 do
-      w.(t) <-
-        (Char.code (Bytes.get padded (base + (4 * t))) lsl 24)
-        lor (Char.code (Bytes.get padded (base + (4 * t) + 1)) lsl 16)
-        lor (Char.code (Bytes.get padded (base + (4 * t) + 2)) lsl 8)
-        lor Char.code (Bytes.get padded (base + (4 * t) + 3))
-    done;
-    for t = 16 to 63 do
-      let s0 =
-        rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3)
-      in
-      let s1 =
-        rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10)
-      in
-      w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
-    done;
-    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
-    for t = 0 to 63 do
-      let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-      let ch = (!e land !f) lxor (lnot !e land !g) land mask in
-      let temp1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask in
-      let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-      let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
-      let temp2 = (s0 + maj) land mask in
-      hh := !g;
-      g := !f;
-      f := !e;
-      e := (!d + temp1) land mask;
-      d := !c;
-      c := !b;
-      b := !a;
-      a := (temp1 + temp2) land mask
-    done;
-    h.(0) <- (h.(0) + !a) land mask;
-    h.(1) <- (h.(1) + !b) land mask;
-    h.(2) <- (h.(2) + !c) land mask;
-    h.(3) <- (h.(3) + !d) land mask;
-    h.(4) <- (h.(4) + !e) land mask;
-    h.(5) <- (h.(5) + !f) land mask;
-    h.(6) <- (h.(6) + !g) land mask;
-    h.(7) <- (h.(7) + !hh) land mask
-  done;
+  load_bytes ctx.w ctx.buf 0;
+  rounds ctx.h ctx.w;
+  let h = ctx.h in
   String.init 32 (fun i ->
       Char.chr ((h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xFF))
+
+let digest msg =
+  let ctx = init () in
+  update ctx msg;
+  final ctx
 
 let hex msg =
   let d = digest msg in
   String.concat ""
     (List.init 32 (fun i -> Printf.sprintf "%02x" (Char.code d.[i])))
 
-let hmac ~key msg =
+(* HMAC with precomputable key midstates: the inner/outer pad blocks
+   depend only on the key, so a reused key (every issuer signature)
+   skips two of the compression calls per MAC. *)
+type hmac_key = { inner : int array; outer : int array }
+
+let hmac_init key =
   let key = if String.length key > 64 then digest key else key in
-  let key = key ^ String.make (64 - String.length key) '\000' in
-  let xor_with pad = String.init 64 (fun i -> Char.chr (Char.code key.[i] lxor pad)) in
-  let ipad = xor_with 0x36 and opad = xor_with 0x5C in
-  digest (opad ^ digest (ipad ^ msg))
+  let klen = String.length key in
+  let block pad =
+    Bytes.init 64 (fun i ->
+        Char.chr ((if i < klen then Char.code key.[i] else 0) lxor pad))
+  in
+  let w = Array.make 64 0 in
+  let state pad =
+    let h = Array.copy iv in
+    load_bytes w (block pad) 0;
+    rounds h w;
+    h
+  in
+  { inner = state 0x36; outer = state 0x5C }
+
+let hmac_with hk msg =
+  let ctx =
+    { h = Array.copy hk.inner; buf = Bytes.create 64; w = Array.make 64 0;
+      n = 0; total = 64 }
+  in
+  update ctx msg;
+  let inner_digest = final ctx in
+  let octx =
+    { h = Array.copy hk.outer; buf = Bytes.create 64; w = ctx.w; n = 0;
+      total = 64 }
+  in
+  update octx inner_digest;
+  final octx
+
+let hmac ~key msg = hmac_with (hmac_init key) msg

@@ -12,3 +12,28 @@ val hex : string -> string
 val hmac : key:string -> string -> string
 (** [hmac ~key msg] is HMAC-SHA-256 (RFC 2104), used by the
     deterministic mock signature scheme of the corpus generator. *)
+
+(** {2 Incremental interface} *)
+
+type ctx
+(** Streaming digest state. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+
+val final : ctx -> string
+(** [final ctx] pads, finishes, and returns the 32-byte digest.
+    [ctx] must not be used afterwards. *)
+
+(** {2 Keyed MAC with precomputed midstates} *)
+
+type hmac_key
+(** A key with its inner/outer pad compression states precomputed —
+    reusing one (as every issuer signing key does) saves two
+    compression calls per MAC. *)
+
+val hmac_init : string -> hmac_key
+
+val hmac_with : hmac_key -> string -> string
+(** [hmac_with hk msg] equals [hmac ~key msg] for the [hk] derived from
+    [key], byte for byte. *)

@@ -340,8 +340,11 @@ let is_surrogate_block b = b.first >= 0xD800 && b.last <= 0xDFFF
 let non_surrogate =
   Array.of_list (List.filter (fun b -> not (is_surrogate_block b)) (Array.to_list all))
 
-(* Blocks are sorted by [first]; binary search. *)
-let find cp =
+(* Blocks are sorted by [first]; binary search.  Kept as the reference
+   implementation: the flat BMP index below is generated from it and
+   the test suite checks the two agree over the full code-point
+   range. *)
+let find_interval cp =
   let rec search lo hi =
     if lo > hi then None
     else
@@ -352,6 +355,27 @@ let find cp =
       else Some b
   in
   search 0 (count - 1)
+
+(* Flat block index over the BMP: one load replaces the binary search
+   on the hot path (Idna.property is called per code point of every
+   U-label).  Built eagerly at single-threaded module init, read-only
+   afterwards. *)
+let bmp_index =
+  let t = Array.make 0x10000 (-1) in
+  Array.iteri
+    (fun i b ->
+      if b.first <= 0xFFFF then
+        for cp = b.first to min b.last 0xFFFF do
+          Array.unsafe_set t cp i
+        done)
+    all;
+  t
+
+let find cp =
+  if cp lsr 16 = 0 then
+    let i = Array.unsafe_get bmp_index cp in
+    if i < 0 then None else Some (Array.unsafe_get all i)
+  else find_interval cp
 
 let name_of cp = match find cp with Some b -> b.name | None -> "No_Block"
 let sample b = b.first

@@ -20,7 +20,12 @@ val non_surrogate : t array
 
 val find : Cp.t -> t option
 (** [find cp] is the block containing [cp], if any (the block table does
-    not cover all of the code space). *)
+    not cover all of the code space).  BMP lookups hit a flat
+    direct-index table; astral lookups binary-search the ranges. *)
+
+val find_interval : Cp.t -> t option
+(** The binary-search reference implementation of {!find}; the flat BMP
+    table is generated from it and tested against it exhaustively. *)
 
 val name_of : Cp.t -> string
 (** [name_of cp] is the containing block's name or ["No_Block"]. *)

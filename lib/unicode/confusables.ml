@@ -54,9 +54,24 @@ let table : (int, int) Hashtbl.t =
   done;
   t
 
-let lookalike cp = Hashtbl.find_opt table cp
+let lookalike_hashed cp = Hashtbl.find_opt table cp
 
-let skeleton cps =
+(* Flat BMP lookalike table: -1 = no mapping.  One array load replaces
+   the hashtable probe for every BMP code point (all mappings except
+   the mathematical sans-serif 'a' live in the BMP).  Built eagerly at
+   single-threaded module init, read-only afterwards. *)
+let bmp_lookalike =
+  let t = Array.make 0x10000 (-1) in
+  Hashtbl.iter (fun cp ascii -> if cp <= 0xFFFF then t.(cp) <- ascii) table;
+  t
+
+let lookalike cp =
+  if cp lsr 16 = 0 then
+    let a = Array.unsafe_get bmp_lookalike cp in
+    if a < 0 then None else Some a
+  else lookalike_hashed cp
+
+let skeleton_with ~lookalike cps =
   let keep = ref [] in
   Array.iter
     (fun cp ->
@@ -67,6 +82,9 @@ let skeleton cps =
         keep := Props.ascii_lowercase cp :: !keep)
     cps;
   Array.of_list (List.rev !keep)
+
+let skeleton cps = skeleton_with ~lookalike cps
+let skeleton_hashed cps = skeleton_with ~lookalike:lookalike_hashed cps
 
 let utf8_skeleton s = Codec.utf8_of_cps (skeleton (Codec.cps_of_utf8 s))
 

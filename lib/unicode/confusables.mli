@@ -8,11 +8,21 @@
 
 val lookalike : Cp.t -> Cp.t option
 (** [lookalike cp] is the ASCII (or canonical) code point [cp] visually
-    resembles, if it is a known confusable. *)
+    resembles, if it is a known confusable.  BMP lookups hit a flat
+    direct-index table; astral lookups fall back to the hashtable. *)
+
+val lookalike_hashed : Cp.t -> Cp.t option
+(** The hashtable reference implementation of {!lookalike}; the flat
+    BMP table is generated from it and tested against it
+    exhaustively. *)
 
 val skeleton : Cp.t array -> Cp.t array
 (** [skeleton cps] maps every confusable to its lookalike, lowercases
     ASCII, and drops invisible characters, yielding a comparison key. *)
+
+val skeleton_hashed : Cp.t array -> Cp.t array
+(** {!skeleton} computed through {!lookalike_hashed} — the reference
+    path for the equivalence tests. *)
 
 val utf8_skeleton : string -> string
 (** [utf8_skeleton s] is {!skeleton} over a UTF-8 string. *)

@@ -16,7 +16,13 @@
 
 val combining_class : Cp.t -> int
 (** [combining_class cp] is the canonical combining class (0 for
-    starters and for code points outside the embedded table). *)
+    starters and for code points outside the embedded table).  BMP
+    lookups hit a flat byte table. *)
+
+val combining_class_chain : Cp.t -> int
+(** The range-chain reference implementation of {!combining_class}; the
+    flat table is generated from it and tested against it
+    exhaustively. *)
 
 val canonical_decomposition : Cp.t -> Cp.t list option
 (** [canonical_decomposition cp] is the (non-recursive) canonical

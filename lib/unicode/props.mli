@@ -70,6 +70,10 @@ val is_ldh : Cp.t -> bool
 val is_dns_name_char : Cp.t -> bool
 (** [is_dns_name_char cp] — [is_ldh] or the dot separator. *)
 
+val is_noncharacter : Cp.t -> bool
+(** [is_noncharacter cp] — the 66 Unicode noncharacters
+    (U+FDD0–U+FDEF and the plane-final [xxFFFE]/[xxFFFF] pairs). *)
+
 val is_ascii_upper : Cp.t -> bool
 val is_ascii_lower : Cp.t -> bool
 val is_ascii_digit : Cp.t -> bool
@@ -83,3 +87,59 @@ val classify : Cp.t -> string
 (** [classify cp] is a coarse human-readable class name used in reports:
     ["C0"], ["DEL"], ["C1"], ["layout"], ["format"], ["space"],
     ["printable-ascii"], ["latin1"], ["bmp"], or ["astral"]. *)
+
+(** {2 Property bitmask}
+
+    One flat-table load answers every class membership question the
+    lints ask.  For BMP code points {!mask} indexes a precomputed
+    65536-entry array; astral code points are computed on the fly from
+    the reference range chains (rare in certificate strings). *)
+
+val m_c0 : int
+val m_del : int
+val m_c1 : int
+val m_layout : int
+val m_bidi : int
+val m_format : int
+val m_whitespace : int
+val m_nonascii_ws : int
+val m_surrogate : int
+val m_noncharacter : int
+val m_replacement : int
+
+val m_nonascii : int
+(** Set for every code point above U+007F. *)
+
+val m_not_printable : int
+(** Set when the code point is {e outside} the PrintableString
+    repertoire (negated so the mask of plain ASCII letters is 0). *)
+
+val m_not_visible : int
+val m_not_numeric : int
+val m_not_teletex : int
+
+val m_control : int
+(** [m_c0 lor m_del lor m_c1]. *)
+
+val m_invisible : int
+(** [m_layout lor m_nonascii_ws]. *)
+
+val mask : Cp.t -> int
+(** [mask cp] is the property bitmask of [cp]. *)
+
+val compute_mask : Cp.t -> int
+(** The interval-chain computation the flat BMP table is generated
+    from.  Exposed as the oracle for the exhaustive equivalence test;
+    use {!mask} everywhere else. *)
+
+(** The original interval/range-chain implementations.  The flat table
+    is generated from these at module init; the test suite asserts
+    exhaustive equivalence over the whole code-point range. *)
+module Ref : sig
+  val is_layout_control : Cp.t -> bool
+  val is_bidi_control : Cp.t -> bool
+  val is_format : Cp.t -> bool
+  val is_whitespace : Cp.t -> bool
+  val is_nonascii_whitespace : Cp.t -> bool
+  val is_invisible : Cp.t -> bool
+end

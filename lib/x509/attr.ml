@@ -19,7 +19,7 @@ type t =
   | Jurisdiction_country
   | Unknown of Asn1.Oid.t
 
-let o = Asn1.Oid.of_string_exn
+let o s = Asn1.Oid.register (Asn1.Oid.of_string_exn s)
 
 let table =
   [
@@ -49,9 +49,14 @@ let oid = function
   | Unknown oid -> oid
   | a -> ( match row a with Some (_, oid, _, _, _) -> oid | None -> assert false)
 
+let of_oid_tbl : (Asn1.Oid.t, t) Hashtbl.t =
+  let h = Hashtbl.create 32 in
+  List.iter (fun (a, o, _, _, _) -> Hashtbl.replace h o a) table;
+  h
+
 let of_oid oid =
-  match List.find_opt (fun (_, o, _, _, _) -> Asn1.Oid.equal o oid) table with
-  | Some (a, _, _, _, _) -> a
+  match Hashtbl.find_opt of_oid_tbl oid with
+  | Some a -> a
   | None -> Unknown oid
 
 let name = function

@@ -23,7 +23,7 @@ type t = {
 }
 
 module Oids = struct
-  let o = Asn1.Oid.of_string_exn
+  let o s = Asn1.Oid.register (Asn1.Oid.of_string_exn s)
   let sha256_with_rsa = o "1.2.840.113549.1.1.11"
   let rsa_encryption = o "1.2.840.113549.1.1.1"
   let mock_signature = o "1.3.6.1.4.1.55555.1.1"
@@ -31,16 +31,24 @@ module Oids = struct
 end
 
 type keypair =
-  | Mock of { secret : string; spki : spki }
+  | Mock of { spki : spki; mac : Ucrypto.Sha256.hmac_key option }
   | Rsa_keypair of { key : Ucrypto.Rsa.key; spki : spki }
 
-let mock_keypair ~seed =
-  (* The MAC secret is derived from the public key so that relying
-     parties can verify; the scheme is a binding check, not a real
-     signature (DESIGN.md). *)
+(* The MAC secret is derived from the public key so that relying
+   parties can verify; the scheme is a binding check, not a real
+   signature (DESIGN.md). *)
+let mock_secret public = Ucrypto.Sha256.digest ("mock-bind:" ^ public)
+
+let mock_keypair ?(signer = false) ~seed () =
+  (* [signer] keypairs (issuers, CT logs) precompute the HMAC pad
+     midstates, amortizing them over every signature they emit.  Leaf
+     keypairs never sign, so they skip the secret derivation
+     entirely. *)
   let public = Ucrypto.Sha256.digest ("mock-public:" ^ seed) in
-  let secret = Ucrypto.Sha256.digest ("mock-bind:" ^ public) in
-  Mock { secret; spki = { alg = Oids.mock_key; key = public } }
+  let mac =
+    if signer then Some (Ucrypto.Sha256.hmac_init (mock_secret public)) else None
+  in
+  Mock { spki = { alg = Oids.mock_key; key = public }; mac }
 
 let rsa_keypair key =
   Rsa_keypair { key; spki = { alg = Oids.rsa_encryption; key = Ucrypto.Rsa.public_to_der key.Ucrypto.Rsa.public } }
@@ -101,7 +109,8 @@ let encode_tbs tbs = Asn1.Value.encode (tbs_value tbs)
 
 let raw_sign keypair tbs_der =
   match keypair with
-  | Mock m -> Ucrypto.Sha256.hmac ~key:m.secret tbs_der
+  | Mock { mac = Some hk; _ } -> Ucrypto.Sha256.hmac_with hk tbs_der
+  | Mock m -> Ucrypto.Sha256.hmac ~key:(mock_secret m.spki.key) tbs_der
   | Rsa_keypair r -> Ucrypto.Rsa.sign r.key tbs_der
 
 let sign keypair tbs =
@@ -213,13 +222,31 @@ let to_pem cert = Pem.encode_certificate cert.der
 
 let raw_signature = raw_sign
 
+(* Verification re-derives the issuer MAC key from the public key on
+   every call; a corpus pass verifies thousands of certificates against
+   the same handful of issuers, so the derived midstates are cached.
+   The cache is per-domain (Domain.DLS) — no synchronization, safe
+   under [Par]. *)
+let verify_mac_cache : (string, Ucrypto.Sha256.hmac_key) Hashtbl.t Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let verify_mac public =
+  let tbl = Domain.DLS.get verify_mac_cache in
+  match Hashtbl.find_opt tbl public with
+  | Some hk -> hk
+  | None ->
+      let hk = Ucrypto.Sha256.hmac_init (mock_secret public) in
+      if Hashtbl.length tbl < 1024 then Hashtbl.add tbl public hk;
+      hk
+
 let verify_raw ~issuer_spki ~message ~signature =
   if Asn1.Oid.equal issuer_spki.alg Oids.mock_key then
     (* The mock scheme derives the MAC secret from the public key; this
        is NOT unforgeable and exists purely to bind signed bytes to an
        issuer identity in simulations (see DESIGN.md). *)
-    let secret = Ucrypto.Sha256.digest ("mock-bind:" ^ issuer_spki.key) in
-    String.equal signature (Ucrypto.Sha256.hmac ~key:secret message)
+    String.equal signature
+      (Ucrypto.Sha256.hmac_with (verify_mac issuer_spki.key) message)
   else if Asn1.Oid.equal issuer_spki.alg Oids.rsa_encryption then
     match Asn1.Value.decode issuer_spki.key with
     | Ok (Asn1.Value.Sequence [ Asn1.Value.Integer n; Asn1.Value.Integer e ]) ->

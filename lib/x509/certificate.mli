@@ -46,8 +46,11 @@ end
 type keypair
 (** An issuing key: public SPKI plus signing capability. *)
 
-val mock_keypair : seed:string -> keypair
-(** [mock_keypair ~seed] derives a deterministic keyed-hash signer. *)
+val mock_keypair : ?signer:bool -> seed:string -> unit -> keypair
+(** [mock_keypair ~seed] derives a deterministic keyed-hash signer.
+    [~signer:true] additionally precomputes the HMAC pad midstates —
+    worthwhile for keys that sign many messages (issuers, CT logs);
+    signatures are byte-identical either way. *)
 
 val rsa_keypair : Ucrypto.Rsa.key -> keypair
 val keypair_spki : keypair -> spki

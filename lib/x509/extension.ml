@@ -1,7 +1,7 @@
 type t = { oid : Asn1.Oid.t; critical : bool; value : string }
 
 module Oids = struct
-  let o = Asn1.Oid.of_string_exn
+  let o s = Asn1.Oid.register (Asn1.Oid.of_string_exn s)
   let subject_alt_name = o "2.5.29.17"
   let issuer_alt_name = o "2.5.29.18"
   let crl_distribution_points = o "2.5.29.31"
@@ -66,7 +66,7 @@ let subject_info_access = info_access Oids.subject_info_access
 type user_notice = { explicit_text : Asn1.Value.t option }
 type policy = { policy_oid : Asn1.Oid.t; notice : user_notice option }
 
-let unotice_oid = Asn1.Oid.of_string_exn "1.3.6.1.5.5.7.2.2"
+let unotice_oid = Asn1.Oid.register (Asn1.Oid.of_string_exn "1.3.6.1.5.5.7.2.2")
 
 let certificate_policies policies =
   let policy_value p =

@@ -1,0 +1,59 @@
+(* @speed-smoke: fast guard on the fused analysis engine, attached to
+   @runtest.
+
+   Two checks: (1) a small corpus rendered through the fused fact-table
+   engine is byte-identical to the retained legacy (per-stage) engine;
+   (2) the recorded BENCH_speed.json baseline still matches the live
+   engine interface — the lint registry fingerprint it embeds must
+   equal the current {!Unicert.Pipeline.lints_signature}, so a lint
+   added or removed without re-running the benchmark fails tier-1. *)
+
+let scale = 300
+let seed = 3
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("speed-smoke: FAIL: " ^ m);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let report t = Format.asprintf "%a" Unicert.Report.all t
+
+let () =
+  Obs.Progress.set_override (Some false);
+  Unicert.Pipeline.use_reference_engine false;
+  let fused = report (Unicert.Pipeline.run ~scale ~seed ()) in
+  Unicert.Pipeline.use_reference_engine true;
+  let legacy = report (Unicert.Pipeline.run ~scale ~seed ()) in
+  Unicert.Pipeline.use_reference_engine false;
+  if fused <> legacy then
+    fail "fused report differs from the legacy engine at scale %d" scale;
+
+  let bench_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_speed.json"
+  in
+  let json =
+    try read_file bench_path
+    with Sys_error m -> fail "cannot read recorded benchmark %s: %s" bench_path m
+  in
+  let expected =
+    Ucrypto.Sha256.hex (Unicert.Pipeline.lints_signature ())
+  in
+  if not (contains ~needle:("\"" ^ expected ^ "\"") json) then
+    fail
+      "BENCH_speed.json is stale: its lints_signature_sha256 does not match \
+       the live lint registry (%s) — re-run bench_speed"
+      expected;
+  print_endline "speed-smoke: OK"

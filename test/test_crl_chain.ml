@@ -4,7 +4,7 @@
 
 let check = Alcotest.check
 
-let ca = X509.Certificate.mock_keypair ~seed:"crl-test-ca"
+let ca = X509.Certificate.mock_keypair ~seed:"crl-test-ca" ()
 let ca_dn = X509.Dn.of_list [ (X509.Attr.Organization_name, "CRL Test CA") ]
 
 let leaf ?(serial = "\x10\x01") ?(crldp = []) cn =
@@ -55,7 +55,7 @@ let test_crl_pem () =
 
 let test_crl_tamper () =
   let crl = sample_crl () in
-  let other = X509.Certificate.mock_keypair ~seed:"other-ca" in
+  let other = X509.Certificate.mock_keypair ~seed:"other-ca" () in
   check Alcotest.bool "wrong key fails" false
     (X509.Crl.verify ~issuer_spki:(X509.Certificate.keypair_spki other) crl)
 
@@ -116,9 +116,9 @@ let test_crl_spoofing_threat () =
 
 (* --- chains ------------------------------------------------------------ *)
 
-let root_kp = X509.Certificate.mock_keypair ~seed:"chain-root"
+let root_kp = X509.Certificate.mock_keypair ~seed:"chain-root" ()
 let root_dn = X509.Dn.of_list [ (X509.Attr.Organization_name, "Chain Root") ]
-let inter_kp = X509.Certificate.mock_keypair ~seed:"chain-inter"
+let inter_kp = X509.Certificate.mock_keypair ~seed:"chain-inter" ()
 let inter_dn = X509.Dn.of_list [ (X509.Attr.Organization_name, "Chain Intermediate") ]
 
 let make_cert ~issuer_dn ~subject_dn ~key ~signer ~extensions =
@@ -137,7 +137,7 @@ let intermediate =
 let chain_leaf =
   make_cert ~issuer_dn:inter_dn
     ~subject_dn:(X509.Dn.of_list [ (X509.Attr.Common_name, "leaf.example") ])
-    ~key:(X509.Certificate.mock_keypair ~seed:"chain-leaf")
+    ~key:(X509.Certificate.mock_keypair ~seed:"chain-leaf" ())
     ~signer:inter_kp ~extensions:[]
 
 let anchors = [ X509.Chain.anchor_of_keypair root_dn root_kp ]
@@ -159,7 +159,7 @@ let test_chain_name_normalization () =
   let leaf2 =
     make_cert ~issuer_dn:sloppy_inter_dn
       ~subject_dn:(X509.Dn.of_list [ (X509.Attr.Common_name, "leaf2.example") ])
-      ~key:(X509.Certificate.mock_keypair ~seed:"chain-leaf2")
+      ~key:(X509.Certificate.mock_keypair ~seed:"chain-leaf2" ())
       ~signer:inter_kp ~extensions:[]
   in
   match
@@ -213,7 +213,7 @@ let test_name_constraints () =
       X509.Certificate.make_tbs ~issuer:inter_dn
         ~subject:(X509.Dn.of_list [ (X509.Attr.Common_name, List.hd sans) ])
         ~not_before:(Asn1.Time.make 2024 1 1) ~not_after:(Asn1.Time.make 2026 1 1)
-        ~spki:(X509.Certificate.keypair_spki (X509.Certificate.mock_keypair ~seed:"nc-leaf"))
+        ~spki:(X509.Certificate.keypair_spki (X509.Certificate.mock_keypair ~seed:"nc-leaf" ()))
         ~sig_alg:X509.Certificate.Oids.mock_signature
         ~extensions:
           [ X509.Extension.subject_alt_name
@@ -310,7 +310,7 @@ let test_ocsp () =
   | Some (X509.Ocsp.Revoked _) -> ()
   | _ -> Alcotest.fail "expected Revoked");
   (* A cert from a different issuer yields Unknown. *)
-  let other = X509.Certificate.mock_keypair ~seed:"ocsp-other" in
+  let other = X509.Certificate.mock_keypair ~seed:"ocsp-other" () in
   let foreign_id =
     X509.Ocsp.cert_id ~issuer_spki:(X509.Certificate.keypair_spki other) good_cert
   in

@@ -3,7 +3,7 @@
 
 let check = Alcotest.check
 
-let ca = X509.Certificate.mock_keypair ~seed:"hostname-ca"
+let ca = X509.Certificate.mock_keypair ~seed:"hostname-ca" ()
 
 let cert ?(cn = None) sans =
   let cn_value = match cn with Some c -> c | None -> (match sans with s :: _ -> s | [] -> "x") in

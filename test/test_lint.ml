@@ -79,7 +79,7 @@ let cert_with_flaw seed flaw =
     if spec.Ctlog.Flaws.crldp = [] then []
     else [ X509.Extension.crl_distribution_points spec.Ctlog.Flaws.crldp ]
   in
-  let kp = X509.Certificate.mock_keypair ~seed:"gt-ca" in
+  let kp = X509.Certificate.mock_keypair ~seed:"gt-ca" () in
   let tbs =
     X509.Certificate.make_tbs
       ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "GT CA") ])
@@ -123,7 +123,7 @@ let test_flaw_ground_truth () =
     Ctlog.Flaws.all
 
 let test_clean_cert_compliant () =
-  let kp = X509.Certificate.mock_keypair ~seed:"clean-ca" in
+  let kp = X509.Certificate.mock_keypair ~seed:"clean-ca" () in
   let tbs =
     X509.Certificate.make_tbs ~serial:"\x05\x11"
       ~issuer:(X509.Dn.of_list [ (X509.Attr.Organization_name, "Clean CA") ])

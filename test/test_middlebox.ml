@@ -3,7 +3,7 @@
 
 let check = Alcotest.check
 
-let ca = X509.Certificate.mock_keypair ~seed:"middlebox-test-ca"
+let ca = X509.Certificate.mock_keypair ~seed:"middlebox-test-ca" ()
 
 let cert ?(cns = []) ?(org = None) sans =
   let subject =

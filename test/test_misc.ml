@@ -3,7 +3,7 @@
 
 let check = Alcotest.check
 
-let ca = X509.Certificate.mock_keypair ~seed:"misc-ca"
+let ca = X509.Certificate.mock_keypair ~seed:"misc-ca" ()
 
 let cert ?(extensions = []) cn =
   let tbs =
@@ -122,7 +122,7 @@ let test_display_hostname_plain () =
 let test_chain_self_signed () =
   (* A root listed as its own anchor verifies as a one-element chain. *)
   let root_dn = X509.Dn.of_list [ (X509.Attr.Organization_name, "Self Root") ] in
-  let kp = X509.Certificate.mock_keypair ~seed:"self-root" in
+  let kp = X509.Certificate.mock_keypair ~seed:"self-root" () in
   let tbs =
     X509.Certificate.make_tbs ~issuer:root_dn ~subject:root_dn
       ~not_before:(Asn1.Time.make 2024 1 1) ~not_after:(Asn1.Time.make 2026 1 1)

@@ -4,7 +4,7 @@ let check = Alcotest.check
 
 module M = Monitors.Monitor
 
-let ca = X509.Certificate.mock_keypair ~seed:"monitors-test-ca"
+let ca = X509.Certificate.mock_keypair ~seed:"monitors-test-ca" ()
 
 let cert ?(cn = None) domains =
   let cn_value = match cn with Some c -> c | None -> List.hd domains in

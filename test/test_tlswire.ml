@@ -3,7 +3,7 @@
 
 let check = Alcotest.check
 
-let ca = X509.Certificate.mock_keypair ~seed:"tlswire-ca"
+let ca = X509.Certificate.mock_keypair ~seed:"tlswire-ca" ()
 
 let cert ?(org = None) cn =
   let subject =

@@ -3,7 +3,7 @@
 
 let check = Alcotest.check
 
-let ca = X509.Certificate.mock_keypair ~seed:"unicert-test-ca"
+let ca = X509.Certificate.mock_keypair ~seed:"unicert-test-ca" ()
 
 let cert ?(org = None) ?(cn = "plain.example.com") sans =
   let subject =

@@ -247,6 +247,34 @@ let test_classify () =
   check Alcotest.string "bmp" "bmp" (Unicode.Props.classify 0x4E2D);
   check Alcotest.string "astral" "astral" (Unicode.Props.classify 0x1F600)
 
+(* Exhaustive equivalence of the direct-index flat tables against the
+   interval/hashtable reference implementations they were generated
+   from — every code point from U+0000 to U+10FFFF, so a table
+   regeneration bug cannot hide in an untested range. *)
+let test_flat_tables_exhaustive () =
+  for cp = 0 to 0x10FFFF do
+    if Unicode.Props.mask cp <> Unicode.Props.compute_mask cp then
+      Alcotest.failf "Props.mask disagrees with compute_mask at U+%04X" cp;
+    (match (Unicode.Blocks.find cp, Unicode.Blocks.find_interval cp) with
+    | None, None -> ()
+    | Some a, Some b when a = b -> ()
+    | _ -> Alcotest.failf "Blocks.find disagrees with find_interval at U+%04X" cp);
+    match
+      (Unicode.Confusables.lookalike cp, Unicode.Confusables.lookalike_hashed cp)
+    with
+    | None, None -> ()
+    | Some a, Some b when a = b -> ()
+    | _ ->
+        Alcotest.failf "Confusables.lookalike disagrees with hashed table at U+%04X"
+          cp
+  done
+
+let prop_skeleton_equiv =
+  QCheck.Test.make ~name:"flat skeleton equals hashed skeleton" ~count:500
+    scalar_array
+    (fun cps ->
+      Unicode.Confusables.skeleton cps = Unicode.Confusables.skeleton_hashed cps)
+
 let prop_block_edges =
   QCheck.Test.make ~name:"block edges map to themselves" ~count:200
     QCheck.(int_range 0 (Unicode.Blocks.count - 1))
@@ -279,6 +307,8 @@ let suite =
     Alcotest.test_case "confusables" `Quick test_confusables;
     Alcotest.test_case "escape helpers" `Quick test_escape_helpers;
     Alcotest.test_case "classify" `Quick test_classify;
+    Alcotest.test_case "flat tables exhaustive" `Quick test_flat_tables_exhaustive;
+    qtest prop_skeleton_equiv;
     qtest prop_block_edges;
     qtest prop_utf8_roundtrip;
     qtest prop_latin1_roundtrip;

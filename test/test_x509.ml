@@ -231,7 +231,7 @@ let prop_pem_roundtrip =
 
 (* --- certificates ------------------------------------------------------ *)
 
-let ca = X509.Certificate.mock_keypair ~seed:"test-x509-ca"
+let ca = X509.Certificate.mock_keypair ~seed:"test-x509-ca" ()
 
 let make_cert ?(extensions = []) subject =
   let tbs =
@@ -274,7 +274,7 @@ let test_cert_verify_tamper () =
       check Alcotest.bool "tampered fails" false
         (X509.Certificate.verify ~issuer_spki:spki tampered)
   | Error _ -> () (* structural damage is also acceptable *));
-  let other = X509.Certificate.mock_keypair ~seed:"other" in
+  let other = X509.Certificate.mock_keypair ~seed:"other" () in
   check Alcotest.bool "wrong issuer" false
     (X509.Certificate.verify ~issuer_spki:(X509.Certificate.keypair_spki other) cert)
 
