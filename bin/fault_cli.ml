@@ -23,45 +23,87 @@ type t = {
       (* --store DIR: land the run in the crash-safe on-disk store *)
 }
 
-(* Map the two "your inputs are unusable" exceptions the store/resume
-   stack raises to the validation exit code, with their message.  Every
-   binary wraps its corpus pass in this. *)
+(* --- the exit funnel ---------------------------------------------------
+
+   Every nonzero path of every binary must still flush metrics and
+   traces, and a run that earns several codes must exit with the most
+   diagnostic one (Faults.Exitcode: 2 > 3 > 4 > 1 > 0).  Binaries
+   register their --metrics target here and route every exit through
+   [exit_via]; [guard] catches the two "your inputs are unusable"
+   exceptions of the store/resume stack and funnels them as code 2. *)
+
+let metrics_target : string option ref = ref None
+let profile_target = ref false
+
+let set_metrics file = metrics_target := file
+
+let flush_outputs () =
+  let code = ref 0 in
+  (match !metrics_target with
+  | None -> ()
+  | Some file -> (
+      metrics_target := None;
+      try Obs.Export.write_file Obs.Registry.default file
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write metrics: %s\n" msg;
+        code := 1));
+  (try Obs.Trace.flush ()
+   with Sys_error msg ->
+     Printf.eprintf "error: cannot write trace: %s\n" msg;
+     code := 1);
+  if !profile_target then begin
+    profile_target := false;
+    Obs.Profile.print_top stderr
+  end;
+  !code
+
+let exit_via code = exit (Faults.Exitcode.worst code (flush_outputs ()))
+
 let guard f =
   try f () with
   | Faults.Checkpoint.Invalid msg ->
       Printf.eprintf "error: %s\n" msg;
-      exit 2
+      exit_via 2
   | Store.Db.Store_error msg ->
       Printf.eprintf "error: %s\n" msg;
-      exit 2
+      exit_via 2
 
 (* Stale cursor hygiene: a run that shrank --jobs (or --logs) leaves
    high-numbered [FILE.shard<k>]/[FILE.fetch<k>] cursors behind.  Warn
    up front; delete only after a successful completion so a killed run
-   keeps its evidence. *)
+   keeps its evidence.  Each cursor family is judged only by the run
+   mode that owns it: a generate-sourced run says nothing about
+   [.fetch<k>] files (they are live resume state of an interrupted
+   fetch, not stale droppings), so its [active_fetch] is [None]; a
+   fetch-sourced run owns both families. *)
 let cursor_active t ~scale =
   let nshards = List.length (Par.shards ~jobs:t.jobs scale) in
-  match t.fetch with
-  | Some cfg -> max nshards cfg.Ctlog.Fetch.logs
-  | None -> nshards
+  let active_fetch =
+    Option.map
+      (fun cfg -> List.length (Par.shards ~jobs:cfg.Ctlog.Fetch.logs scale))
+      t.fetch
+  in
+  (Some nshards, active_fetch)
 
 let warn_stale_cursors t ~scale =
   match t.policy.Faults.Policy.checkpoint_file with
   | None -> ()
   | Some file ->
+      let active_shards, active_fetch = cursor_active t ~scale in
       List.iter
         (fun f ->
           Printf.eprintf
             "warning: stale cursor %s (left by a run with more shards or \
              logs); it will be removed when this run completes\n"
             f)
-        (Faults.Checkpoint.stale_cursors file ~active:(cursor_active t ~scale))
+        (Faults.Checkpoint.stale_cursors file ~active_shards ~active_fetch)
 
 let cleanup_stale_cursors t ~scale =
   match t.policy.Faults.Policy.checkpoint_file with
   | None -> ()
   | Some file ->
-      ignore (Faults.Checkpoint.remove_stale file ~active:(cursor_active t ~scale))
+      let active_shards, active_fetch = cursor_active t ~scale in
+      ignore (Faults.Checkpoint.remove_stale file ~active_shards ~active_fetch)
 
 let mutator ~default_seed t =
   if t.corrupt_rate <= 0.0 then None
@@ -143,7 +185,10 @@ let make corrupt_rate corrupt_seed corrupt_kinds drop max_errors fail_fast
   (match trace with
   | None -> ()
   | Some file -> Obs.Trace.enable ~ring:trace_ring ~sample:trace_sample ~file ());
-  if profile then Obs.Profile.enable ();
+  if profile then begin
+    Obs.Profile.enable ();
+    profile_target := true
+  end;
   let fetch =
     match source with
     | "generate" -> None

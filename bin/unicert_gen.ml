@@ -35,7 +35,7 @@ let run_corpus_store count seed ~dir (fault : Fault_cli.t) =
   (match p.Unicert.Pipeline.faults.Unicert.Pipeline.aborted with
   | Some reason ->
       Printf.eprintf "error: run aborted: %s\n" reason;
-      exit 3
+      Fault_cli.exit_via 3
   | None -> ());
   let emitted = ref 0 in
   let db = Store.Db.open_ro ~dir in
@@ -54,7 +54,7 @@ let run_corpus_store count seed ~dir (fault : Fault_cli.t) =
                    "error: stored certificate %d unparseable: %s; run \
                     `unicert-store fsck`\n"
                    index (Faults.Error.to_string e);
-                 exit 2))
+                 Fault_cli.exit_via 2))
    with Exit -> ());
   let faulted = p.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors in
   if faulted > 0 then
@@ -78,7 +78,7 @@ let run_corpus count seed flawed_only (fault : Fault_cli.t) =
         (* Flawed filtering would leave index gaps in the store's
            contiguous spans; it stays a live-generation feature. *)
         Printf.eprintf "error: --flawed is not supported with --store\n";
-        exit 2
+        Fault_cli.exit_via 2
       end;
       run_corpus_store count seed ~dir fault
   | None ->
@@ -101,7 +101,7 @@ let run_corpus count seed flawed_only (fault : Fault_cli.t) =
          stays a generate-source feature. *)
       if flawed_only then begin
         Printf.eprintf "error: --flawed is not supported with --source fetch\n";
-        exit 2
+        Fault_cli.exit_via 2
       end;
       let cfg =
         { cfg with
@@ -244,6 +244,7 @@ let run mode count seed flawed_only field payload st fault metrics progress
     no_progress =
   if progress then Obs.Progress.set_override (Some true)
   else if no_progress then Obs.Progress.set_override (Some false);
+  Fault_cli.set_metrics metrics;
   let code =
     match mode with
     | "corpus" ->
@@ -253,22 +254,11 @@ let run mode count seed flawed_only field payload st fault metrics progress
         0
     | other ->
         Printf.eprintf "error: unknown mode %S (corpus|mutant)\n" other;
-        exit 2
+        2
   in
-  Option.iter
-    (fun file ->
-      try Obs.Export.write_file Obs.Registry.default file
-      with Sys_error msg ->
-        Printf.eprintf "error: cannot write metrics: %s\n" msg;
-        exit 1)
-    metrics;
-  (try Obs.Trace.flush ()
-   with Sys_error msg ->
-     Printf.eprintf "error: cannot write trace: %s\n" msg;
-     exit 1);
-  if fault.Fault_cli.profile then Obs.Profile.print_top stderr;
-  (* 4 = completed with degraded fetch coverage. *)
-  if code <> 0 then exit code
+  (* 4 = completed with degraded fetch coverage; the funnel flushes
+     metrics/trace on every path and applies the precedence law. *)
+  Fault_cli.exit_via code
 
 let mode = Arg.(value & pos 0 string "corpus" & info [] ~docv:"MODE" ~doc:"corpus or mutant")
 let count = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of corpus certificates")

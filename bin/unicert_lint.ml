@@ -297,7 +297,7 @@ let lint_corpus ~scale ~seed ~ignore_dates (fault : Fault_cli.t) =
   (match !aborted with
   | Some reason ->
       Printf.eprintf "error: run aborted: %s\n" reason;
-      exit 3
+      Fault_cli.exit_via 3
   | None -> Fault_cli.cleanup_stale_cursors fault ~scale);
   (* Descending count, ties broken by name: deterministic across runs. *)
   let rows =
@@ -348,6 +348,7 @@ let run files corpus scale seed ignore_dates issued_str list_lints json fault
     metrics progress no_progress =
   if progress then Obs.Progress.set_override (Some true)
   else if no_progress then Obs.Progress.set_override (Some false);
+  Fault_cli.set_metrics metrics;
   let issued =
     match Asn1.Time.of_generalized (issued_str ^ "000000Z") with
     | Ok t -> t
@@ -370,23 +371,11 @@ let run files corpus scale seed ignore_dates issued_str list_lints json fault
                  ~issued cert))
       files
   else List.iter (lint_file ~issued ~ignore_dates) files;
-  Option.iter
-    (fun file ->
-      try Obs.Export.write_file Obs.Registry.default file
-      with Sys_error msg ->
-        Printf.eprintf "error: cannot write metrics: %s\n" msg;
-        exit 1)
-    metrics;
-  (try Obs.Trace.flush ()
-   with Sys_error msg ->
-     Printf.eprintf "error: cannot write trace: %s\n" msg;
-     exit 1);
-  if fault.Fault_cli.profile then Obs.Profile.print_top stderr;
-  (* 4 = completed with degraded fetch coverage (metrics still written). *)
-  if !exit_code <> 0 then begin
+  (* 4 = completed with degraded fetch coverage.  The funnel flushes
+     metrics/trace on every path and applies the precedence law. *)
+  if !exit_code <> 0 then
     Printf.eprintf "warning: degraded coverage: not every log delivered fully\n";
-    exit !exit_code
-  end
+  Fault_cli.exit_via !exit_code
 
 let files = Arg.(value & pos_all file [] & info [] ~docv:"CERT" ~doc:"PEM or DER certificate files")
 let scale = Arg.(value & opt int 2000 & info [ "scale" ] ~doc:"Generated corpus size when no files are given")

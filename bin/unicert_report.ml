@@ -5,6 +5,7 @@ open Cmdliner
 let run id scale seed (fault : Fault_cli.t) metrics progress no_progress =
   if progress then Obs.Progress.set_override (Some true)
   else if no_progress then Obs.Progress.set_override (Some false);
+  Fault_cli.set_metrics metrics;
   Tlsparsers.Harness.set_breaker_threshold
     fault.Fault_cli.policy.Faults.Policy.breaker_threshold;
   let ppf = Format.std_formatter in
@@ -59,32 +60,25 @@ let run id scale seed (fault : Fault_cli.t) metrics progress no_progress =
          summary tab3 tab4 tab5 tab6 sec62 tab14 apis rules all@."
         other);
   Format.pp_print_flush ppf ();
-  Option.iter
-    (fun file ->
-      try Obs.Export.write_file Obs.Registry.default file
-      with Sys_error msg ->
-        Printf.eprintf "error: cannot write metrics: %s\n" msg;
-        exit 1)
-    metrics;
-  (* Flush the trace explicitly so a write failure is a visible error
-     here, not just an at_exit warning. *)
-  (try Obs.Trace.flush ()
-   with Sys_error msg ->
-     Printf.eprintf "error: cannot write trace: %s\n" msg;
-     exit 1);
-  if fault.Fault_cli.profile then Obs.Profile.print_top stderr;
   (* Exit codes: 3 = the pass aborted (fail-fast / max-errors), 4 = it
      completed but with degraded fetch coverage (abandoned log, split
-     view, page gaps) — distinguishable by callers and CI. *)
-  match !aborted with
-  | Some reason ->
-      Printf.eprintf "error: run aborted: %s\n" reason;
-      exit 3
-  | None ->
-      if !degraded then begin
-        Printf.eprintf "warning: degraded coverage: see the Coverage section\n";
-        exit 4
-      end
+     view, page gaps) — distinguishable by callers and CI.  The funnel
+     flushes metrics/trace on every path and applies the precedence
+     law (a flush failure never masks 3/4). *)
+  let code =
+    match !aborted with
+    | Some reason ->
+        Printf.eprintf "error: run aborted: %s\n" reason;
+        3
+    | None ->
+        if !degraded then begin
+          Printf.eprintf
+            "warning: degraded coverage: see the Coverage section\n";
+          4
+        end
+        else 0
+  in
+  Fault_cli.exit_via code
 
 let id = Arg.(value & pos 0 string "summary" & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id from DESIGN.md")
 let scale = Arg.(value & opt int Ctlog.Dataset.default_scale & info [ "scale" ] ~doc:"Corpus size")

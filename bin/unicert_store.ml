@@ -29,21 +29,21 @@ let parse_crash_at spec =
             Printf.eprintf
               "error: --crash-at: bad occurrence in %S (want POINT[:N], N >= 1)\n"
               spec;
-            exit 2)
+            Fault_cli.exit_via 2)
   in
   if not (List.mem point Store.Chaos.crash_points) then begin
     Printf.eprintf
       "error: --crash-at: unknown crash point %S (run `unicert-store \
        crash-points`)\n"
       point;
-    exit 2
+    Fault_cli.exit_via 2
   end;
   (point, occurrence)
 
 let arm_chaos ~chaos_rate ~chaos_seed ~chaos_kinds ~crash_at =
   if chaos_rate < 0.0 || chaos_rate > 1.0 then begin
     Printf.eprintf "error: --chaos-rate must be in [0,1]\n";
-    exit 2
+    Fault_cli.exit_via 2
   end;
   let kinds =
     match chaos_kinds with
@@ -58,7 +58,7 @@ let arm_chaos ~chaos_rate ~chaos_seed ~chaos_kinds ~crash_at =
                   "error: --chaos-kinds: unknown kind %S (known: %s)\n" name
                   (String.concat ", "
                      (List.map Store.Chaos.kind_name Store.Chaos.all_kinds));
-                exit 2)
+                Fault_cli.exit_via 2)
           (String.split_on_char ',' names)
   in
   if chaos_rate > 0.0 then
@@ -72,9 +72,10 @@ let arm_chaos ~chaos_rate ~chaos_seed ~chaos_kinds ~crash_at =
 (* --- build --- *)
 
 let build dir scale seed (fault : Fault_cli.t) chaos_rate chaos_seed
-    chaos_kinds crash_at progress no_progress =
+    chaos_kinds crash_at metrics progress no_progress =
   if progress then Obs.Progress.set_override (Some true)
   else if no_progress then Obs.Progress.set_override (Some false);
+  Fault_cli.set_metrics metrics;
   arm_chaos ~chaos_rate ~chaos_seed ~chaos_kinds ~crash_at;
   let source =
     match fault.Fault_cli.fetch with
@@ -94,21 +95,27 @@ let build dir scale seed (fault : Fault_cli.t) chaos_rate chaos_seed
              rerunning the same command recovers and completes. *)
           Printf.eprintf
             "simulated crash at %s; rerun the same command to recover\n" point;
-          exit 3)
+          Fault_cli.exit_via 3)
   in
   Store.Chaos.disarm ();
   Printf.printf "store %s: %d certificate(s), %d noncompliant, %d fault record(s)\n"
     dir t.Unicert.Pipeline.total t.Unicert.Pipeline.nc_total
     t.Unicert.Pipeline.faults.Unicert.Pipeline.fault_errors;
-  (match t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted with
-  | Some reason ->
-      Printf.eprintf "error: run aborted: %s\n" reason;
-      exit 3
-  | None -> Fault_cli.cleanup_stale_cursors fault ~scale);
-  if Unicert.Pipeline.coverage_degraded t then begin
-    Printf.eprintf "warning: degraded coverage: not every log delivered fully\n";
-    exit 4
-  end
+  let code =
+    match t.Unicert.Pipeline.faults.Unicert.Pipeline.aborted with
+    | Some reason ->
+        Printf.eprintf "error: run aborted: %s\n" reason;
+        3
+    | None ->
+        Fault_cli.cleanup_stale_cursors fault ~scale;
+        if Unicert.Pipeline.coverage_degraded t then begin
+          Printf.eprintf
+            "warning: degraded coverage: not every log delivered fully\n";
+          4
+        end
+        else 0
+  in
+  Fault_cli.exit_via code
 
 (* --- fsck --- *)
 
@@ -132,11 +139,11 @@ let fsck dir repair =
   (* 2: nothing to check; 0: clean; 4: damaged but usable data remains
      (degraded, not fatal); 3: nothing salvageable. *)
   match r.Store.Db.store_state with
-  | `Absent -> exit 2
+  | `Absent -> Fault_cli.exit_via 2
   | `Complete | `Building ->
       if r.Store.Db.issues = [] then ()
-      else if r.Store.Db.usable then exit 4
-      else exit 3
+      else if r.Store.Db.usable then Fault_cli.exit_via 4
+      else Fault_cli.exit_via 3
 
 (* --- info --- *)
 
@@ -189,7 +196,7 @@ let query dir name key =
   match Store.Db.load_index db name with
   | Error e ->
       Printf.eprintf "error: index %S: %s\n" name e;
-      exit 2
+      Fault_cli.exit_via 2
   | Ok entries -> (
       match List.assoc_opt key entries with
       | None | Some [] -> Printf.printf "%s %S: no matching certificates\n" name key
@@ -237,11 +244,17 @@ let progress =
 let no_progress =
   Arg.(value & flag & info [ "no-progress" ] ~doc:"Force progress reporting off")
 
+let metrics =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+       ~doc:"Write collected telemetry at exit: Prometheus text, or JSON \
+             when FILE ends in .json")
+
 let build_cmd =
   let doc = "populate (or resume populating) a store from a corpus pass" in
   Cmd.v (Cmd.info "build" ~doc)
     Term.(const build $ dir_arg $ scale $ seed $ Fault_cli.term $ chaos_rate
-          $ chaos_seed $ chaos_kinds $ crash_at $ progress $ no_progress)
+          $ chaos_seed $ chaos_kinds $ crash_at $ metrics $ progress
+          $ no_progress)
 
 let fsck_cmd =
   let doc = "verify every segment, index and the manifest; optionally repair" in

@@ -167,7 +167,20 @@ type row = {
   r_nc : string list;        (* NC lint names ignoring effective dates,
                                 registry order *)
   r_domains : string list;   (* SAN dNSNames, for the store indexes *)
+  r_cns : string list;       (* subject CommonName values, for monitor
+                                ingest from stored rows *)
+  r_attrs : string list;     (* subject O/OU/emailAddress values *)
 }
+
+(* Subject material the monitor daemon indexes (§6.1): shared by both
+   engines so rows stay byte-identical across them. *)
+let subject_fields cert =
+  let subject = cert.X509.Certificate.tbs.X509.Certificate.subject in
+  let get a = X509.Dn.get_text subject a in
+  ( get X509.Attr.Common_name,
+    get X509.Attr.Organization_name
+    @ get X509.Attr.Organizational_unit_name
+    @ get X509.Attr.Email_address )
 
 (* Stage timer handed to {!row_of_entry}; polymorphic so one closure
    can time stages with different result types. *)
@@ -252,6 +265,7 @@ let row_of_entry_reference ~timer (entry : Ctlog.Dataset.entry) ~index =
          cert
   in
   let year_end = Asn1.Time.make issued.Asn1.Time.year 12 31 in
+  let r_cns, r_attrs = subject_fields cert in
   ( {
       r_index = index;
       r_org = issuer.Ctlog.Dataset.org;
@@ -267,6 +281,8 @@ let row_of_entry_reference ~timer (entry : Ctlog.Dataset.entry) ~index =
       r_enc_verified = enc_verified;
       r_nc = List.map (fun (l : Lint.t) -> l.Lint.name) nc;
       r_domains = X509.Certificate.san_dns_names cert;
+      r_cns;
+      r_attrs;
     },
     nc )
 
@@ -311,6 +327,7 @@ let row_of_entry_fused ~timer (entry : Ctlog.Dataset.entry) ~index =
          cert
   in
   let year_end = Asn1.Time.make issued.Asn1.Time.year 12 31 in
+  let r_cns, r_attrs = subject_fields cert in
   ( {
       r_index = index;
       r_org = issuer.Ctlog.Dataset.org;
@@ -326,12 +343,24 @@ let row_of_entry_fused ~timer (entry : Ctlog.Dataset.entry) ~index =
       r_enc_verified = enc_verified;
       r_nc = List.map (fun (l : Lint.t) -> l.Lint.name) nc;
       r_domains = Lint.Ctx.san_dns ctx;
+      r_cns;
+      r_attrs;
     },
     nc )
 
 let row_of_entry ~timer entry ~index =
   if !reference_engine then row_of_entry_reference ~timer entry ~index
   else row_of_entry_fused ~timer entry ~index
+
+(* The ingest surface: the monitor daemon analyzes entries one at a
+   time through the very same engine. *)
+let analyze_entry entry ~index = fst (row_of_entry ~timer:no_timer entry ~index)
+let row_index r = r.r_index
+let row_org r = r.r_org
+let row_nc r = r.r_nc
+let row_domains r = r.r_domains
+let row_cns r = r.r_cns
+let row_attrs r = r.r_attrs
 
 (* Fold one row into the aggregate.  [nc] is the row's NC lint records
    (ignoring dates); callers replaying stored rows rehydrate it with
@@ -1071,40 +1100,55 @@ let encode_row r =
       string_of_int r.r_validity_days;
       encode_list r.r_ufields;
       encode_list r.r_nc;
-      encode_list r.r_domains ]
+      encode_list r.r_domains;
+      encode_list r.r_cns;
+      encode_list r.r_attrs ]
 
 let decode_row s =
   let ( let* ) = Result.bind in
-  match String.split_on_char '\t' s with
-  | [ idx; org; issued; flags; days; uf; nc; doms ] ->
-      let* r_index = Option.to_result ~none:"bad index" (int_of_string_opt idx) in
-      let* r_org = row_unescape org in
-      let* r_issued = Asn1.Time.of_generalized issued in
-      let* () = if String.length flags = 7 then Ok () else Error "bad flags" in
-      let* r_validity_days =
-        Option.to_result ~none:"bad validity" (int_of_string_opt days)
-      in
-      let* r_ufields = decode_list uf in
-      let* r_nc = decode_list nc in
-      let* r_domains = decode_list doms in
-      Ok
-        {
-          r_index;
-          r_org;
-          r_issued;
-          r_is_idn = flags.[0] = '1';
-          r_alive = flags.[1] = '1';
-          r_valid_year_end = flags.[2] = '1';
-          r_validity_days;
-          r_ufields;
-          r_enc_subject = flags.[3] = '1';
-          r_enc_san = flags.[4] = '1';
-          r_enc_policies = flags.[5] = '1';
-          r_enc_verified = flags.[6] = '1';
-          r_nc;
-          r_domains;
-        }
-  | _ -> Error "wrong field count"
+  (* Rows written before the monitor-ingest fields existed have 8
+     columns; decode them with empty subject material so old stores
+     stay readable. *)
+  let fields =
+    match String.split_on_char '\t' s with
+    | [ idx; org; issued; flags; days; uf; nc; doms ] ->
+        Ok (idx, org, issued, flags, days, uf, nc, doms, "", "")
+    | [ idx; org; issued; flags; days; uf; nc; doms; cns; attrs ] ->
+        Ok (idx, org, issued, flags, days, uf, nc, doms, cns, attrs)
+    | _ -> Error "wrong field count"
+  in
+  let* idx, org, issued, flags, days, uf, nc, doms, cns, attrs = fields in
+  let* r_index = Option.to_result ~none:"bad index" (int_of_string_opt idx) in
+  let* r_org = row_unescape org in
+  let* r_issued = Asn1.Time.of_generalized issued in
+  let* () = if String.length flags = 7 then Ok () else Error "bad flags" in
+  let* r_validity_days =
+    Option.to_result ~none:"bad validity" (int_of_string_opt days)
+  in
+  let* r_ufields = decode_list uf in
+  let* r_nc = decode_list nc in
+  let* r_domains = decode_list doms in
+  let* r_cns = decode_list cns in
+  let* r_attrs = decode_list attrs in
+  Ok
+    {
+      r_index;
+      r_org;
+      r_issued;
+      r_is_idn = flags.[0] = '1';
+      r_alive = flags.[1] = '1';
+      r_valid_year_end = flags.[2] = '1';
+      r_validity_days;
+      r_ufields;
+      r_enc_subject = flags.[3] = '1';
+      r_enc_san = flags.[4] = '1';
+      r_enc_policies = flags.[5] = '1';
+      r_enc_verified = flags.[6] = '1';
+      r_nc;
+      r_domains;
+      r_cns;
+      r_attrs;
+    }
 
 (* Fetch coverage round-trips through manifest meta so a warm run can
    skip the transport entirely and still print the coverage section. *)

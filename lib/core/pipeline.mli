@@ -198,3 +198,74 @@ val use_reference_engine : bool -> unit
 val lints_signature : unit -> string
 (** Registry-order lint names joined with [";"] — the engine-interface
     fingerprint stores and recorded benchmarks are validated against. *)
+
+(** {2 Store-row ingest surface}
+
+    The monitor daemon ({!page-index} unicert-monitord) ingests
+    certificates incrementally: each fetched entry is analyzed once
+    into a row, appended to the store in lockstep with its DER, and
+    the row alone feeds the persistent indexes and the live query
+    service — replaying committed rows after a restart rebuilds the
+    exact same serving state. *)
+
+type row
+(** One stored analysis row: the complete deterministic projection of
+    a corpus certificate (issuer, lint findings, Unicode
+    classification, SAN names, subject material). *)
+
+val analyze_entry : Ctlog.Dataset.entry -> index:int -> row
+(** Run the (fused or reference) analysis engine over one delivered
+    entry — the same path a full pipeline pass uses, so stored rows
+    are byte-identical either way. *)
+
+val row_index : row -> int
+
+val row_org : row -> string
+(** Issuer organization. *)
+
+val row_nc : row -> string list
+(** NC lint names, ignoring effective dates, registry order. *)
+
+val row_domains : row -> string list
+(** SAN dNSNames. *)
+
+val row_cns : row -> string list
+(** Subject CommonName values. *)
+
+val row_attrs : row -> string list
+(** Subject O/OU/emailAddress values. *)
+
+val encode_row : row -> string
+val decode_row : string -> (row, string) result
+(** The rows-segment codec.  [decode_row] also accepts the pre-ingest
+    8-column form (empty subject material), so stores written by
+    earlier builds stay readable. *)
+
+type index_acc
+(** Accumulator for the five persistent indexes (issuer, lint, flaw,
+    domain, ulabel), fed from rows alone. *)
+
+val fresh_acc : unit -> index_acc
+val add_index_entries : index_acc -> row -> unit
+
+val merge_accs : index_acc list -> (string * (string * int list) list) list
+(** Merge per-shard accumulators (shard order) into named index entry
+    lists ready for {!save_indexes}. *)
+
+val save_indexes :
+  Store.Db.t ->
+  (string * (string * int list) list) list ->
+  (string * string * string) list
+(** Seal each named index into the store directory; returns manifest
+    [(name, file, sha)] descriptors. *)
+
+val append_fault :
+  Store.Db.pair_writer -> index:int -> der:string -> Faults.Error.t -> unit
+(** Land a corrupt delivery as a fault record (row ["F"]), preserving
+    the fault ledger for warm replays. *)
+
+val store_fingerprint :
+  mutator:Faults.Mutator.plan option -> drop:bool -> source:source -> string
+(** The identity fingerprint a store records besides (scale, seed) —
+    pass the same values a pipeline run would use so daemon-built and
+    pipeline-built stores interoperate. *)

@@ -569,6 +569,27 @@ let plan_of cfg ~seed =
     flap_rate = cfg.flap_rate;
   }
 
+(* Merge one session's delivered and quarantined streams back into a
+   single ascending item stream, parsing delivered DER into entries. *)
+let items_of_session s =
+  let rec merge raws quars =
+    match (raws, quars) with
+    | [], [] -> []
+    | (ci, der) :: rest, [] -> item_of ci der :: merge rest []
+    | [], (ci, der, e) :: rest -> Undecodable (ci, der, e) :: merge [] rest
+    | ((ci, der) :: rrest as rs), ((qi, qder, qe) :: qrest as qs) ->
+        if ci <= qi then item_of ci der :: merge rrest qs
+        else Undecodable (qi, qder, qe) :: merge rs qrest
+  and item_of ci der =
+    match X509.Certificate.parse der with
+    | Error e -> Undecodable (ci, der, e)
+    | Ok cert -> (
+        match Dataset.entry_of_cert cert with
+        | Ok entry -> Got (ci, entry)
+        | Error e -> Undecodable (ci, der, e))
+  in
+  merge s.s_raw s.s_quar
+
 let corpus ?(scale = Dataset.default_scale) ~seed ?mutator ?(drop = false)
     ?checkpoint ?(resume = false) ?stop_after_pages ?(jobs = 1) cfg =
   prewarm ();
@@ -613,27 +634,102 @@ let corpus ?(scale = Dataset.default_scale) ~seed ?mutator ?(drop = false)
   (* Per-log corpus-index ranges are contiguous and ascending, so
      joining per-log streams in log order keeps items globally
      ascending — the same order the generate source uses. *)
-  let items =
-    List.concat_map
-      (fun s ->
-        let rec merge raws quars =
-          match (raws, quars) with
-          | [], [] -> []
-          | (ci, der) :: rest, [] -> item_of ci der :: merge rest []
-          | [], (ci, der, e) :: rest -> Undecodable (ci, der, e) :: merge [] rest
-          | ( ((ci, der) :: rrest as rs),
-              ((qi, qder, qe) :: qrest as qs) ) ->
-              if ci <= qi then item_of ci der :: merge rrest qs
-              else Undecodable (qi, qder, qe) :: merge rs qrest
-        and item_of ci der =
-          match X509.Certificate.parse der with
-          | Error e -> Undecodable (ci, der, e)
-          | Ok cert -> (
-              match Dataset.entry_of_cert cert with
-              | Ok entry -> Got (ci, entry)
-              | Error e -> Undecodable (ci, der, e))
-        in
-        merge s.s_raw s.s_quar)
-      sessions
-  in
+  let items = List.concat_map items_of_session sessions in
   (items, List.map (fun s -> s.s_cov) sessions)
+
+(* --- long-lived feeds (the monitor daemon) ----------------------------- *)
+
+(* A feed is one log's whole fetch apparatus kept alive between polls:
+   the populated log and its server, the per-log clock, transport and
+   token bucket, and the cursor file that carries the session state
+   (trusted STH, pending window, cumulative deliveries) from one poll
+   to the next.  The server starts with nothing published; the driver
+   grows it with {!feed_publish} and each {!poll} runs an ordinary
+   {!fetch_log} session against the currently published head. *)
+type feed = {
+  f_k : int;
+  f_name : string;
+  f_lo : int;
+  f_hi : int;
+  f_present : int array;
+  f_server : Server.t;
+  f_transport : Net.Transport.t;
+  f_bucket : Net.Bucket.t;
+  f_ckpt : string;
+  f_cfg : cfg;
+  f_scale : int;
+  f_seed : int;
+}
+
+let feed_name f = f.f_name
+let feed_range f = (f.f_lo, f.f_hi)
+let feed_goal f = Array.length f.f_present
+let feed_published f = Server.published f.f_server
+
+let feeds ?mutator ?(drop = false) ~checkpoint ~scale ~seed cfg =
+  prewarm ();
+  let parts = Par.shards ~jobs:cfg.logs scale in
+  let plan = plan_of cfg ~seed in
+  List.mapi
+    (fun k (lo, hi) ->
+      let name = log_name k in
+      let log = Log.create ~name in
+      let present = ref [] in
+      Dataset.iter_deliveries ~scale ~start:lo ~stop:hi ?mutator ~drop ~seed
+        (fun index delivery ->
+          match delivery with
+          | Dataset.Entry e ->
+              ignore (Log.add_chain log e.Dataset.cert.X509.Certificate.der);
+              present := index :: !present
+          | Dataset.Corrupt { der; _ } ->
+              ignore (Log.add_chain log der);
+              present := index :: !present);
+      let present = Array.of_list (List.rev !present) in
+      let server = Server.create ~page_cap:cfg.page_cap ~name log in
+      Server.set_published server 0;
+      List.iter
+        (fun (n, at_request, flip) ->
+          if n = name then Server.equivocate_after server ~at_request ~flip)
+        cfg.equivocate;
+      let clock = Net.Clock.create () in
+      let transport =
+        Net.Transport.create ~plan
+          ~down:(fun l -> List.mem l cfg.down)
+          ~clock (Server.handle server)
+      in
+      let bucket =
+        Net.Bucket.create ~clock ~rate:cfg.rate_per_sec ~burst:cfg.burst
+      in
+      {
+        f_k = k;
+        f_name = name;
+        f_lo = lo;
+        f_hi = hi;
+        f_present = present;
+        f_server = server;
+        f_transport = transport;
+        f_bucket = bucket;
+        f_ckpt = cursor_file checkpoint k;
+        f_cfg = cfg;
+        f_scale = scale;
+        f_seed = seed;
+      })
+    parts
+
+let feed_publish f n =
+  let n = min n (feed_goal f) in
+  if n > Server.published f.f_server then Server.set_published f.f_server n
+
+let feed_trusted f =
+  match (Faults.Checkpoint.load f.f_ckpt : cursor Faults.Checkpoint.t option) with
+  | Some c
+    when c.Faults.Checkpoint.scale = f.f_scale
+         && c.Faults.Checkpoint.seed = f.f_seed
+         && c.Faults.Checkpoint.state.c_log = f.f_name ->
+      Option.map fst c.Faults.Checkpoint.state.c_verified
+  | _ -> None
+
+let poll ?stop_after_pages f =
+  fetch_log ~ckpt_file:f.f_ckpt ~resume:true ?stop_after_pages ~cfg:f.f_cfg
+    ~scale:f.f_scale ~seed:f.f_seed ~name:f.f_name ~present:f.f_present
+    ~transport:f.f_transport ~bucket:f.f_bucket ()

@@ -116,3 +116,67 @@ val prewarm : unit -> unit
 (** Force every lazy handle the fetch path touches.  Called internally
     by {!corpus} before spawning; exposed for direct {!fetch_log}
     users. *)
+
+(** {2 Long-lived feeds (the monitor daemon)}
+
+    A feed keeps one log's whole fetch apparatus alive between polls:
+    the populated log and its paged server, the per-log virtual clock,
+    transport and token bucket, and the cursor file that carries the
+    session state (trusted STH, pending window, cumulative deliveries)
+    across polls {e and} process restarts.  The server starts with
+    nothing published; the driver grows the published head with
+    {!feed_publish} and each {!poll} runs an ordinary {!fetch_log}
+    session against it — STH refresh, consistency verification against
+    the trusted head, split-view quarantine and breaker behaviour all
+    identical to a one-shot fetch.
+
+    Restart protocol: the trusted STH in the cursor outlives the
+    in-memory server, so after recreating feeds the driver must
+    republish each log to at least {!feed_trusted} before polling —
+    a smaller published head reads as a shrinking tree, which is
+    (correctly) treated as a split view. *)
+
+type feed
+
+val feeds :
+  ?mutator:Faults.Mutator.plan ->
+  ?drop:bool ->
+  checkpoint:string ->
+  scale:int ->
+  seed:int ->
+  cfg ->
+  feed list
+(** Partition the corpus across [cfg.logs] simulated logs exactly as
+    {!corpus} does (same contiguous ranges, same content under the
+    same [mutator]/[drop]/[seed]) and return one feed per log, each
+    with nothing published yet.  [checkpoint] is the cursor base path
+    ({!cursor_file} per log). *)
+
+val feed_name : feed -> string
+val feed_range : feed -> int * int
+(** The contiguous corpus-index range [(lo, hi)) this log carries. *)
+
+val feed_goal : feed -> int
+(** Total entries this log will eventually publish. *)
+
+val feed_published : feed -> int
+
+val feed_publish : feed -> int -> unit
+(** Raise the published head to [n] (clamped to {!feed_goal};
+    never lowers). *)
+
+val feed_trusted : feed -> int option
+(** The tree size of the cursor's verified STH, when a matching cursor
+    file exists — the minimum the driver must republish to before
+    polling after a restart. *)
+
+val poll : ?stop_after_pages:int -> feed -> session
+(** Run one fetch session against the currently published head,
+    resuming from (and saving) the feed's cursor.  [s_raw] is
+    cumulative across polls — the driver filters by its own
+    watermark. *)
+
+val items_of_session : session -> item list
+(** One session's delivered + quarantined streams merged back into a
+    single ascending item stream (delivered DER parsed into entries,
+    unparseable or integrity-flagged bytes as {!Undecodable}). *)

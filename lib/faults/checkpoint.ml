@@ -64,12 +64,25 @@ let load path =
    shards/logs, the high-numbered files are never reused — left behind
    they look like live state and confuse both operators and resume
    logic, so callers detect them up front (warn) and delete them once a
-   run completes successfully. *)
+   run completes successfully.
+
+   The two families have independent lifetimes: a generate-sourced run
+   owns only the shard cursors, and its shard count says nothing about
+   whether a [.fetch<k>] file is live resume state from an interrupted
+   fetch.  Callers therefore pass one active count per family;
+   [active_fetch = None] means "this run does not own fetch cursors —
+   leave every one of them alone" (and symmetrically for
+   [active_shards]). *)
 
 let cursor_suffixes = [ "shard"; "fetch" ]
 
-let stale_cursors path ~active =
+let stale_cursors path ~active_shards ~active_fetch =
   let dir = Filename.dirname path and base = Filename.basename path in
+  let active_of = function
+    | "shard" -> active_shards
+    | "fetch" -> active_fetch
+    | _ -> None
+  in
   match Sys.readdir dir with
   | exception Sys_error _ -> []
   | names ->
@@ -83,17 +96,19 @@ let stale_cursors path ~active =
                    && String.sub name 0 (String.length prefix) = prefix
                  then
                    match
-                     int_of_string_opt
-                       (String.sub name (String.length prefix)
-                          (String.length name - String.length prefix))
+                     ( active_of suffix,
+                       int_of_string_opt
+                         (String.sub name (String.length prefix)
+                            (String.length name - String.length prefix)) )
                    with
-                   | Some k when k >= active -> Some (Filename.concat dir name)
+                   | Some active, Some k when k >= active ->
+                       Some (Filename.concat dir name)
                    | _ -> None
                  else None)
                cursor_suffixes)
       |> List.sort compare
 
-let remove_stale path ~active =
-  let stale = stale_cursors path ~active in
+let remove_stale path ~active_shards ~active_fetch =
+  let stale = stale_cursors path ~active_shards ~active_fetch in
   List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) stale;
   stale

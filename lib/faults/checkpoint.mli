@@ -38,13 +38,19 @@ val load : string -> 'a t option
 (** [None] when the file is missing; raises {!Invalid} when it exists
     but fails magic, version, or payload validation. *)
 
-val stale_cursors : string -> active:int -> string list
-(** [stale_cursors path ~active] lists existing [path.shard<k>] and
-    [path.fetch<k>] files with [k >= active] — cursors left behind by
-    an earlier run that used more shards (or logs) than the current
-    one.  Sorted; empty when the directory is unreadable. *)
+val stale_cursors :
+  string -> active_shards:int option -> active_fetch:int option -> string list
+(** [stale_cursors path ~active_shards ~active_fetch] lists existing
+    [path.shard<k>] files with [k >= active_shards] and [path.fetch<k>]
+    files with [k >= active_fetch] — cursors left behind by an earlier
+    run that used more shards (or logs) than the current one.  A [None]
+    active count exempts that whole family: a generate-sourced run
+    passes [active_fetch:None] because [.fetch<k>] files are another
+    run mode's live resume state, not its own stale droppings (and
+    symmetrically).  Sorted; empty when the directory is unreadable. *)
 
-val remove_stale : string -> active:int -> string list
+val remove_stale :
+  string -> active_shards:int option -> active_fetch:int option -> string list
 (** Delete the {!stale_cursors} and return the paths removed.  Callers
     warn at start-up and call this only after a successful completion,
     so a killed run keeps its evidence on disk. *)

@@ -72,4 +72,62 @@ let is_a_label_candidate l =
   && (l.[1] = 'n' || l.[1] = 'N')
   && l.[2] = '-' && l.[3] = '-'
 
+(* IDN country-code TLDs (root-zone ccIDNs, A-label form).  Monitors
+   that refuse "Punycode IDN ccTLD" queries (Table 6) refuse exactly
+   these — an A-label under an IDN *generic* TLD (xn--q9jyb4c etc.) is
+   an ordinary query that simply may match nothing. *)
+let idn_cctlds =
+  [ "xn--p1ai" (* .рф  Russia *);
+    "xn--fiqs8s" (* .中国 China *);
+    "xn--fiqz9s" (* .中國 China *);
+    "xn--j6w193g" (* .香港 Hong Kong *);
+    "xn--kprw13d" (* .台湾 Taiwan *);
+    "xn--kpry57d" (* .台灣 Taiwan *);
+    "xn--3e0b707e" (* .한국 Korea *);
+    "xn--90ais" (* .бел Belarus *);
+    "xn--90a3ac" (* .срб Serbia *);
+    "xn--d1alf" (* .мкд North Macedonia *);
+    "xn--e1a4c" (* .ею EU (Cyrillic) *);
+    "xn--h2brj9c" (* .भारत India *);
+    "xn--45brj9c" (* .বাংলা India *);
+    "xn--s9brj9c" (* .ਭਾਰਤ India *);
+    "xn--gecrj9c" (* .ભારત India *);
+    "xn--xkc2dl3a5ee0h" (* .இந்தியா India *);
+    "xn--fpcrj9c3d" (* .భారత్ India *);
+    "xn--mgbbh1a71e" (* .بھارت India *);
+    "xn--wgbh1c" (* .مصر Egypt *);
+    "xn--mgberp4a5d4ar" (* .السعودية Saudi Arabia *);
+    "xn--mgbaam7a8h" (* .امارات UAE *);
+    "xn--mgbayh7gpa" (* .الاردن Jordan *);
+    "xn--mgbc0a9azcg" (* .المغرب Morocco *);
+    "xn--mgba3a4f16a" (* .ایران Iran *);
+    "xn--mgbx4cd0ab" (* .مليسيا Malaysia *);
+    "xn--mgbtx2b" (* .عراق Iraq *);
+    "xn--mgbpl2fh" (* .سودان Sudan *);
+    "xn--pgbs0dh" (* .تونس Tunisia *);
+    "xn--lgbbat1ad8j" (* .الجزائر Algeria *);
+    "xn--ygbi2ammx" (* .فلسطين Palestine *);
+    "xn--mgb9awbf" (* .عمان Oman *);
+    "xn--wgbl6a" (* .قطر Qatar *);
+    "xn--4dbrk0ce" (* .ישראל Israel *);
+    "xn--node" (* .გე Georgia *);
+    "xn--qxam" (* .ελ Greece *);
+    "xn--o3cw4h" (* .ไทย Thailand *);
+    "xn--l1acc" (* .мон Mongolia *);
+    "xn--j1amh" (* .укр Ukraine *);
+    "xn--y9a3aq" (* .հայ Armenia *);
+    "xn--clchc0ea0b2g2a9gcd" (* .சிங்கப்பூர் Singapore *);
+    "xn--yfro4i67o" (* .新加坡 Singapore *);
+    "xn--ogbpf8fl" (* .سورية Syria *);
+    "xn--mgbtf8fl" (* .سوريا Syria *);
+    "xn--fzc2c9e2c" (* .ලංකා Sri Lanka *);
+    "xn--xkc2al3hye2a" (* .இலங்கை Sri Lanka *);
+    "xn--mix891f" (* .澳門 Macao *);
+    "xn--mix082f" (* .澳门 Macao *);
+    "xn--mgbah1a3hjkrd" (* .موريتانيا Mauritania *);
+    "xn--mgbai9azgqp6j" (* .پاکستان Pakistan *);
+    "xn--mgbcpq6gpa1a" (* .البحرين Bahrain *) ]
+
+let is_idn_cctld l = List.mem (String.lowercase_ascii l) idn_cctlds
+
 let normalize_case name = String.lowercase_ascii name

@@ -32,6 +32,12 @@ val is_reserved_ldh_label : string -> bool
 val is_a_label_candidate : string -> bool
 (** [is_a_label_candidate l] — case-insensitive ["xn--"] prefix. *)
 
+val is_idn_cctld : string -> bool
+(** [is_idn_cctld l] — [l] is the A-label of a root-zone IDN
+    {e country-code} TLD (e.g. ["xn--p1ai"] = .рф).  IDN generic TLDs
+    are deliberately excluded: monitors that refuse "Punycode IDN
+    ccTLD" queries (Table 6) refuse only the former. *)
+
 val normalize_case : string -> string
 (** [normalize_case name] lowercases ASCII letters (DNS names compare
     case-insensitively). *)

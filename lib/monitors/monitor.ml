@@ -24,10 +24,11 @@ let has_special s =
 
 let fold_key s = String.lowercase_ascii s
 
-(* Keys a monitor derives from one certificate. *)
-let keys_of prof cert =
-  let tbs = cert.X509.Certificate.tbs in
-  let cns = X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Common_name in
+(* The subject material a monitor indexes, independent of where it came
+   from — a parsed certificate or a stored analysis row. *)
+type fields = { f_cns : string list; f_sans : string list; f_attrs : string list }
+
+let keys_of_fields prof f =
   let cns =
     List.filter_map
       (fun cn ->
@@ -35,22 +36,30 @@ let keys_of prof cert =
         else if prof.cn_split_slash && String.contains cn '/' then
           Some (String.sub cn 0 (String.index cn '/'))
         else Some cn)
-      cns
+      f.f_cns
   in
-  let sans = X509.Certificate.san_dns_names cert in
-  let extra =
-    if prof.indexes_subject_attrs then
-      X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Organization_name
-      @ X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Organizational_unit_name
-      @ X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Email_address
-    else []
-  in
-  let keys = cns @ sans @ extra in
+  let extra = if prof.indexes_subject_attrs then f.f_attrs else [] in
+  let keys = cns @ f.f_sans @ extra in
   let keys =
     if prof.index_drops_special then List.filter (fun k -> not (has_special k)) keys
     else keys
   in
   List.map fold_key keys
+
+let fields_of_cert cert =
+  let tbs = cert.X509.Certificate.tbs in
+  {
+    f_cns = X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Common_name;
+    f_sans = X509.Certificate.san_dns_names cert;
+    f_attrs =
+      X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Organization_name
+      @ X509.Dn.get_text tbs.X509.Certificate.subject
+          X509.Attr.Organizational_unit_name
+      @ X509.Dn.get_text tbs.X509.Certificate.subject X509.Attr.Email_address;
+  }
+
+(* Keys a monitor derives from one certificate. *)
+let keys_of prof cert = keys_of_fields prof (fields_of_cert cert)
 
 let ingest m cert = m.entries <- (keys_of m.prof cert, cert) :: m.entries
 
@@ -104,11 +113,17 @@ let prepare_query prof q =
            (fun l -> Idna.Dns.is_a_label_candidate l && Idna.alabel_issues l <> [])
            labels
     in
+    (* Refusal is only about IDN *country-code* TLDs (Table 6 column
+       "Punycode IDN ccTLD").  An A-label TLD that is not a ccIDN — an
+       IDN gTLD like xn--q9jyb4c — must fall through to an ordinary
+       search that may simply return no results: conflating "we do not
+       serve ccIDN Punycode" with "not found" misreports the monitor's
+       coverage. *)
     let cctld_refused =
       (not prof.punycode_ccidn)
       &&
       match List.rev labels with
-      | tld :: _ -> Idna.Dns.is_a_label_candidate tld
+      | tld :: _ -> Idna.Dns.is_idn_cctld tld
       | [] -> false
     in
     if bad_alabel then Error "A-label fails U-label legality check"
@@ -116,22 +131,23 @@ let prepare_query prof q =
     else Ok q
   end
 
+let matches prof ~needle keys =
+  let contains hay =
+    let hn = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+    nn > 0 && go 0
+  in
+  if prof.fuzzy_search then List.exists contains keys
+  else List.exists (String.equal needle) keys
+
 let search m q =
   match prepare_query m.prof q with
   | Error reason -> Refused reason
   | Ok prepared ->
       let needle = fold_key prepared in
-      let contains hay =
-        let hn = String.length hay and nn = String.length needle in
-        let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
-        nn > 0 && go 0
-      in
-      let matches keys =
-        if m.prof.fuzzy_search then List.exists contains keys
-        else List.exists (String.equal needle) keys
-      in
       Results
-        (List.rev_map snd (List.filter (fun (keys, _) -> matches keys) m.entries)
+        (List.rev_map snd
+           (List.filter (fun (keys, _) -> matches m.prof ~needle keys) m.entries)
         |> List.rev)
 
 (* Profiles per Table 6. *)
@@ -201,3 +217,15 @@ let merklemap =
   }
 
 let all = [ crtsh; sslmate; facebook; entrust; merklemap ]
+
+(* Short stable keys for wire protocols and CLI flags. *)
+let profile_key p =
+  if p.name = crtsh.name then "crtsh"
+  else if p.name = sslmate.name then "sslmate"
+  else if p.name = facebook.name then "facebook"
+  else if p.name = entrust.name then "entrust"
+  else if p.name = merklemap.name then "merklemap"
+  else String.lowercase_ascii p.name
+
+let of_key k =
+  List.find_opt (fun p -> profile_key p = String.lowercase_ascii k) all

@@ -21,6 +21,34 @@ type profile = {
       (** entries with control characters never enter the index *)
 }
 
+type fields = {
+  f_cns : string list;    (** subject CommonName values *)
+  f_sans : string list;   (** SAN dNSName entries *)
+  f_attrs : string list;  (** O / OU / emailAddress values *)
+}
+(** The subject material a monitor indexes, independent of whether it
+    came from a parsed certificate or a stored analysis row — the
+    incremental-ingest surface the monitor daemon feeds from store
+    rows. *)
+
+val fields_of_cert : X509.Certificate.t -> fields
+
+val keys_of_fields : profile -> fields -> string list
+(** The folded index keys this monitor derives from one certificate's
+    fields: CN filtering (slash split, space drop), subject attributes
+    when indexed, special-character dropping, case folding. *)
+
+val prepare_query : profile -> string -> (string, string) result
+(** [prepare_query prof q] is the lookup string the monitor would
+    actually search for — U-labels converted to A-labels — or [Error
+    reason] when the monitor refuses the input (Unicode unsupported,
+    U-label/A-label legality check failed, Punycode query under an IDN
+    ccTLD on a profile that rejects those). *)
+
+val matches : profile -> needle:string -> string list -> bool
+(** Whether a key set matches a prepared, folded needle under the
+    profile's exact/substring semantics. *)
+
 type instance
 
 val create : profile -> instance
@@ -48,3 +76,9 @@ val entrust : profile
 val merklemap : profile
 
 val all : profile list
+
+val profile_key : profile -> string
+(** Short stable key (["crtsh"], ["sslmate"], ...) used by the query
+    protocol and CLI flags. *)
+
+val of_key : string -> profile option

@@ -132,7 +132,13 @@ let open_ro ~dir =
   | Ok (Some id_) -> (
       match Manifest.load ~dir with
       | Error e -> fail "store %s: manifest unreadable (%s); run `unicert-store fsck --repair`" dir e
-      | Ok None -> fail "store %s: manifest missing; run `unicert-store fsck --repair`" dir
+      | Ok None ->
+          (* A valid identity with no committed manifest is an in-flight
+             build caught before its first commit (fsck calls it
+             usable).  Readers agree: the committed prefix is simply
+             empty — any unsealed tail segments stay invisible until a
+             writer commits them. *)
+          { dir; id_; man = empty_manifest "" }
       | Ok (Some man) -> { dir; id_; man })
 
 let sorted_segments (man : Manifest.t) =

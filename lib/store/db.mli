@@ -50,7 +50,11 @@ val create : dir:string -> scale:int -> seed:int -> fingerprint:string -> t
 
 val open_ro : dir:string -> t
 (** Open an existing store read-only; {!Store_error} if absent or the
-    identity/manifest are unreadable. *)
+    identity/manifest are unreadable.  A store caught mid-build opens
+    at its committed prefix: a valid identity with no committed
+    manifest yet reads as an empty [`Building] store, and unsealed
+    tail segments a writer is still appending stay invisible until
+    the next atomic manifest commit. *)
 
 val complete : t -> bool
 (** Manifest state is [`Complete] and the sealed spans tile

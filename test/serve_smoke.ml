@@ -1,0 +1,220 @@
+(* Monitor-daemon smoke test: spawn the real unicert-monitord binary
+   against faulty simulated logs (10% net fault rate) and check the
+   serving contract end to end:
+
+   - a scripted query battery (per-profile subject searches incl. the
+     Punycode edge cases, direct index lookups, stats) answers with
+     well-formed sealed frames and the expected verdicts;
+   - responses are byte-identical across --jobs 1/2/4;
+   - SIGTERM is a clean shutdown: final manifest commit, exit 0, the
+     store passes fsck — and a restarted daemon resumes from its
+     cursors and converges to the byte-identical battery responses.
+
+   The daemon path arrives as argv(1) from the dune rule. *)
+
+let daemon =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: serve_smoke DAEMON_EXE";
+    exit 2
+  end
+  else Sys.argv.(1)
+
+let scale = 600
+let seed = 5
+
+let base_args =
+  [
+    "--scale"; string_of_int scale; "--seed"; string_of_int seed;
+    "--source"; "fetch"; "--logs"; "8"; "--net-seed"; "41";
+    "--net-fault-rate"; "0.1"; "--publish-per-tick"; "8";
+    "--commit-every"; "4"; "--no-progress";
+  ]
+
+let failures = ref 0
+
+let checkf ok fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if ok then Printf.printf "ok: %s\n%!" msg
+      else begin
+        incr failures;
+        Printf.printf "FAIL: %s\n%!" msg
+      end)
+    fmt
+
+(* The battery: subject searches per profile (the Table 6 edge cases),
+   index lookups against all five persistent indexes, and stats. *)
+let battery =
+  [
+    "q crtsh example";
+    "q crtsh shop.xn--p1ai";
+    "q sslmate xn--bcher-kva.com";
+    "q facebook shop.xn--q9jyb4c";
+    "q entrust xn--bcher-kva.com";
+    "q entrust shop.xn--p1ai";
+    "q merklemap b\xc3\xbccher";
+    "ix issuer COMODO CA Limited";
+    "ix ulabel b\xc3\xbccher";
+    "ix domain example";
+    "ix flaw Invalid Encoding";
+    "ix lint e_subject_locality_not_printable_or_utf8";
+    "stats";
+  ]
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+(* Run the daemon over a fresh or existing store with [extra] args,
+   write [input] lines to stdin, return (stdout, exit status). *)
+let run_daemon ~dir ~extra ~input () =
+  let args =
+    Array.of_list ((daemon :: "--store" :: dir :: base_args) @ extra)
+  in
+  let out, inp, err =
+    Unix.open_process_args_full daemon args (Unix.environment ())
+  in
+  List.iter (fun l -> output_string inp (l ^ "\n")) input;
+  close_out inp;
+  let stdout_s = read_all out in
+  let stderr_s = read_all err in
+  let status = Unix.close_process_full (out, inp, err) in
+  (stdout_s, stderr_s, status)
+
+(* Split a concatenated stream of sealed frames on their "end <hex>"
+   trailers and validate each seal: payload lines rejoined + trailer
+   must round-trip through Ctlog.Wire. *)
+let frames_of s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc frame = function
+    | [] -> List.rev acc
+    | line :: rest ->
+        if String.length line > 4 && String.sub line 0 4 = "end " then begin
+          let body =
+            String.concat "" (List.rev_map (fun l -> l ^ "\n") frame)
+            ^ line ^ "\n"
+          in
+          (match Ctlog.Wire.open_ body with
+          | Some payload -> go (payload :: acc) [] rest
+          | None -> failwith (Printf.sprintf "unsealed frame: %S" body))
+        end
+        else if line = "" then go acc frame rest
+        else go acc (line :: frame) rest
+  in
+  go [] [] lines
+
+let first_line = function l :: _ -> l | [] -> "(empty frame)"
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "unicert-serve-smoke-%s-%d" name (Unix.getpid ()))
+
+let () =
+  (* --- 1. battery semantics + byte stability across --jobs --------- *)
+  let outputs =
+    List.map
+      (fun jobs ->
+        let dir = tmp (Printf.sprintf "jobs%d" jobs) in
+        rm_rf dir;
+        let stdout_s, stderr_s, status =
+          run_daemon ~dir
+            ~extra:[ "--ticks"; "12"; "--jobs"; string_of_int jobs ]
+            ~input:(battery @ [ "quit" ])
+            ()
+        in
+        checkf (status = Unix.WEXITED 0) "jobs=%d daemon exits 0 (stderr: %s)"
+          jobs (String.trim stderr_s);
+        if jobs = 1 then rm_rf dir;  (* jobs=2/4 dirs reused below *)
+        (jobs, dir, stdout_s))
+      [ 1; 2; 4 ]
+  in
+  let _, _, ref_out = List.hd outputs in
+  List.iter
+    (fun (jobs, _, out) ->
+      checkf (out = ref_out) "jobs=%d responses byte-identical to jobs=1" jobs)
+    (List.tl outputs);
+  let frames = frames_of ref_out in
+  checkf
+    (List.length frames = List.length battery + 1)
+    "one sealed frame per query (+bye), got %d" (List.length frames);
+  let reply i = first_line (List.nth frames i) in
+  let expect i pred what =
+    checkf (pred (reply i)) "%S -> %S %s" (List.nth battery i) (reply i) what
+  in
+  let hits_nonzero r = starts_with "hits " r && not (starts_with "hits 0" r) in
+  expect 0 hits_nonzero "fuzzy subject search finds hits";
+  expect 1 (starts_with "hits") "crtsh serves Punycode ccIDN queries";
+  expect 2 (starts_with "hits") "sslmate accepts a legal A-label";
+  expect 3 (starts_with "hits") "facebook serves an IDN-gTLD A-label";
+  expect 4 (starts_with "hits")
+    "entrust refusal is scoped to ccIDN TLDs (the conflation bugfix)";
+  expect 5 (starts_with "refused") "entrust refuses Punycode ccIDN";
+  expect 6 (starts_with "refused") "U-label input refused (Table 6)";
+  List.iter
+    (fun i -> expect i hits_nonzero "index lookup finds hits")
+    [ 7; 8; 9; 10; 11 ];
+  expect 12
+    (starts_with (Printf.sprintf "stats committed=%d" scale))
+    "whole corpus committed";
+
+  (* --- 2. SIGTERM: clean shutdown, then resumable restart ---------- *)
+  let dir = tmp "sigterm" in
+  rm_rf dir;
+  let args =
+    Array.of_list
+      ((daemon :: "--store" :: dir :: base_args) @ [ "--ticks"; "4" ])
+  in
+  let out_r, out_w = Unix.pipe () in
+  let in_r, in_w = Unix.pipe () in
+  let pid = Unix.create_process daemon args in_r out_w Unix.stderr in
+  Unix.close out_w;
+  Unix.close in_r;
+  (* Let the partial ingest (4 of the ~10 ticks needed) land, then ask
+     for a graceful stop while the daemon sits in its stdin loop. *)
+  Unix.sleepf 2.0;
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  Unix.close in_w;
+  Unix.close out_r;
+  checkf (status = Unix.WEXITED 0) "SIGTERM is a clean exit 0";
+  let report = Store.Db.fsck ~dir () in
+  checkf report.Store.Db.usable "store usable after SIGTERM";
+  let db = Store.Db.open_ro ~dir in
+  let committed = ref 0 in
+  Store.Db.iter_pairs db (fun _ _ -> incr committed);
+  checkf
+    (!committed > 0 && !committed < scale)
+    "shutdown committed a partial prefix (%d of %d)" !committed scale;
+  (* Restart over the same store: cursors + committed prefix resume,
+     and the finished battery matches the fresh-run bytes. *)
+  let stdout_s, stderr_s, status =
+    run_daemon ~dir ~extra:[ "--ticks"; "12" ]
+      ~input:(battery @ [ "quit" ]) ()
+  in
+  checkf (status = Unix.WEXITED 0) "restarted daemon exits 0 (stderr: %s)"
+    (String.trim stderr_s);
+  checkf (stdout_s = ref_out)
+    "restart after SIGTERM converges to byte-identical responses";
+  rm_rf dir;
+  List.iter (fun (_, d, _) -> rm_rf d) (List.tl outputs);
+
+  if !failures > 0 then begin
+    Printf.printf "serve_smoke: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  print_endline "serve_smoke: all checks passed"

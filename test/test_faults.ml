@@ -215,21 +215,53 @@ let test_stale_cursors () =
       base ^ ".fetch0";
       base ^ ".fetch3";
       base ^ ".shardX" (* non-numeric: never stale *) ];
-  let stale = Faults.Checkpoint.stale_cursors base ~active:2 in
+  (* Each cursor family is judged only against its own active count.  A
+     fetch-sourced run with 2 live logs must not flag .fetch0/.fetch1
+     (the false positive this guards against), and a generate-sourced
+     run (active_fetch:None) must leave every .fetch<k> alone — they are
+     another run mode's resume state. *)
+  let stale =
+    Faults.Checkpoint.stale_cursors base ~active_shards:(Some 2)
+      ~active_fetch:(Some 2)
+  in
   check
     Alcotest.(list string)
-    "k >= active detected"
+    "k >= active detected per family"
     [ base ^ ".fetch3"; base ^ ".shard5" ]
     stale;
-  let removed = Faults.Checkpoint.remove_stale base ~active:2 in
+  let fetch_exempt =
+    Faults.Checkpoint.stale_cursors base ~active_shards:(Some 2)
+      ~active_fetch:None
+  in
+  check
+    Alcotest.(list string)
+    "None exempts the fetch family"
+    [ base ^ ".shard5" ]
+    fetch_exempt;
+  let shard_exempt =
+    Faults.Checkpoint.stale_cursors base ~active_shards:None
+      ~active_fetch:(Some 1)
+  in
+  check
+    Alcotest.(list string)
+    "None exempts the shard family"
+    [ base ^ ".fetch3" ]
+    shard_exempt;
+  let removed =
+    Faults.Checkpoint.remove_stale base ~active_shards:(Some 2)
+      ~active_fetch:(Some 2)
+  in
   check Alcotest.(list string) "removed what was listed" stale removed;
-  check Alcotest.bool "live cursors kept" true
+  check Alcotest.bool "live shard cursors kept" true
     (Sys.file_exists (Faults.Checkpoint.shard_file base 1));
+  check Alcotest.bool "live fetch cursors kept" true
+    (Sys.file_exists (base ^ ".fetch0"));
   check Alcotest.bool "stale gone" false (Sys.file_exists (base ^ ".shard5"));
   check
     Alcotest.(list string)
     "idempotent" []
-    (Faults.Checkpoint.remove_stale base ~active:2);
+    (Faults.Checkpoint.remove_stale base ~active_shards:(Some 2)
+       ~active_fetch:(Some 2));
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir
 
@@ -478,8 +510,39 @@ let test_error_taxonomy () =
   check Alcotest.string "sys_error maps to resource" "resource"
     (class_name (of_exn ~stage:"x" (Sys_error "disk on fire")))
 
+let test_exit_precedence () =
+  let open Faults.Exitcode in
+  check Alcotest.(list int) "precedence, most severe first" [ 2; 3; 4; 1; 0 ]
+    precedence;
+  (* Table-driven: every ordered pair of known codes, plus the unknown
+     codes that must never be masked.  The contract the binaries rely
+     on: a degraded run that also hits a store identity error exits 2;
+     a degraded run whose metrics flush failed still exits 4. *)
+  let cases =
+    [
+      (0, 0, 0); (0, 1, 1); (1, 0, 1); (0, 4, 4); (4, 0, 4); (1, 4, 4);
+      (4, 1, 4); (3, 4, 3); (4, 3, 3); (3, 1, 3); (0, 3, 3); (2, 3, 2);
+      (3, 2, 2); (2, 4, 2); (4, 2, 2); (2, 1, 2); (2, 0, 2); (1, 1, 1);
+      (* unknown codes rank above every known one *)
+      (5, 2, 5); (2, 5, 5); (127, 0, 127); (0, 127, 127);
+    ]
+  in
+  List.iter
+    (fun (a, b, expected) ->
+      check Alcotest.int (Printf.sprintf "worst %d %d" a b) expected (worst a b))
+    cases;
+  (* worst is associative with identity 0, so folding a code list in
+     any order yields the same verdict. *)
+  let fold l = List.fold_left worst 0 l in
+  check Alcotest.int "fold [4;1]" 4 (fold [ 4; 1 ]);
+  check Alcotest.int "fold [1;4;3]" 3 (fold [ 1; 4; 3 ]);
+  check Alcotest.int "fold [4;3;2]" 2 (fold [ 4; 3; 2 ]);
+  check Alcotest.int "fold order-independent" (fold [ 2; 3; 4 ])
+    (fold [ 4; 3; 2 ])
+
 let suite =
   [
+    Alcotest.test_case "exit-code precedence" `Quick test_exit_precedence;
     Alcotest.test_case "oid malformations" `Quick test_oid_malformations;
     Alcotest.test_case "bit-string malformations" `Quick
       test_bit_string_malformations;

@@ -86,6 +86,36 @@ let test_cctld_refusal () =
   | M.Refused _ -> ()
   | M.Results _ -> Alcotest.fail "entrust should refuse punycode ccTLD queries"
 
+let test_alabel_refusal_per_profile () =
+  (* The "Punycode IDN ccTLD" column of Table 6 is only about IDN
+     *country-code* TLDs.  An A-label query under an ASCII TLD or an
+     IDN gTLD must never be refused on that ground — on every profile
+     it is an ordinary search that may simply come back empty.
+     Conflating the refusal with "not found" misreports coverage. *)
+  List.iter
+    (fun (prof : M.profile) ->
+      let m = M.create prof in
+      M.ingest m (cert [ "unrelated.example" ]);
+      List.iter
+        (fun q ->
+          match M.search m q with
+          | M.Results hits ->
+              check Alcotest.int
+                (Printf.sprintf "%s %S finds nothing" prof.M.name q)
+                0 (List.length hits)
+          | M.Refused reason ->
+              Alcotest.failf "%s refused %S: %s" prof.M.name q reason)
+        [ "xn--bcher-kva.com"; "shop.xn--q9jyb4c" ];
+      (* ...while the ccIDN case keeps its per-profile verdict. *)
+      match (M.search m "shop.xn--p1ai", prof.M.punycode_ccidn) with
+      | M.Refused _, false | M.Results _, true -> ()
+      | M.Results _, false ->
+          Alcotest.failf "%s should refuse punycode ccIDN queries" prof.M.name
+      | M.Refused reason, true ->
+          Alcotest.failf "%s should serve punycode ccIDN queries, refused: %s"
+            prof.M.name reason)
+    M.all
+
 let test_sslmate_cn_quirks () =
   let m = M.create M.sslmate in
   M.ingest m (cert ~cn:(Some "victim.com/extra") [ "unrelated.example" ]);
@@ -188,6 +218,8 @@ let suite =
     Alcotest.test_case "subject attr indexing" `Quick test_subject_attr_indexing;
     Alcotest.test_case "u-label checks" `Quick test_ulabel_checks;
     Alcotest.test_case "punycode ccTLD refusal" `Quick test_cctld_refusal;
+    Alcotest.test_case "A-label refusal scoped to ccIDN TLDs, per profile"
+      `Quick test_alabel_refusal_per_profile;
     Alcotest.test_case "sslmate CN quirks" `Quick test_sslmate_cn_quirks;
     Alcotest.test_case "ct log ingestion" `Quick test_log_ingestion;
     Alcotest.test_case "table 6 matches paper" `Quick test_table6_matches_paper;

@@ -281,9 +281,45 @@ let test_identity_mismatch () =
     (report (run_store dir));
   rm_rf dir
 
+let test_open_ro_mid_build () =
+  (* An adoptable in-flight build — valid identity on disk, no manifest
+     committed yet — must open read-only at its committed prefix (here:
+     empty) instead of failing.  This is the monitor daemon's reader
+     path: queries run against whatever prefix is durable while ingest
+     is still appending. *)
+  let dir = fresh_dir "openro-midbuild" in
+  Fun.protect
+    ~finally:(fun () -> Store.Chaos.disarm ())
+    (fun () ->
+      (* Occurrence 1 of manifest.rename is the identity file at
+         create; occurrence 2 is the manifest commit itself — crash
+         there and the store is all data, no manifest. *)
+      Store.Chaos.arm_crash ~point:"manifest.rename.before" ~occurrence:2;
+      (match run_store ~jobs:1 dir with
+      | _ -> Alcotest.fail "build did not crash"
+      | exception Store.Chaos.Crashed _ -> ());
+      Store.Chaos.disarm ();
+      let db = Store.Db.open_ro ~dir in
+      check Alcotest.bool "mid-build store reads as building" true
+        (not (Store.Db.complete db));
+      check Alcotest.int "committed prefix is empty" 0
+        (List.length (Store.Db.spans db));
+      let pairs = ref 0 in
+      Store.Db.iter_pairs db (fun _ _ -> incr pairs);
+      check Alcotest.int "no committed pairs readable" 0 !pairs;
+      (* The read-only open must not have disturbed the crash
+         leftovers: the build is still adoptable and completes to the
+         byte-identical report. *)
+      check Alcotest.string "build still adoptable after read-only open"
+        (Lazy.force baseline)
+        (report (run_store ~jobs:1 dir)));
+  rm_rf dir
+
 let suite =
   [
     Alcotest.test_case "cold/warm byte identity" `Quick test_cold_warm_identity;
+    Alcotest.test_case "read-only open of an in-flight build" `Quick
+      test_open_ro_mid_build;
     Alcotest.test_case "crash matrix (every point, jobs 1/2/4)" `Slow
       test_crash_matrix;
     Alcotest.test_case "crash matrix (second occurrences)" `Slow
