@@ -1,0 +1,117 @@
+(* Fuzzer throughput baseline: execs/sec for the round-based campaign
+   (sequential and sharded) and time-to-first-disagreement on the
+   pinned seed — the numbers the @fuzz-smoke budget and the ROADMAP
+   item 4 claims are calibrated against.
+
+   The campaign is deterministic in (seed, budget), so the measured
+   runs rediscover exactly the same findings every time; only the wall
+   clock varies.  Writes BENCH_fuzz.json (or the path given as the
+   first argument).  Environment knobs: UNICERT_BENCH_FUZZ_BUDGET
+   (default 1024), UNICERT_BENCH_RUNS (default 3). *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let budget = env_int "UNICERT_BENCH_FUZZ_BUDGET" 1024
+let runs = env_int "UNICERT_BENCH_RUNS" 3
+let seed = 7
+
+let cfg jobs =
+  { Fuzz.Campaign.default_config with Fuzz.Campaign.seed; budget; jobs }
+
+(* Min-of-[runs] wall clock for a campaign at [jobs]; returns the last
+   result alongside (identical across runs by construction). *)
+let measure jobs =
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    let t = Sys.opaque_identity (Fuzz.Campaign.run (cfg jobs)) in
+    let wall = Unix.gettimeofday () -. t0 in
+    if wall < !best then best := wall;
+    last := Some t
+  done;
+  (!best, Option.get !last)
+
+(* Wall clock up to the first non-agreement outcome: rerun with the
+   budget clipped just past the recorded first disagreement, so the
+   measured region is exactly the executions that preceded it. *)
+let time_to_first first jobs =
+  match first with
+  | None -> nan
+  | Some exec ->
+      let clipped = { (cfg jobs) with Fuzz.Campaign.budget = exec + 1 } in
+      let best = ref infinity in
+      for _ = 1 to runs do
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (Fuzz.Campaign.run clipped));
+        let wall = Unix.gettimeofday () -. t0 in
+        if wall < !best then best := wall
+      done;
+      !best
+
+let () =
+  let out =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_fuzz.json"
+  in
+  (* Warm up allocators and the lazy Obs instruments outside the clock. *)
+  ignore (Fuzz.Campaign.run { (cfg 1) with Fuzz.Campaign.budget = 64 });
+  let cores = Domain.recommended_domain_count () in
+  let jobs = if cores > 1 then cores else 1 in
+  let seq_wall, t = measure 1 in
+  let par_wall, _ = if jobs > 1 then measure jobs else (seq_wall, t) in
+  let beyond =
+    Fuzz.Findings.clusters t.Fuzz.Campaign.findings
+    |> List.filter (fun (_, cls, _, _) -> Fuzz.Exec.beyond_tables cls)
+    |> List.length
+  in
+  let ttfd = time_to_first t.Fuzz.Campaign.first_disagreement 1 in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"coverage-guided differential fuzzing campaign, pinned seed\",\n\
+    \  \"seed\": %d,\n\
+    \  \"budget\": %d,\n\
+    \  \"runs\": %d,\n\
+    \  \"aggregation\": \"min of runs, wall clock; findings are deterministic in (seed, budget)\",\n\
+    \  \"recommended_domain_count\": %d,\n\
+    \  \"cores_limited\": %b,\n\
+    \  \"sequential\": {\n\
+    \    \"wall_seconds\": %.4f,\n\
+    \    \"execs_per_sec\": %.1f\n\
+    \  },\n\
+    \  \"parallel\": {\n\
+    \    \"jobs\": %d,\n\
+    \    \"wall_seconds\": %.4f,\n\
+    \    \"execs_per_sec\": %.1f,\n\
+    \    \"speedup_vs_sequential\": %.2f\n\
+    \  },\n\
+    \  \"first_disagreement_exec\": %s,\n\
+    \  \"time_to_first_disagreement_seconds\": %s,\n\
+    \  \"findings\": %d,\n\
+    \  \"clusters_beyond_tables\": %d,\n\
+    \  \"distinct_signatures\": %d,\n\
+    \  \"corpus_size\": %d\n\
+     }\n"
+    seed budget runs cores (cores <= 1) seq_wall
+    (float_of_int budget /. seq_wall)
+    jobs par_wall
+    (float_of_int budget /. par_wall)
+    (seq_wall /. par_wall)
+    (match t.Fuzz.Campaign.first_disagreement with
+    | Some e -> string_of_int e
+    | None -> "null")
+    (if Float.is_nan ttfd then "null" else Printf.sprintf "%.4f" ttfd)
+    (List.length t.Fuzz.Campaign.findings)
+    beyond t.Fuzz.Campaign.signatures t.Fuzz.Campaign.corpus_size;
+  close_out oc;
+  Printf.printf
+    "fuzz: %d execs in %.4fs seq (%.0f/sec), %.4fs at jobs=%d; %d findings, \
+     %d beyond-table clusters -> %s\n"
+    budget seq_wall
+    (float_of_int budget /. seq_wall)
+    par_wall jobs
+    (List.length t.Fuzz.Campaign.findings)
+    beyond out

@@ -102,7 +102,8 @@ let () =
      recorded baseline no longer matches the live lint registry. *)
   let signature = Ucrypto.Sha256.hex (Unicert.Pipeline.lints_signature ()) in
   (* jobs=N row: only meaningful (and only recorded) on hosts with
-     more than one core. *)
+     more than one core; [cores_limited] makes the absence explicit so
+     a single-core host doesn't read as a missing measurement. *)
   let parallel_json =
     if cores <= 1 then ""
     else begin
@@ -128,6 +129,7 @@ let () =
     \  \"aggregation\": \"min of runs, wall clock; stage seconds from the unicert_span_seconds deltas of the best run\",\n\
     \  \"lints_signature_sha256\": \"%s\",\n\
     \  \"recommended_domain_count\": %d,\n\
+    \  \"cores_limited\": %b,\n\
     %s\
     \  \"wall_seconds\": %.4f,\n\
     \  \"certs_per_sec\": %.1f,\n\
@@ -152,7 +154,8 @@ let () =
     \  \"trace_overhead_pct\": %.2f,\n\
     \  \"trace_overhead_budget_pct\": 5.0\n\
      }\n"
-    scale runs signature cores parallel_json wall certs_per_sec (stage_of "generate")
+    scale runs signature cores (cores <= 1) parallel_json wall certs_per_sec
+    (stage_of "generate")
     (stage_of "decode") (stage_of "lint") (stage_of "classify")
     (stage_of "aggregate")
     (Float.max 0. (wall -. staged_total))

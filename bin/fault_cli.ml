@@ -270,8 +270,13 @@ let term =
          ~doc:"Mutator seed (default: the corpus seed)")
   in
   let corrupt_kinds =
+    let known =
+      String.concat ", " (List.map Faults.Mutator.kind_name Faults.Mutator.all_kinds)
+    in
     Arg.(value & opt (some string) None & info [ "corrupt-kinds" ] ~docv:"K1,K2"
-         ~doc:"Comma-separated mutation kinds (default: all)")
+         ~doc:(Printf.sprintf
+                 "Comma-separated mutation kinds (default: all). Known kinds: %s."
+                 known))
   in
   let drop =
     Arg.(value & flag & info [ "drop-faulty" ]

@@ -409,23 +409,24 @@ let obs_injected =
        "unicert_fault_injected_total")
 
 (* Corrupt until the result really fails to parse (a bit flip can land
-   in a don't-care byte); the guaranteed fallback is truncation, which
-   strict DER decoding always rejects. *)
+   in a don't-care byte).  The typed exhaustion path is unreachable for
+   realistic certificates — the last-resort half-truncation never
+   parses — but if it ever fires we record it and deliver the clean
+   entry rather than asserting. *)
 let corrupt_der plan index der =
-  let rec go attempt =
-    if attempt >= 8 then begin
-      let bad = String.sub der 0 (max 1 (String.length der / 2)) in
-      match X509.Certificate.parse bad with
-      | Error e -> (bad, Faults.Mutator.Truncate, e)
-      | Ok _ -> assert false
-    end
-    else
-      let bad, kind = Faults.Mutator.mutate ~attempt plan ~index der in
-      match X509.Certificate.parse bad with
-      | Error e -> (bad, kind, e)
-      | Ok _ -> go (attempt + 1)
+  let rejects bad =
+    match X509.Certificate.parse bad with Error e -> Some e | Ok _ -> None
   in
-  go 0
+  match Faults.Mutator.mutate_rejected plan ~index ~rejects der with
+  | Ok (bad, kind, error) -> Some (bad, kind, error)
+  | Error { Faults.Mutator.index; attempts } ->
+      Faults.Error.observe
+        (Faults.Error.Resource
+           { stage = "mutate";
+             detail =
+               Printf.sprintf "index %d resisted %d corruption attempts" index
+                 attempts });
+      None
 
 let issuer_weights =
   lazy
@@ -519,13 +520,15 @@ let iter_deliveries ?(scale = default_scale) ?(start = 0) ?stop ?mutator
     match mutator with
     | Some plan when Faults.Mutator.hits plan i ->
         if not drop then begin
-          let der, kind, error = corrupt_der plan i e.cert.X509.Certificate.der in
-          (match injected with
-          | Some c ->
-              Obs.Counter.inc
-                (Obs.Counter.Labeled.get c (Faults.Mutator.kind_name kind))
-          | None -> ());
-          f i (Corrupt { der; kind; error })
+          match corrupt_der plan i e.cert.X509.Certificate.der with
+          | Some (der, kind, error) ->
+              (match injected with
+              | Some c ->
+                  Obs.Counter.inc
+                    (Obs.Counter.Labeled.get c (Faults.Mutator.kind_name kind))
+              | None -> ());
+              f i (Corrupt { der; kind; error })
+          | None -> f i (Entry e)
         end
     | _ -> f i (Entry e)
   done;

@@ -6,9 +6,12 @@ type kind =
   | Dup_tlv
   | Del_tlv
   | Oversized_oid
+  | Nul_inject
+  | Ctrl_inject
 
 let all_kinds =
-  [ Byte_flip; Length_lie; Truncate; Tag_swap; Dup_tlv; Del_tlv; Oversized_oid ]
+  [ Byte_flip; Length_lie; Truncate; Tag_swap; Dup_tlv; Del_tlv; Oversized_oid;
+    Nul_inject; Ctrl_inject ]
 
 let kind_name = function
   | Byte_flip -> "byte_flip"
@@ -18,6 +21,8 @@ let kind_name = function
   | Dup_tlv -> "dup_tlv"
   | Del_tlv -> "del_tlv"
   | Oversized_oid -> "oversized_oid"
+  | Nul_inject -> "nul_inject"
+  | Ctrl_inject -> "ctrl_inject"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -176,6 +181,33 @@ let oversized_oid g s =
       in
       String.sub s 0 (i + 2) ^ filler ^ String.sub s (i + 2 + len) (n - i - 2 - len)
 
+(* Universal tags of the ASN.1 string types: the targets of the two
+   string-content injection kinds. *)
+let string_tags = [ 0x0C; 0x12; 0x13; 0x14; 0x16; 0x1A; 0x1C; 0x1E ]
+
+(* Overwrite one content byte of a string-typed TLV: the DER skeleton
+   stays well formed, so the cert still parses and the poisoned text
+   flows into every downstream consumer — the NUL-truncation /
+   control-character surface the fuzzer steers into. *)
+let overwrite_in_string g byte_of s =
+  let n = String.length s in
+  let spots = ref [] in
+  for i = 0 to n - 3 do
+    if List.mem (Char.code s.[i]) string_tags then begin
+      let len = Char.code s.[i + 1] in
+      if len >= 1 && len < 0x80 && i + 2 + len <= n then spots := (i, len) :: !spots
+    end
+  done;
+  match !spots with
+  | [] -> byte_flip g s
+  | l ->
+      let arr = Array.of_list l in
+      let i, len = arr.(Ucrypto.Prng.int g (Array.length arr)) in
+      set_byte s (i + 2 + Ucrypto.Prng.int g len) (byte_of g)
+
+let nul_inject g s = overwrite_in_string g (fun _ -> 0x00) s
+let ctrl_inject g s = overwrite_in_string g (fun g -> 1 + Ucrypto.Prng.int g 0x1F) s
+
 let apply g kind s =
   match kind with
   | Byte_flip -> byte_flip g s
@@ -185,6 +217,8 @@ let apply g kind s =
   | Dup_tlv -> dup_tlv g s
   | Del_tlv -> del_tlv g s
   | Oversized_oid -> oversized_oid g s
+  | Nul_inject -> nul_inject g s
+  | Ctrl_inject -> ctrl_inject g s
 
 let mutate ?(attempt = 0) plan ~index der =
   if der = "" then invalid_arg "Faults.Mutator.mutate: empty input";
@@ -197,3 +231,34 @@ let mutate ?(attempt = 0) plan ~index der =
     else out
   in
   (go kind 3, kind)
+
+type exhausted = { index : int; attempts : int }
+
+let default_max_attempts = 9
+
+(* The retry loop callers used to hand-roll around [mutate]: bump
+   [attempt] until the mutant actually fails the caller's acceptance
+   check.  Capped — an input that resists corruption surfaces a typed
+   [exhausted] instead of looping (or asserting) forever.  The
+   last-resort attempt cuts the encoding in half, which strict DER
+   decoding rejects for any realistic certificate, so exhaustion is
+   reachable only for degenerate inputs or tolerant [rejects]
+   predicates. *)
+let mutate_rejected ?(max_attempts = default_max_attempts) plan ~index ~rejects
+    der =
+  if max_attempts < 1 then
+    invalid_arg "Faults.Mutator.mutate_rejected: max_attempts must be >= 1";
+  let rec go attempt =
+    if attempt >= max_attempts - 1 then begin
+      let bad = String.sub der 0 (max 1 (String.length der / 2)) in
+      match rejects bad with
+      | Some err -> Ok (bad, Truncate, err)
+      | None -> Error { index; attempts = max_attempts }
+    end
+    else
+      let bad, kind = mutate ~attempt plan ~index der in
+      match rejects bad with
+      | Some err -> Ok (bad, kind, err)
+      | None -> go (attempt + 1)
+  in
+  go 0

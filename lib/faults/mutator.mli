@@ -15,6 +15,8 @@ type kind =
   | Dup_tlv        (** duplicate an inner TLV in place *)
   | Del_tlv        (** delete an inner TLV *)
   | Oversized_oid  (** blow up an OID's arc encoding *)
+  | Nul_inject     (** overwrite a string TLV content byte with NUL *)
+  | Ctrl_inject    (** overwrite a string TLV content byte with a C0 control *)
 
 val all_kinds : kind list
 val kind_name : kind -> string
@@ -36,3 +38,25 @@ val mutate : ?attempt:int -> plan -> index:int -> string -> string * kind
     independent corruptions, letting callers retry until the result
     actually fails to parse.  Never returns [der] unchanged.
     @raise Invalid_argument on an empty input. *)
+
+type exhausted = { index : int; attempts : int }
+(** The input at [index] survived [attempts] corruption attempts
+    without tripping the caller's [rejects] predicate. *)
+
+val default_max_attempts : int
+
+val mutate_rejected :
+  ?max_attempts:int ->
+  plan ->
+  index:int ->
+  rejects:(string -> 'err option) ->
+  string ->
+  (string * kind * 'err, exhausted) result
+(** [mutate_rejected plan ~index ~rejects der] retries {!mutate} with
+    increasing [attempt] until [rejects] confirms the mutant is broken
+    (returns [Some err]), up to [max_attempts]
+    (default {!default_max_attempts}).  The final attempt truncates
+    [der] to half its length as a last resort; if even that passes
+    [rejects], returns [Error] with a typed {!exhausted} instead of
+    looping.  Deterministic in [(plan.seed, index)].
+    @raise Invalid_argument if [max_attempts < 1] or [der] is empty. *)

@@ -1,0 +1,50 @@
+(** The coverage-guided differential fuzzing campaign.
+
+    Round-based: each round fixes the corpus snapshot, generates
+    candidates pure in [(seed, round, index)], evaluates them sharded
+    under {!Par} (evaluation is pure in the candidate DER), merges in
+    index order, and folds corpus/coverage/findings sequentially.  Same
+    seed, budget and round size yield byte-identical findings for any
+    [jobs] — except when a watchdog timeout actually fires or
+    [--fault-hang] injection is armed (both documented exemptions). *)
+
+type config = {
+  seed : int;
+  budget : int;  (** total candidate executions *)
+  round_size : int;
+  jobs : int;
+  timeout : float;  (** per-candidate watchdog seconds; 0 = off *)
+  max_seconds : float option;  (** wall-clock budget; [None] = unlimited *)
+  breaker_threshold : int;
+  checkpoint : string option;
+  resume : bool;
+  corpus_cap : int;
+  minimize_findings : bool;  (** minimize each finding before returning *)
+}
+
+val default_config : config
+
+type status = Completed | Wall_abort of float
+
+type t = {
+  status : status;
+  executions : int;
+  rounds : int;
+  findings : Findings.finding list;  (** discovery order *)
+  corpus_size : int;
+  signatures : int;  (** distinct outcome signatures observed *)
+  degraded : (string * int) list;
+      (** models whose real-crash count reached the breaker threshold
+          during the campaign *)
+  first_disagreement : int option;
+      (** execution number of the first non-agreement outcome *)
+}
+
+val run : config -> t
+(** Runs the campaign.  Saves a checkpoint after every round when
+    [checkpoint] is set; [resume] reloads it (a checkpoint from a
+    different seed/budget is ignored with a warning).
+    @raise Invalid_argument on a non-positive or oversized
+    [round_size], or a negative [budget].
+    @raise Faults.Checkpoint.Invalid when resuming from a corrupt
+    checkpoint file. *)

@@ -1,0 +1,141 @@
+(* TLV-level delta debugging.
+
+   A reduction is kept iff the reduced DER still evaluates to the same
+   (class, signature) pair — the signature encodes the disagreement
+   shape, not payload bytes, so shrinking the payload preserves it as
+   long as the shape survives.  Two phases:
+
+   - tree phase: decode the candidate with the lenient ASN.1 config and
+     try structural reductions (drop a child of any constructed node,
+     shrink string/primitive payloads, recurse into OCTET STRING
+     wrappers — where extension bodies such as the SAN live);
+   - byte phase (fallback and polish): ddmin-style chunk removal on the
+     raw encoding, for candidates the tree pass cannot decode (byte
+     mutants) or cannot shrink further.
+
+   Minimization is deterministic: no randomness, candidate order fixed,
+   bounded by [max_evals] re-evaluations. *)
+
+let default_max_evals = 600
+
+(* Candidate reductions of one value, most aggressive first.  Each is a
+   full replacement for the node; [reductions] lifts child reductions
+   through constructed nodes. *)
+let rec reductions (v : Asn1.Value.t) : Asn1.Value.t list =
+  let drop_each l rebuild =
+    List.mapi (fun i _ -> rebuild (List.filteri (fun j _ -> j <> i) l)) l
+  in
+  let lift l rebuild =
+    List.concat
+      (List.mapi
+         (fun i child ->
+           List.map
+             (fun child' ->
+               rebuild (List.mapi (fun j c -> if j = i then child' else c) l))
+             (reductions child))
+         l)
+  in
+  let shrink_raw raw rebuild =
+    let n = String.length raw in
+    if n <= 1 then []
+    else
+      let halves =
+        [ rebuild (String.sub raw 0 (n / 2)); rebuild (String.sub raw (n - n / 2) (n / 2)) ]
+      in
+      let drop_one =
+        (* up to 8 single-byte removals, evenly spread *)
+        let step = max 1 (n / 8) in
+        let rec go i acc =
+          if i >= n then List.rev acc
+          else
+            go (i + step)
+              (rebuild (String.sub raw 0 i ^ String.sub raw (i + 1) (n - i - 1)) :: acc)
+        in
+        go 0 []
+      in
+      halves @ drop_one
+  in
+  match v with
+  | Asn1.Value.Sequence l ->
+      drop_each l (fun l' -> Asn1.Value.Sequence l')
+      @ lift l (fun l' -> Asn1.Value.Sequence l')
+  | Asn1.Value.Set l ->
+      drop_each l (fun l' -> Asn1.Value.Set l')
+      @ lift l (fun l' -> Asn1.Value.Set l')
+  | Asn1.Value.Explicit (n, l) ->
+      drop_each l (fun l' -> Asn1.Value.Explicit (n, l'))
+      @ lift l (fun l' -> Asn1.Value.Explicit (n, l'))
+  | Asn1.Value.Str (st, raw) -> shrink_raw raw (fun r -> Asn1.Value.Str (st, r))
+  | Asn1.Value.Implicit (n, raw) ->
+      shrink_raw raw (fun r -> Asn1.Value.Implicit (n, r))
+  | Asn1.Value.Octet_string raw -> (
+      (* extension bodies are DER inside an OCTET STRING: recurse *)
+      match Asn1.Value.decode ~config:Asn1.Value.lenient raw with
+      | Ok inner ->
+          List.map
+            (fun inner' -> Asn1.Value.Octet_string (Asn1.Value.encode inner'))
+            (reductions inner)
+          @ shrink_raw raw (fun r -> Asn1.Value.Octet_string r)
+      | Error _ -> shrink_raw raw (fun r -> Asn1.Value.Octet_string r))
+  | Asn1.Value.Bit_string (u, raw) ->
+      shrink_raw raw (fun r -> Asn1.Value.Bit_string (u, r))
+  | _ -> []
+
+(* One fixpoint pass over tree reductions: apply the first accepted
+   reduction and restart until none applies or the budget runs out. *)
+let tree_phase ok der =
+  let rec go der =
+    match Asn1.Value.decode ~config:Asn1.Value.lenient der with
+    | Error _ -> der
+    | Ok tree -> (
+        let rec try_candidates = function
+          | [] -> None
+          | tree' :: rest ->
+              let der' = Asn1.Value.encode tree' in
+              if String.length der' < String.length der && ok der' then Some der'
+              else try_candidates rest
+        in
+        match try_candidates (reductions tree) with
+        | Some der' -> go der'
+        | None -> der)
+  in
+  go der
+
+(* ddmin-style chunk removal on raw bytes. *)
+let byte_phase ok der =
+  let rec go der size =
+    if size < 1 then der
+    else begin
+      let n = String.length der in
+      let rec scan i =
+        if i >= n || size > n then None
+        else
+          let der' = String.sub der 0 i ^ String.sub der (min n (i + size)) (n - min n (i + size)) in
+          if der' <> "" && ok der' then Some der' else scan (i + size)
+      in
+      match scan 0 with
+      | Some der' -> go der' size
+      | None -> go der (size / 2)
+    end
+  in
+  go der (String.length der / 2)
+
+let minimize ?(threshold = Faults.Breaker.default_threshold)
+    ?(max_evals = default_max_evals) der0 =
+  let key der =
+    let e = Exec.eval ~threshold der in
+    (e.Exec.cls, e.Exec.signature)
+  in
+  let target = key der0 in
+  let evals = ref 0 in
+  let ok der =
+    !evals < max_evals
+    && begin
+         incr evals;
+         key der = target
+       end
+  in
+  let der = tree_phase ok der0 in
+  let der = byte_phase ok der in
+  (* one more tree pass: byte removals sometimes unlock structure *)
+  tree_phase ok der

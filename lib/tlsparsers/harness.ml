@@ -53,47 +53,65 @@ let obs_latency =
 
 type decode_outcome = Decoded of string | Rejected | Crashed of string
 
-(* Per-model circuit breakers: a model that keeps raising gets disabled
-   for the rest of the process and reported degraded instead of
-   crashing every remaining probe.  The find-or-create table is shared
-   across domains, so it sits behind a mutex (the breakers themselves
-   are atomic). *)
-let breakers_lock = Mutex.create ()
-let breakers : (string, Faults.Breaker.t) Hashtbl.t = Hashtbl.create 16
+(* Per-model circuit breakers live in a [Scope]: a model that keeps
+   raising gets disabled for the rest of the scope's lifetime and
+   reported degraded instead of crashing every remaining probe.  The
+   process-wide default scope backs [decoding_matrix] and friends; a
+   fuzzing campaign creates its own scope so a breaker it opens cannot
+   poison a later in-process harness pass.  Each scope's find-or-create
+   table is shared across domains, so it sits behind a mutex (the
+   breakers themselves are atomic). *)
+module Scope = struct
+  type t = {
+    lock : Mutex.t;
+    breakers : (string, Faults.Breaker.t) Hashtbl.t;
+    mutable threshold : int;
+  }
 
-let breaker_for name =
-  Mutex.protect breakers_lock (fun () ->
-      match Hashtbl.find_opt breakers name with
-      | Some b -> b
-      | None ->
-          let b = Faults.Breaker.create name in
-          Hashtbl.add breakers name b;
-          b)
+  let create ?(threshold = Faults.Breaker.default_threshold) () =
+    { lock = Mutex.create (); breakers = Hashtbl.create 16; threshold }
 
-let degraded_models () =
-  Mutex.protect breakers_lock (fun () ->
-      Hashtbl.fold
-        (fun _ b acc ->
-          if Faults.Breaker.tripped b then
-            (Faults.Breaker.name b, Faults.Breaker.crashes b) :: acc
-          else acc)
-        breakers [])
-  |> List.sort compare
+  let default = create ()
 
-let set_breaker_threshold n =
-  Mutex.protect breakers_lock (fun () ->
-      Hashtbl.iter (fun _ b -> Faults.Breaker.set_threshold b n) breakers)
+  let breaker_for t name =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.breakers name with
+        | Some b -> b
+        | None ->
+            let b = Faults.Breaker.create ~threshold:t.threshold name in
+            Hashtbl.add t.breakers name b;
+            b)
 
-let reset_faults () =
-  Mutex.protect breakers_lock (fun () ->
-      Hashtbl.iter (fun _ b -> Faults.Breaker.reset b) breakers)
+  let degraded t =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold
+          (fun _ b acc ->
+            if Faults.Breaker.tripped b then
+              (Faults.Breaker.name b, Faults.Breaker.crashes b) :: acc
+            else acc)
+          t.breakers [])
+    |> List.sort compare
+
+  let set_threshold t n =
+    Mutex.protect t.lock (fun () ->
+        t.threshold <- n;
+        Hashtbl.iter (fun _ b -> Faults.Breaker.set_threshold b n) t.breakers)
+
+  let reset t =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.iter (fun _ b -> Faults.Breaker.reset b) t.breakers)
+end
+
+let degraded_models () = Scope.degraded Scope.default
+let set_breaker_threshold n = Scope.set_threshold Scope.default n
+let reset_faults () = Scope.reset Scope.default
 
 (* Injection campaigns address models as "model:<name>", keeping the
    target namespace disjoint from lint names. *)
 let injector_target name = "model:" ^ name
 
-let observe_decode (model : Model.t) f =
-  let b = breaker_for model.Model.name in
+let observe_decode ?(scope = Scope.default) (model : Model.t) f =
+  let b = Scope.breaker_for scope model.Model.name in
   if Faults.Breaker.tripped b then Crashed "circuit_open"
   else begin
     let t0 = Unix.gettimeofday () in

@@ -1,0 +1,229 @@
+(* Fuzzer unit tests: generator purity, evaluation determinism,
+   breaker-scope isolation (the process-global reset_faults regression),
+   mutator exhaustion guard, minimizer contract, findings JSONL
+   round-trip, an in-process campaign determinism check, and the
+   regression corpus of minimized reproducers. *)
+
+let check = Alcotest.check
+
+let test_gen_pure () =
+  let corpus =
+    [| Fuzz.Gen.build Fuzz.Gen.Cn Asn1.Str_type.Printable_string "test.com" |]
+  in
+  for index = 0 to 31 do
+    let a = Fuzz.Gen.candidate ~seed:11 ~round:2 ~index ~corpus in
+    let b = Fuzz.Gen.candidate ~seed:11 ~round:2 ~index ~corpus in
+    check Alcotest.string "op" a.Fuzz.Gen.op b.Fuzz.Gen.op;
+    check Alcotest.string "payload" a.Fuzz.Gen.payload b.Fuzz.Gen.payload;
+    check Alcotest.string "der" a.Fuzz.Gen.der b.Fuzz.Gen.der
+  done;
+  (* distinct indices draw distinct candidates somewhere in the batch *)
+  let distinct =
+    List.init 32 (fun index ->
+        (Fuzz.Gen.candidate ~seed:11 ~round:2 ~index ~corpus).Fuzz.Gen.der)
+    |> List.sort_uniq compare
+  in
+  check Alcotest.bool "batch is not constant" true (List.length distinct > 4)
+
+let test_eval_pure () =
+  let der =
+    Fuzz.Gen.build Fuzz.Gen.Cn Asn1.Str_type.Printable_string "pay\x00pal.com"
+  in
+  let a = Fuzz.Exec.eval der and b = Fuzz.Exec.eval der in
+  check Alcotest.string "signature" a.Fuzz.Exec.signature b.Fuzz.Exec.signature;
+  check Alcotest.string "class" a.Fuzz.Exec.cls b.Fuzz.Exec.cls;
+  check Alcotest.bool "nul facet" true a.Fuzz.Exec.nul;
+  check Alcotest.string "nul class" "nul-transparency" a.Fuzz.Exec.cls
+
+(* Satellite regression: a campaign (or any caller) that trips breakers
+   in a private scope must not poison the process-default scope used by
+   decoding_matrix and the one-shot table binaries. *)
+let test_scope_isolation () =
+  let model = List.hd Tlsparsers.Models.all in
+  let scope = Tlsparsers.Harness.Scope.create ~threshold:2 () in
+  let boom () = failwith "synthetic model crash" in
+  (match Tlsparsers.Harness.observe_decode ~scope model boom with
+  | Tlsparsers.Harness.Crashed _ -> ()
+  | _ -> Alcotest.fail "expected a crash outcome");
+  ignore (Tlsparsers.Harness.observe_decode ~scope model boom);
+  (* threshold 2 reached: the scope's breaker is open *)
+  (match Tlsparsers.Harness.observe_decode ~scope model (fun () -> Some "x") with
+  | Tlsparsers.Harness.Crashed "circuit_open" -> ()
+  | _ -> Alcotest.fail "expected the scoped breaker to be open");
+  check Alcotest.bool "private scope degraded" true
+    (Tlsparsers.Harness.Scope.degraded scope <> []);
+  check
+    Alcotest.(list (pair string int))
+    "default scope untouched" []
+    (Tlsparsers.Harness.degraded_models ());
+  (* the default scope still invokes the model *)
+  (match Tlsparsers.Harness.observe_decode model (fun () -> Some "ok") with
+  | Tlsparsers.Harness.Decoded "ok" -> ()
+  | _ -> Alcotest.fail "default scope must still invoke the model");
+  (* per-evaluation scopes mean campaign crashes cannot leak either *)
+  let der = Fuzz.Gen.build Fuzz.Gen.Cn Asn1.Str_type.Printable_string "test.com" in
+  ignore (Fuzz.Exec.eval der);
+  check
+    Alcotest.(list (pair string int))
+    "default scope untouched after eval" []
+    (Tlsparsers.Harness.degraded_models ())
+
+let test_mutate_rejected () =
+  let der = Fuzz.Gen.build Fuzz.Gen.Cn Asn1.Str_type.Printable_string "test.com" in
+  let plan = Faults.Mutator.plan ~seed:42 ~rate:1.0 () in
+  (* a predicate that never rejects exhausts the attempt cap *)
+  (match Faults.Mutator.mutate_rejected plan ~index:5 ~rejects:(fun _ -> None) der with
+  | Error { Faults.Mutator.index; attempts } ->
+      check Alcotest.int "index" 5 index;
+      check Alcotest.int "attempts" Faults.Mutator.default_max_attempts attempts
+  | Ok _ -> Alcotest.fail "expected exhaustion");
+  (* the parse predicate rejects on the first broken mutant *)
+  let rejects bad =
+    match X509.Certificate.parse bad with Error e -> Some e | Ok _ -> None
+  in
+  (match Faults.Mutator.mutate_rejected plan ~index:5 ~rejects der with
+  | Ok (bad, _, _) -> check Alcotest.bool "mutant differs" true (bad <> der)
+  | Error _ -> Alcotest.fail "a certificate must be corruptible");
+  (* deterministic in (seed, index) *)
+  let run () = Faults.Mutator.mutate_rejected plan ~index:5 ~rejects der in
+  check Alcotest.bool "deterministic" true (run () = run ());
+  (match Faults.Mutator.mutate_rejected ~max_attempts:0 plan ~index:0 ~rejects der with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_attempts 0 must be rejected")
+
+let test_new_mutation_kinds () =
+  check Alcotest.bool "nul_inject registered" true
+    (List.mem Faults.Mutator.Nul_inject Faults.Mutator.all_kinds);
+  check Alcotest.bool "ctrl_inject registered" true
+    (List.mem Faults.Mutator.Ctrl_inject Faults.Mutator.all_kinds);
+  List.iter
+    (fun k ->
+      check Alcotest.bool
+        ("kind name roundtrip " ^ Faults.Mutator.kind_name k)
+        true
+        (Faults.Mutator.kind_of_name (Faults.Mutator.kind_name k) = Some k))
+    Faults.Mutator.all_kinds;
+  (* string-content injection keeps the DER skeleton: length preserved *)
+  let der = Fuzz.Gen.build Fuzz.Gen.Cn Asn1.Str_type.Printable_string "test.com" in
+  List.iter
+    (fun kind ->
+      let plan =
+        Faults.Mutator.plan ~kinds:[ kind ] ~seed:7 ~rate:1.0 ()
+      in
+      let bad, k = Faults.Mutator.mutate plan ~index:3 der in
+      check Alcotest.bool "kind echoed" true (k = kind);
+      check Alcotest.bool "changed" true (bad <> der);
+      check Alcotest.int "length preserved" (String.length der)
+        (String.length bad))
+    [ Faults.Mutator.Nul_inject; Faults.Mutator.Ctrl_inject ]
+
+let test_minimize () =
+  let der =
+    Fuzz.Gen.build Fuzz.Gen.Cn Asn1.Str_type.Printable_string
+      "paypal.com\x00.evil.example"
+  in
+  let before = Fuzz.Exec.eval der in
+  let min_der = Fuzz.Minimize.minimize der in
+  let after = Fuzz.Exec.eval min_der in
+  check Alcotest.bool "shrinks" true (String.length min_der < String.length der);
+  check Alcotest.string "class preserved" before.Fuzz.Exec.cls after.Fuzz.Exec.cls;
+  check Alcotest.string "signature preserved" before.Fuzz.Exec.signature
+    after.Fuzz.Exec.signature
+
+let test_findings_roundtrip () =
+  let f =
+    { Fuzz.Findings.round = 3; index = 17; exec = 209;
+      cluster = "nul-transparency-deadbeef"; cls = "nul-transparency";
+      signature = "x509=PP|cn=IA5String:abbbbbbbb|san=X|idna=-|nul=1|ctl=0|conf=0";
+      op = "nul_ctrl"; context = "cn"; declared = "IA5String"; count = 4;
+      der = "\x30\x03\x02\x01\x00"; min_der = Some "\x30\x00" }
+  in
+  (match Fuzz.Findings.of_json (Fuzz.Findings.to_json f) with
+  | Ok f' -> check Alcotest.bool "roundtrip" true (f = f')
+  | Error msg -> Alcotest.fail msg);
+  (match Fuzz.Findings.of_json (Fuzz.Findings.to_json { f with min_der = None }) with
+  | Ok f' -> check Alcotest.bool "null min_der" true (f'.Fuzz.Findings.min_der = None)
+  | Error msg -> Alcotest.fail msg)
+
+let test_campaign_deterministic () =
+  let cfg jobs =
+    { Fuzz.Campaign.default_config with
+      Fuzz.Campaign.seed = 19; budget = 48; round_size = 16; jobs }
+  in
+  let a = Fuzz.Campaign.run (cfg 1) in
+  let b = Fuzz.Campaign.run (cfg 2) in
+  check Alcotest.int "executions" 48 a.Fuzz.Campaign.executions;
+  check Alcotest.bool "status completed" true
+    (a.Fuzz.Campaign.status = Fuzz.Campaign.Completed);
+  check Alcotest.bool "findings identical across jobs" true
+    (a.Fuzz.Campaign.findings = b.Fuzz.Campaign.findings);
+  check Alcotest.int "signatures identical" a.Fuzz.Campaign.signatures
+    b.Fuzz.Campaign.signatures;
+  check
+    Alcotest.(list (pair string int))
+    "no degraded models without injection" [] a.Fuzz.Campaign.degraded;
+  check
+    Alcotest.(list (pair string int))
+    "campaign leaves the default scope clean" []
+    (Tlsparsers.Harness.degraded_models ())
+
+(* The regression corpus: minimized reproducers for anomaly clusters
+   beyond Tables 4/5, discovered by the pinned seed-7 campaign.  Each
+   must still evaluate to its cluster's class and outcome signature. *)
+let reproducers =
+  [
+    ( "idna-blindspot-afb26948.pem", "idna-blindspot",
+      "x509=PP|cn=PrintableString:aaaaaaaaa|san=-aaaaa-aa|idna=encoded_label_too_long+unpermitted_char|nul=0|ctl=0|conf=0"
+    );
+    ( "nul-transparency-62985454.pem", "nul-transparency",
+      "x509=PP|cn=PrintableString:aaaaaaaaa|san=-aaaaa-aa|idna=-|nul=1|ctl=0|conf=0"
+    );
+    ( "ctl-passthrough-3a542719.pem", "ctl-passthrough",
+      "x509=PP|cn=PrintableString:aaaaaaaaa|san=-aaaaa-aa|idna=-|nul=0|ctl=1|conf=0"
+    );
+    ( "confusable-passthrough-a5d74768.pem", "confusable-passthrough",
+      "x509=PP|cn=PrintableString:aaaaaaaaa|san=-abbRc-Rb|idna=-|nul=0|ctl=0|conf=1"
+    );
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_reproducers () =
+  check Alcotest.bool "at least 3 beyond-table clusters" true
+    (List.length
+       (List.sort_uniq compare (List.map (fun (_, c, _) -> c) reproducers))
+    >= 3);
+  List.iter
+    (fun (file, cls, signature) ->
+      let pem = read_file (Filename.concat "fuzz_corpus" file) in
+      let der =
+        match X509.Pem.decode_certificate pem with
+        | Ok der -> der
+        | Error msg -> Alcotest.fail (file ^ ": " ^ msg)
+      in
+      let e = Fuzz.Exec.eval der in
+      check Alcotest.bool (file ^ " beyond tables") true
+        (Fuzz.Exec.beyond_tables cls);
+      check Alcotest.string (file ^ " class") cls e.Fuzz.Exec.cls;
+      check Alcotest.string (file ^ " signature") signature
+        e.Fuzz.Exec.signature)
+    reproducers
+
+let suite =
+  [
+    Alcotest.test_case "generator purity" `Quick test_gen_pure;
+    Alcotest.test_case "evaluation determinism" `Quick test_eval_pure;
+    Alcotest.test_case "breaker scope isolation" `Quick test_scope_isolation;
+    Alcotest.test_case "mutate_rejected exhaustion guard" `Quick
+      test_mutate_rejected;
+    Alcotest.test_case "new mutation kinds" `Quick test_new_mutation_kinds;
+    Alcotest.test_case "minimizer preserves signature" `Quick test_minimize;
+    Alcotest.test_case "findings JSONL roundtrip" `Quick test_findings_roundtrip;
+    Alcotest.test_case "campaign jobs determinism" `Quick
+      test_campaign_deterministic;
+    Alcotest.test_case "reproducer corpus regression" `Quick test_reproducers;
+  ]

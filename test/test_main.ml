@@ -22,4 +22,5 @@ let () =
       ("net", Test_net.suite);
       ("trace", Test_trace.suite);
       ("store", Test_store.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
